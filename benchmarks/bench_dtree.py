@@ -1,0 +1,61 @@
+"""Section IV-B: Dtree vs a centralized queue at scale.
+
+Dtree's tree topology keeps per-request cost at O(log N) hops with most
+requests served from the local pool; a central queue serializes every
+request.  Measured two ways: raw scheduler throughput in this process, and
+modeled "other" time inside the cluster simulator.
+"""
+
+from repro.cluster import MachineConfig, WorkloadConfig, simulate_run
+from repro.sched import CentralQueue, Dtree
+
+from conftest import print_header
+
+
+def drain(sched, n_workers, batch=4):
+    n = 0
+    active = list(range(n_workers))
+    while active:
+        still = []
+        for w in active:
+            got = sched.request(w, max_batch=batch)
+            n += len(got)
+            if got:
+                still.append(w)
+        active = still
+    return n
+
+
+def test_dtree_request_throughput(benchmark):
+    n_workers, n_tasks = 4096, 65_536
+
+    def run():
+        sched = Dtree(n_workers, n_tasks)
+        assert drain(sched, n_workers) == n_tasks
+        return sched
+
+    sched = benchmark.pedantic(run, rounds=1, iterations=1)
+    stats = sched.stats
+    print_header("Dtree: 65,536 tasks over 4,096 workers")
+    print("tree height: %d (log_8(4096) = 4)" % stats["height"])
+    print("messages: %d, parent hops: %d (%.3f hops/task)" % (
+        stats["messages"], stats["hops"], stats["hops"] / n_tasks))
+    assert stats["height"] == 4
+    # Locality: most tasks are served without touching the upper tree.
+    assert stats["hops"] < n_tasks
+
+
+def test_dtree_vs_central_modeled_overhead(benchmark):
+    def run():
+        machine = MachineConfig(n_nodes=64)
+        wl = WorkloadConfig(n_tasks=machine.n_processes * 4, seed=9)
+        dtree = simulate_run(machine, wl, scheduler="dtree")
+        central = simulate_run(machine, wl, scheduler="central")
+        return dtree, central
+
+    dtree, central = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_header("Modeled scheduling overhead at 64 nodes (1088 processes)")
+    print("dtree   'other': %.2f s/process" % dtree.components.other)
+    print("central 'other': %.2f s/process" % central.components.other)
+    print("(both include fixed per-process startup and per-task write-back)")
+    assert central.components.other > dtree.components.other + 1.0

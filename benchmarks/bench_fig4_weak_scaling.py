@@ -1,0 +1,47 @@
+"""Figure 4: weak scaling, 1 to 8192 nodes at 4 tasks per process.
+
+Paper claims: task processing ~constant; image loading ~constant; load
+imbalance comes to dominate past ~32 nodes (an artifact of only 4 tasks per
+process); total runtime grows ~1.9x from 1 to 8192 nodes.
+"""
+
+from repro.cluster import weak_scaling
+
+from conftest import print_header
+
+NODE_COUNTS = [1, 8, 32, 128, 512, 2048, 8192]
+
+
+def run_weak():
+    return weak_scaling(NODE_COUNTS)
+
+
+def test_fig4_weak_scaling(benchmark):
+    results = benchmark.pedantic(run_weak, rounds=1, iterations=1)
+
+    print_header("Figure 4 — weak scaling (seconds, mean per process)")
+    print("%8s %11s %10s %11s %7s %8s" % (
+        "nodes", "task proc", "img load", "imbalance", "other", "total"))
+    for r in results:
+        c = r.components
+        print("%8d %11.1f %10.1f %11.1f %7.2f %8.1f" % (
+            r.machine.n_nodes, c.task_processing, c.image_loading,
+            c.load_imbalance, c.other, r.wall_seconds))
+    growth = results[-1].wall_seconds / results[0].wall_seconds
+    print("runtime growth 1 -> 8192 nodes: %.2fx (paper: ~1.9x)" % growth)
+
+    tp = [r.components.task_processing for r in results]
+    loads = [r.components.image_loading for r in results]
+    imb = [r.components.load_imbalance for r in results]
+
+    # Task processing nearly constant (communication-free work loop).
+    assert max(tp) / min(tp) < 1.2
+    # Image loading nearly constant (Burst Buffer keeps per-process rate).
+    assert max(loads) / min(loads) < 1.3
+    # Imbalance grows and dominates the *growth* beyond 32 nodes.
+    assert imb[-1] > imb[0] * 2
+    by_node = {r.machine.n_nodes: r for r in results}
+    assert (by_node[8192].components.load_imbalance
+            > 0.5 * by_node[8192].components.task_processing)
+    # Total growth in the paper's ballpark.
+    assert 1.4 < growth < 2.8

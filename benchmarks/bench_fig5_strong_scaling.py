@@ -1,0 +1,50 @@
+"""Figure 5: strong scaling over 557,056 tasks at 2048/4096/8192 nodes.
+
+Paper claims: image loading and task processing scale nearly perfectly;
+"other" stays constant and small; load imbalance grows in relative
+importance; 65% efficiency from 2k to 4k nodes and 50% from 2k to 8k.
+"""
+
+import numpy as np
+
+from repro.cluster import strong_scaling
+from repro.cluster.simulate import scaling_efficiency
+
+from conftest import print_header
+
+NODE_COUNTS = [2048, 4096, 8192]
+
+
+def run_strong():
+    return strong_scaling(NODE_COUNTS, n_tasks=557_056)
+
+
+def test_fig5_strong_scaling(benchmark):
+    results = benchmark.pedantic(run_strong, rounds=1, iterations=1)
+    effs = scaling_efficiency(results)
+
+    print_header("Figure 5 — strong scaling (seconds, mean per process)")
+    print("%8s %11s %10s %11s %7s %8s %6s" % (
+        "nodes", "task proc", "img load", "imbalance", "other", "total", "eff"))
+    for r, eff in zip(results, effs):
+        c = r.components
+        print("%8d %11.1f %10.1f %11.1f %7.2f %8.1f %5.0f%%" % (
+            r.machine.n_nodes, c.task_processing, c.image_loading,
+            c.load_imbalance, c.other, r.wall_seconds, eff * 100))
+    print("paper: 65%% at 4096, 50%% at 8192")
+
+    tp = [r.components.task_processing for r in results]
+    other = [r.components.other for r in results]
+    imb_rel = [r.components.load_imbalance / r.wall_seconds for r in results]
+
+    # Task processing halves with each doubling (near-perfect scaling).
+    np.testing.assert_allclose(tp[0] / tp[1], 2.0, rtol=0.05)
+    np.testing.assert_allclose(tp[1] / tp[2], 2.0, rtol=0.05)
+    # "Other" constant and a small fraction of runtime.
+    assert max(other) / min(other) < 1.5
+    assert max(other) < 0.05 * results[-1].wall_seconds
+    # Imbalance grows in relative importance.
+    assert imb_rel[2] > imb_rel[0]
+    # Efficiencies in the paper's ballpark.
+    assert 0.55 < effs[1] < 0.95
+    assert 0.35 < effs[2] < 0.75

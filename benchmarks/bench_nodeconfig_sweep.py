@@ -1,0 +1,46 @@
+"""Section VII-B: the threads x processes node-configuration sweep.
+
+"We empirically determined that eight threads per process and 17 processes
+per Intel Xeon Phi processor yields the highest throughput" — the optimum
+balances intra-task thread idling (favors fewer threads) against inter-
+process load imbalance from fewer tasks per process (favors fewer
+processes).
+"""
+
+from repro.cluster import MachineConfig, WorkloadConfig, simulate_run
+
+from conftest import print_header
+
+#: (processes_per_node, threads_per_process) with 136 HW threads occupied.
+CONFIGS = [(34, 4), (17, 8), (8, 17), (4, 34), (2, 68)]
+
+
+def run_sweep():
+    out = []
+    for ppn, tpp in CONFIGS:
+        machine = MachineConfig(n_nodes=4, processes_per_node=ppn,
+                                threads_per_process=tpp)
+        result = simulate_run(machine, WorkloadConfig(n_tasks=4 * 68, seed=11))
+        out.append((ppn, tpp, result))
+    return out
+
+
+def test_node_configuration_sweep(benchmark):
+    results = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    print_header("Node configuration sweep (68 tasks/node, 4 nodes)")
+    print("%8s %8s %12s %16s" % ("procs", "threads", "wall (s)",
+                                 "Mvisits/s/node"))
+    throughput = {}
+    for ppn, tpp, r in results:
+        thr = r.total_visits / r.wall_seconds / r.machine.n_nodes
+        throughput[(ppn, tpp)] = thr
+        print("%8d %8d %12.1f %16.2f" % (ppn, tpp, r.wall_seconds, thr / 1e6))
+
+    best = max(throughput, key=throughput.get)
+    print("best configuration: %d processes x %d threads (paper: 17 x 8)"
+          % best)
+    assert best == (17, 8)
+    # And the optimum is a real interior maximum, not a plateau edge.
+    assert throughput[(17, 8)] > 1.02 * throughput[(34, 4)]
+    assert throughput[(17, 8)] > 1.02 * throughput[(2, 68)]

@@ -1,0 +1,46 @@
+"""Table I: sustained FLOP rate of the 9,600-node performance run.
+
+Paper values (TFLOP/s): task processing 693.69, +load imbalance 413.19,
++image loading 211.94; peak observed 1.54 PFLOP/s on 1,303,832 threads.
+"""
+
+import numpy as np
+
+from repro.cluster import performance_run
+
+from conftest import print_header
+
+PAPER = {
+    "task processing": 693.69,
+    "+load imbalance": 413.19,
+    "+image loading": 211.94,
+}
+
+
+def run_table1():
+    result, report = performance_run()
+    return result, report
+
+
+def test_table1_flop_rates(benchmark):
+    result, report = benchmark.pedantic(run_table1, rounds=1, iterations=1)
+    table = report.as_table()
+
+    print_header("Table I — sustained FLOP rate (TFLOP/s), 9600 nodes")
+    print("%-18s %12s %12s %8s" % ("scope", "simulated", "paper", "ratio"))
+    for scope, paper_val in PAPER.items():
+        ours = table[scope]
+        print("%-18s %12.1f %12.1f %8.2f" % (scope, ours, paper_val,
+                                             ours / paper_val))
+    peak = result.machine.peak_flops() / 1e15
+    print("machine peak: %.3f PFLOP/s (paper observed peak: 1.54)" % peak)
+
+    # Shape assertions: each scope within 2x of the paper; ordering holds;
+    # the first scope is calibrated and must be tight.
+    np.testing.assert_allclose(table["task processing"], PAPER["task processing"],
+                               rtol=0.05)
+    for scope, paper_val in PAPER.items():
+        assert 0.5 < table[scope] / paper_val < 2.0
+    assert (table["task processing"] > table["+load imbalance"]
+            > table["+image loading"])
+    np.testing.assert_allclose(peak, 1.54, rtol=0.02)

@@ -1,0 +1,79 @@
+"""Table II: science accuracy — Celeste vs the Photo heuristic.
+
+The paper validates on Stripe 82 and finds Celeste better on 11 of 12
+metrics (everything but missed galaxies), with large margins on position,
+brightness, and all four colors.  Here both pipelines run on single-epoch
+synthetic imagery and are scored against the exact synthetic ground truth.
+"""
+
+import numpy as np
+
+from repro.core import JointConfig, default_priors, optimize_region
+from repro.core.single import OptimizeConfig
+from repro.photo import run_photo
+from repro.survey import SurveyConfig, SyntheticSkyConfig, build_survey
+from repro.validation import TABLE2_ROWS, match_catalogs, score_catalog
+
+from conftest import print_header
+
+PAPER = {
+    "Position": (0.36, 0.27), "Missed gals": (0.06, 0.19),
+    "Missed stars": (0.12, 0.15), "Brightness": (0.21, 0.14),
+    "Color u-g": (1.32, 0.60), "Color g-r": (0.48, 0.21),
+    "Color r-i": (0.25, 0.12), "Color i-z": (0.48, 0.17),
+    "Profile": (0.38, 0.28), "Eccentricity": (0.31, 0.23),
+    "Scale": (1.62, 0.92), "Angle": (22.54, 17.54),
+}
+
+
+def run_table2():
+    rng = np.random.default_rng(82)
+    config = SurveyConfig(
+        field_width=84, field_height=84, fields_per_run=1, n_runs=1,
+        sky=SyntheticSkyConfig(source_density=16.0, min_separation=9.0,
+                               flux_floor=15.0),
+    )
+    layout = build_survey(config, rng=rng)
+    truth = layout.truth
+    photo_cat = run_photo(layout.images)
+    matched = match_catalogs(truth, photo_cat)
+    init_entries = [e for _, e in matched.pairs]
+    celeste = optimize_region(
+        layout.images, init_entries, default_priors(),
+        JointConfig(n_passes=1, single=OptimizeConfig(max_iter=20,
+                                                      grad_tol=3e-4)),
+    )
+    return (
+        score_catalog(truth, photo_cat).as_rows(),
+        score_catalog(truth, celeste.catalog).as_rows(),
+        len(truth),
+    )
+
+
+def test_table2_accuracy(benchmark):
+    photo_m, celeste_m, n_sources = benchmark.pedantic(
+        run_table2, rounds=1, iterations=1
+    )
+
+    print_header("Table II — average error, Photo vs Celeste (lower better)")
+    print("%-14s %9s %9s | %9s %9s" % ("", "Photo", "Celeste", "paperP",
+                                       "paperC"))
+    for row in TABLE2_ROWS:
+        p, c = photo_m[row], celeste_m[row]
+        pp, pc = PAPER[row]
+        print("%-14s %9.3f %9.3f | %9.2f %9.2f" % (row, p, c, pp, pc))
+    print("(%d synthetic sources; single-epoch imagery)" % n_sources)
+
+    # Headline shape: Celeste wins decisively on position and brightness.
+    for row in ("Position", "Brightness"):
+        assert celeste_m[row] < photo_m[row], row
+    # Colors: Celeste wins at least 3 of 4 and is never meaningfully worse
+    # (with a handful of sources a single color can statistically tie).
+    color_rows = ("Color u-g", "Color g-r", "Color r-i", "Color i-z")
+    wins = sum(celeste_m[r] < photo_m[r] for r in color_rows)
+    assert wins >= 3, {r: (photo_m[r], celeste_m[r]) for r in color_rows}
+    for r in color_rows:
+        assert celeste_m[r] <= photo_m[r] * 1.15 + 1e-3, r
+    # Celeste's star recall is competitive (within 0.25 absolute).
+    if np.isfinite(celeste_m["Missed stars"]):
+        assert celeste_m["Missed stars"] <= photo_m["Missed stars"] + 0.25

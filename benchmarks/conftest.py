@@ -1,0 +1,28 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark regenerates one table or figure from the paper's evaluation
+section and prints the paper's numbers next to ours.  Absolute times come
+from this machine, not a Cray XC40; the asserted properties are the *shapes*
+(who wins, by what factor, where crossovers fall).
+"""
+
+import os
+import sys
+
+import numpy as np
+import pytest
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(20180131)
+
+
+def print_header(title: str):
+    print("\n" + "=" * 72)
+    print(title)
+    print("=" * 72)

@@ -1,0 +1,13 @@
+"""Repo-level pytest configuration.
+
+Ensures ``src/`` is importable even when the package has not been installed
+(this sandbox has no network, so ``pip install -e .`` cannot build a wheel;
+a ``.pth`` file in site-packages provides the equivalent editable install).
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(__file__), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

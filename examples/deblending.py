@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Deblending: why overlapping sources must be optimized jointly.
+
+Renders two stars close enough that their point-spread functions blend, then
+estimates their fluxes two ways:
+
+1. *isolated* — each source fit against a sky-only background (what a
+   per-source pipeline does);
+2. *joint* — block coordinate ascent with residual backgrounds (the paper's
+   mid-level optimization).
+
+The isolated fits over-count the shared photons; the joint fit splits them.
+
+Run:  python examples/deblending.py
+"""
+
+import numpy as np
+
+from repro.core import (
+    CatalogEntry,
+    JointConfig,
+    default_priors,
+    make_context,
+    optimize_region,
+)
+from repro.core.single import OptimizeConfig, optimize_source, to_catalog_entry
+from repro.psf import default_psf
+from repro.survey import AffineWCS, ImageMeta, render_image
+
+
+def main():
+    rng = np.random.default_rng(3)
+    sep = 4.0  # ~1.3 PSF FWHM: heavily blended
+    truth = [
+        CatalogEntry([16.0, 14.0], False, 50.0, [1.5, 1.1, 0.25, 0.05]),
+        CatalogEntry([16.0 + sep, 14.0], False, 25.0, [1.2, 0.9, 0.2, 0.0]),
+    ]
+    images = [
+        render_image(truth, ImageMeta(
+            band=b, wcs=AffineWCS.translation(0.0, 0.0), psf=default_psf(3.0),
+            sky_level=100.0, calibration=100.0), (28, 40), rng=rng)
+        for b in (1, 2, 3)
+    ]
+    priors = default_priors()
+    cfg = OptimizeConfig(max_iter=30)
+
+    print("Two stars separated by %.1f px (PSF FWHM 3.0 px)" % sep)
+    print("true fluxes: %.0f and %.0f nmgy\n" % (truth[0].flux_r, truth[1].flux_r))
+
+    print("Isolated fits (sky-only backgrounds):")
+    iso = []
+    for t in truth:
+        ctx = make_context(images, t.position, priors)
+        est = to_catalog_entry(optimize_source(ctx, t, cfg).params)
+        iso.append(est)
+        print("  flux %.1f (true %.0f)  -> error %+.0f%%" % (
+            est.flux_r, t.flux_r, 100 * (est.flux_r / t.flux_r - 1)))
+
+    print("\nJoint fit (residual backgrounds, 2 passes):")
+    joint = optimize_region(images, truth, priors,
+                            JointConfig(n_passes=2, single=cfg))
+    for t, est in zip(truth, joint.catalog):
+        print("  flux %.1f (true %.0f)  -> error %+.0f%%" % (
+            est.flux_r, t.flux_r, 100 * (est.flux_r / t.flux_r - 1)))
+
+    iso_err = sum(abs(e.flux_r - t.flux_r) for e, t in zip(iso, truth))
+    joint_err = sum(abs(e.flux_r - t.flux_r)
+                    for e, t in zip(joint.catalog, truth))
+    print("\ntotal |flux error|: isolated %.1f vs joint %.1f nmgy" % (
+        iso_err, joint_err))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Quickstart: infer a small astronomical catalog with Celeste.
+
+Generates a synthetic five-band field containing a handful of stars and
+galaxies, runs the variational inference engine jointly over all sources,
+and prints the inferred catalog side by side with the ground truth —
+including the posterior uncertainties that distinguish a Bayesian catalog
+from a heuristic one.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.core import (
+    CatalogEntry,
+    JointConfig,
+    default_priors,
+    optimize_region,
+    posterior_summary,
+)
+from repro.core.single import OptimizeConfig
+from repro.survey import generate_field_images, SyntheticSkyConfig
+from repro.core.catalog import Catalog
+
+
+def main():
+    rng = np.random.default_rng(7)
+
+    # Ground truth: three stars and two galaxies on one 60x60-pixel field.
+    truth = Catalog([
+        CatalogEntry([14.0, 15.0], False, 45.0, [1.5, 1.1, 0.25, 0.05]),
+        CatalogEntry([44.0, 12.0], False, 25.0, [1.2, 0.9, 0.2, 0.0]),
+        CatalogEntry([30.0, 30.0], True, 90.0, [0.7, 0.45, 0.6, 0.45],
+                     gal_radius_px=2.5, gal_axis_ratio=0.55, gal_angle=0.8,
+                     gal_frac_dev=0.3),
+        CatalogEntry([12.0, 46.0], True, 60.0, [0.9, 0.6, 0.7, 0.55],
+                     gal_radius_px=1.8, gal_axis_ratio=0.75, gal_angle=2.2,
+                     gal_frac_dev=0.7),
+        CatalogEntry([48.0, 44.0], False, 18.0, [1.7, 1.3, 0.35, 0.1]),
+    ])
+
+    print("Rendering a synthetic 5-band field (%d sources)..." % len(truth))
+    images = generate_field_images(
+        truth, origin=(0.0, 0.0), shape_hw=(60, 60),
+        config=SyntheticSkyConfig(), rng=rng,
+    )
+
+    priors = default_priors()
+    print("Running joint variational inference (Newton + trust region)...")
+    result = optimize_region(
+        images, list(truth), priors,
+        JointConfig(n_passes=2, single=OptimizeConfig(max_iter=30)),
+    )
+
+    print("\n%-3s %-6s %-22s %-18s %-12s" % (
+        "id", "type", "position (true)", "flux_r (true)", "P(galaxy)"))
+    for i, (t, est, res) in enumerate(
+        zip(truth, result.catalog, result.results)
+    ):
+        s = posterior_summary(res.params)
+        print("%-3d %-6s (%5.1f,%5.1f) vs (%4.0f,%4.0f)  %6.1f+-%-4.1f (%3.0f) %8.3f" % (
+            i,
+            "gal" if est.is_galaxy else "star",
+            est.position[0], est.position[1],
+            t.position[0], t.position[1],
+            s.flux_mean, s.flux_sd, t.flux_r,
+            s.prob_galaxy,
+        ))
+        lo, hi = s.flux_interval
+        inside = "yes" if lo <= t.flux_r <= hi else "NO"
+        print("     95%% flux interval: [%6.1f, %6.1f]  contains truth: %s" % (
+            lo, hi, inside))
+
+    n_right = sum(
+        est.is_galaxy == t.is_galaxy for t, est in zip(truth, result.catalog)
+    )
+    print("\n%d/%d sources classified correctly; total ELBO %.1f" % (
+        n_right, len(truth), result.elbo_total))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Regenerate the paper's scaling figures on the cluster simulator.
+
+Prints the data series behind Figure 4 (weak scaling), Figure 5 (strong
+scaling), and Table I (sustained FLOP rates at 9,600 nodes), using the
+Cori-like machine model and the real Dtree scheduler.
+
+Run:  python examples/scaling_simulation.py   (about a minute)
+"""
+
+from repro.cluster import performance_run, strong_scaling, weak_scaling
+from repro.cluster.simulate import scaling_efficiency
+
+
+def print_components(results):
+    print("%8s %10s %10s %10s %8s %10s" % (
+        "nodes", "task proc", "img load", "imbalance", "other", "total"))
+    for r in results:
+        c = r.components
+        print("%8d %10.1f %10.1f %10.1f %8.2f %10.1f" % (
+            r.machine.n_nodes, c.task_processing, c.image_loading,
+            c.load_imbalance, c.other, r.wall_seconds))
+
+
+def main():
+    print("=== Figure 4: weak scaling (4 tasks/process, seconds) ===")
+    weak = weak_scaling([1, 8, 32, 128, 512, 2048, 8192])
+    print_components(weak)
+    growth = weak[-1].wall_seconds / weak[0].wall_seconds
+    print("runtime growth 1 -> 8192 nodes: %.2fx (paper: 1.9x)" % growth)
+
+    print("\n=== Figure 5: strong scaling (557,056 tasks, seconds) ===")
+    strong = strong_scaling([2048, 4096, 8192])
+    print_components(strong)
+    effs = scaling_efficiency(strong)
+    print("efficiency 2k->4k: %.0f%% (paper: 65%%); 2k->8k: %.0f%% (paper: 50%%)"
+          % (effs[1] * 100, effs[2] * 100))
+
+    print("\n=== Table I: sustained FLOP rate, 9600 nodes ===")
+    res, report = performance_run()
+    paper = {"task processing": 693.69, "+load imbalance": 413.19,
+             "+image loading": 211.94}
+    print("%-18s %12s %12s" % ("scope", "ours TFLOP/s", "paper"))
+    for k, v in report.as_table().items():
+        print("%-18s %12.1f %12.1f" % (k, v, paper[k]))
+    print("machine peak: %.2f PFLOP/s (paper peak observed: 1.54)" % (
+        res.machine.peak_flops() / 1e15))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Survey geometry: overlapping fields and non-uniform coverage (Figures 1, 3).
+
+Builds a multi-run synthetic survey and prints an ASCII coverage map — the
+number of images covering each patch of sky — plus the coverage histogram of
+the truth catalog.  Overlap between fields and runs is what forces Celeste
+to fuse multiple images per source (and what the heuristic baseline throws
+away).
+
+Run:  python examples/survey_layout.py
+"""
+
+import numpy as np
+
+from repro.survey import SurveyConfig, build_survey
+
+
+def main():
+    rng = np.random.default_rng(1)
+    config = SurveyConfig(field_width=80, field_height=60, fields_per_run=3,
+                          n_runs=2)
+    layout = build_survey(config, rng=rng, n_epochs=2)
+
+    print("fields: %d  images: %d  truth sources: %d" % (
+        len(layout.field_specs), len(layout.images), len(layout.truth)))
+    for spec in layout.field_specs:
+        x0, x1, y0, y1 = spec.bounds()
+        print("  run %4d field %d epoch %d: x [%5.1f, %5.1f) y [%5.1f, %5.1f)"
+              % (spec.run, spec.field, spec.epoch, x0, x1, y0, y1))
+
+    x_min, x_max, y_min, y_max = layout.sky_bounds()
+    nx, ny = 48, 14
+    print("\ncoverage map (images per sky patch):")
+    for iy in range(ny - 1, -1, -1):
+        row = ""
+        for ix in range(nx):
+            p = np.array([
+                x_min + (ix + 0.5) * (x_max - x_min) / nx,
+                y_min + (iy + 0.5) * (y_max - y_min) / ny,
+            ])
+            n = sum(im.contains_sky(p) for im in layout.images) // 5  # per band
+            row += str(min(n, 9))
+        print("  " + row)
+
+    counts = layout.coverage_counts()
+    print("\nimages covering each source: min %d, median %d, max %d" % (
+        counts.min(), int(np.median(counts)), counts.max()))
+    print("(real SDSS: 5 to 480 images per source — same non-uniformity, "
+          "smaller scale)")
+
+
+if __name__ == "__main__":
+    main()

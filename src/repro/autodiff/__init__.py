@@ -1,0 +1,59 @@
+"""Vectorized forward-mode automatic differentiation with sparse indices.
+
+Celeste computes exact gradients and Hessians of its variational objective,
+using custom index types so that each sub-expression only carries derivatives
+with respect to the parameters it actually touches (paper, Section V).  This
+package reproduces that design in NumPy:
+
+- :class:`~repro.autodiff.taylor.Taylor` carries a value array, a gradient
+  block over a *sparse set of global parameter indices*, and (optionally) an
+  exact dense Hessian block over the same indices.
+- Binary operations take the union of the two operands' index sets, so a
+  galaxy-profile density that depends only on position and shape parameters
+  never pays for derivatives with respect to flux or color parameters.
+- All arithmetic is vectorized over the value axes, so a single expression
+  evaluates the objective (and all derivatives) for every active pixel at
+  once — NumPy vectorization playing the role of Celeste's AVX-512 kernels.
+"""
+
+from repro.autodiff.taylor import (
+    Taylor,
+    constant,
+    expand_dims,
+    lift,
+    seed,
+    texp,
+    tlog,
+    tlog1p,
+    tsqrt,
+    tsquare,
+    tsin,
+    tcos,
+    tsum,
+)
+from repro.autodiff.check import (
+    finite_difference_gradient,
+    finite_difference_hessian,
+    check_gradient,
+    check_hessian,
+)
+
+__all__ = [
+    "Taylor",
+    "constant",
+    "expand_dims",
+    "lift",
+    "seed",
+    "texp",
+    "tlog",
+    "tlog1p",
+    "tsqrt",
+    "tsquare",
+    "tsin",
+    "tcos",
+    "tsum",
+    "finite_difference_gradient",
+    "finite_difference_hessian",
+    "check_gradient",
+    "check_hessian",
+]

@@ -1,0 +1,26 @@
+"""Alternative Bayesian inference baselines the paper positions against.
+
+Section II of the paper discusses two alternatives to variational inference:
+
+- **Laplace approximation** (as used by Tractor, "the only program for
+  Bayesian posterior inference applied to a complete modern astronomical
+  imaging survey"): a Gaussian centered at the posterior mode with the
+  inverse Hessian as covariance.  "This type of approximation is not
+  suitable for categorical random variables" — demonstrated here.
+- **MCMC**: asymptotically exact but "the computational work required to
+  draw enough samples makes it poorly suited to large-scale problems."
+
+Both are implemented against the same model/objective code as the VI
+engine, so the comparisons in ``benchmarks/bench_inference_methods.py``
+are apples-to-apples.
+"""
+
+from repro.baselines.laplace import LaplaceApproximation, laplace_approximation
+from repro.baselines.mcmc import MCMCResult, metropolis_hastings
+
+__all__ = [
+    "LaplaceApproximation",
+    "laplace_approximation",
+    "MCMCResult",
+    "metropolis_hastings",
+]

@@ -1,0 +1,116 @@
+"""Markov chain Monte Carlo: the asymptotically exact but slow baseline.
+
+"MCMC is the most common approach.  Unfortunately, the computational work
+required to draw enough samples makes it poorly suited to large-scale
+problems.  It is also difficult to determine when the Markov chain has
+mixed" (paper, Section II).  An adaptive random-walk Metropolis sampler over
+the same point-parameter posterior quantifies that trade-off: both its
+effective-sample rate and its (diagnosable but never certain) mixing are
+measured by the inference-methods benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["MCMCResult", "metropolis_hastings", "effective_sample_size"]
+
+
+@dataclass
+class MCMCResult:
+    """Posterior samples plus sampler diagnostics."""
+
+    samples: np.ndarray          # (n_samples, dim), post burn-in
+    acceptance_rate: float
+    n_log_prob_calls: int
+    step_scale: float
+
+    def mean(self) -> np.ndarray:
+        return self.samples.mean(axis=0)
+
+    def sd(self) -> np.ndarray:
+        return self.samples.std(axis=0)
+
+    def ess(self) -> np.ndarray:
+        """Effective sample size per dimension."""
+        return np.array([
+            effective_sample_size(self.samples[:, d])
+            for d in range(self.samples.shape[1])
+        ])
+
+
+def effective_sample_size(chain: np.ndarray, max_lag: int | None = None) -> float:
+    """ESS via the initial-positive-sequence autocorrelation estimator."""
+    chain = np.asarray(chain, dtype=float)
+    n = len(chain)
+    if n < 4:
+        return float(n)
+    x = chain - chain.mean()
+    var = float(x @ x) / n
+    if var <= 0:
+        return float(n)
+    if max_lag is None:
+        max_lag = min(n // 3, 1000)
+    tau = 1.0
+    for lag in range(1, max_lag):
+        rho = float(x[:-lag] @ x[lag:]) / ((n - lag) * var)
+        if rho <= 0.0:
+            break
+        tau += 2.0 * rho
+    return float(n / tau)
+
+
+def metropolis_hastings(
+    log_prob: Callable[[np.ndarray], float],
+    x0: np.ndarray,
+    n_samples: int = 2000,
+    burn_in: int = 500,
+    initial_scale: float = 0.05,
+    target_acceptance: float = 0.3,
+    adapt_window: int = 50,
+    rng: np.random.Generator | None = None,
+) -> MCMCResult:
+    """Adaptive random-walk Metropolis.
+
+    The proposal is an isotropic Gaussian whose scale adapts toward the
+    target acceptance rate during burn-in (Robbins-Monro), then freezes so
+    the post-burn-in chain is a valid Markov chain.
+    """
+    if rng is None:
+        rng = np.random.default_rng()
+    x = np.asarray(x0, dtype=float).copy()
+    lp = log_prob(x)
+    n_calls = 1
+    scale = float(initial_scale)
+    dim = x.size
+
+    samples = np.empty((n_samples, dim))
+    n_accept = 0
+    window_accept = 0
+
+    total = burn_in + n_samples
+    for it in range(total):
+        proposal = x + rng.normal(0.0, scale, dim)
+        lp_new = log_prob(proposal)
+        n_calls += 1
+        if np.log(rng.random()) < lp_new - lp:
+            x, lp = proposal, lp_new
+            window_accept += 1
+            if it >= burn_in:
+                n_accept += 1
+        if it < burn_in and (it + 1) % adapt_window == 0:
+            rate = window_accept / adapt_window
+            scale *= np.exp(0.6 * (rate - target_acceptance))
+            window_accept = 0
+        if it >= burn_in:
+            samples[it - burn_in] = x
+
+    return MCMCResult(
+        samples=samples,
+        acceptance_rate=n_accept / max(n_samples, 1),
+        n_log_prob_calls=n_calls,
+        step_scale=scale,
+    )

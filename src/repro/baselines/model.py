@@ -1,0 +1,169 @@
+"""Point-parameter log posterior for the baseline inference methods.
+
+Laplace approximation and MCMC both work on an ordinary log posterior over
+*point* parameters (no variational distributions): conditional on the source
+type, the unknowns are position, log reference-band flux, colors, and (for
+galaxies) the four shape parameters.  The Poisson likelihood and the priors
+are exactly the generative model's; the same Taylor engine supplies
+derivatives for the MAP optimization.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autodiff import Taylor, constant, lift, texp, tlog, tsum
+from repro.constants import GALAXY, NUM_COLORS, STAR
+from repro.core.elbo import SourceContext, _star_density, _galaxy_density
+from repro.core.fluxes import COLOR_COEFFS
+from repro.core.params import U_BOX_HALFWIDTH, TaylorParams
+from repro.gaussians import rotation_covariance_taylor
+from repro.transforms import LogitBox
+
+__all__ = ["PointParameterization", "point_log_posterior"]
+
+_BIJ_DEV = LogitBox(0.0, 1.0)
+_BIJ_AXIS = LogitBox(0.05, 1.0)
+_BIJ_SCALE = LogitBox(0.25, 30.0)
+
+
+class PointParameterization:
+    """Free-vector layout for point inference, conditional on a type.
+
+    Star: ``[ux, uy, log_r, c0..c3]`` (7).  Galaxy: + ``[dev, axis, angle,
+    scale]`` (11).  Position uses the same box transform as the VI engine.
+    """
+
+    def __init__(self, is_galaxy: bool):
+        self.is_galaxy = is_galaxy
+        self.size = 11 if is_galaxy else 7
+
+    def pack(self, u_center, position, log_flux, colors,
+             shape=None) -> np.ndarray:
+        ub = LogitBox(-U_BOX_HALFWIDTH, U_BOX_HALFWIDTH)
+        out = np.empty(self.size)
+        out[0:2] = ub.inverse_np(np.asarray(position) - np.asarray(u_center))
+        out[2] = log_flux
+        out[3:7] = colors
+        if self.is_galaxy:
+            frac_dev, axis, angle, scale = shape
+            out[7] = _BIJ_DEV.inverse_np(frac_dev)
+            out[8] = _BIJ_AXIS.inverse_np(axis)
+            out[9] = angle
+            out[10] = _BIJ_SCALE.inverse_np(scale)
+        return out
+
+    def unpack_np(self, theta: np.ndarray, u_center) -> dict:
+        ub = LogitBox(-U_BOX_HALFWIDTH, U_BOX_HALFWIDTH)
+        out = {
+            "position": np.asarray(u_center) + ub.forward_np(theta[0:2]),
+            "log_flux": float(theta[2]),
+            "colors": np.asarray(theta[3:7], dtype=float),
+        }
+        if self.is_galaxy:
+            out["shape"] = (
+                float(_BIJ_DEV.forward_np(theta[7])),
+                float(_BIJ_AXIS.forward_np(theta[8])),
+                float(theta[9]),
+                float(_BIJ_SCALE.forward_np(theta[10])),
+            )
+        return out
+
+
+def point_log_posterior(
+    ctx: SourceContext,
+    is_galaxy: bool,
+    theta: np.ndarray,
+    order: int = 2,
+) -> Taylor:
+    """Log posterior (up to a constant) of point parameters given the type.
+
+    Poisson pixel likelihood with deterministic band fluxes
+    ``log f_b = log r + w_b . c``, plus the log-normal flux prior and the
+    Gaussian-mixture color prior evaluated exactly (log-sum-exp over
+    components).
+    """
+    theta = np.asarray(theta, dtype=float)
+    p = PointParameterization(is_galaxy)
+    var = lambda i: Taylor.variable(theta[i], i, order=order)  # noqa: E731
+
+    ub = LogitBox(-U_BOX_HALFWIDTH, U_BOX_HALFWIDTH)
+    ux = ub.forward_taylor(var(0)) + float(ctx.u_center[0])
+    uy = ub.forward_taylor(var(1)) + float(ctx.u_center[1])
+    log_r = var(2)
+    colors = [var(3 + i) for i in range(NUM_COLORS)]
+
+    shape_cov = None
+    params = None
+    if is_galaxy:
+        e_dev = _BIJ_DEV.forward_taylor(var(7))
+        e_axis = _BIJ_AXIS.forward_taylor(var(8))
+        e_angle = var(9)
+        e_scale = _BIJ_SCALE.forward_taylor(var(10))
+        shape_cov = rotation_covariance_taylor(e_axis, e_angle, e_scale)
+        params = TaylorParams(
+            lift(1.0), ux, uy, [log_r, log_r], [lift(0.0)] * 2,
+            [colors, colors], [[lift(0.0)] * 4] * 2,
+            e_dev, e_axis, e_angle, e_scale, None,
+        )
+
+    total = lift(0.0)
+    for patch in ctx.patches:
+        coeff = COLOR_COEFFS[patch.band]
+        log_fb = lift(log_r)
+        for i in range(NUM_COLORS):
+            if coeff[i] != 0.0:
+                log_fb = log_fb + coeff[i] * colors[i]
+        flux = texp(log_fb)
+
+        # Positions are in sky coordinates; map through the WCS.
+        px_t, py_t = patch.wcs.sky_to_pix_taylor(ux, uy)
+        dx = constant(patch.px) - px_t
+        dy = constant(patch.py) - py_t
+        if is_galaxy:
+            dens = _galaxy_density(patch, dx, dy, params, shape_cov)
+        else:
+            dens = _star_density(patch, dx, dy)
+        rate = constant(patch.background) + (patch.calibration * flux) * dens
+        total = total + tsum(constant(patch.counts) * tlog(rate) - rate)
+    ctx.counters.add("active_pixel_visits", float(ctx.n_active_pixels))
+
+    # Priors: log-normal flux (Gaussian on log r) ...
+    ty = GALAXY if is_galaxy else STAR
+    m0 = float(ctx.priors.r_loc[ty])
+    v0 = float(ctx.priors.r_var[ty])
+    diff = log_r - m0
+    total = total - 0.5 * ((diff * diff) / v0 + float(np.log(2 * np.pi * v0)))
+
+    # ... and the exact mixture color prior via a numerically-stable
+    # log-sum-exp (component weights are constants).
+    comp_terms = []
+    for d in range(ctx.priors.k_weights.shape[0]):
+        w = float(ctx.priors.k_weights[d, ty])
+        quad = lift(float(np.log(w)))
+        for i in range(NUM_COLORS):
+            mu = float(ctx.priors.c_mean[i, d, ty])
+            vv = float(ctx.priors.c_var[i, d, ty])
+            di = colors[i] - mu
+            quad = quad - 0.5 * ((di * di) / vv + float(np.log(2 * np.pi * vv)))
+        comp_terms.append(quad)
+    pivot = max(float(t.val) for t in comp_terms)
+    acc = lift(0.0)
+    for t in comp_terms:
+        acc = acc + texp(t - pivot)
+    total = total + tlog(acc) + pivot
+
+    # Position and shape carry uniform priors on their *constrained* ranges;
+    # in the free (logit) space that contributes the bijection log-Jacobian.
+    # Without it the free-space posterior is improper along weakly
+    # identified directions and Laplace evidence rewards — rather than
+    # penalizes — the galaxy hypothesis's extra parameters.
+    for idx in ([0, 1, 7, 8, 10] if is_galaxy else [0, 1]):
+        s = (1.0 + texp(-1.0 * var(idx))).reciprocal()
+        total = total + tlog(s) + tlog(1.0 - s)
+    if is_galaxy:
+        # Weak proper prior on the (periodic, sometimes-flat) angle.
+        ang = var(9)
+        total = total - 0.5 * (ang * ang) / (np.pi ** 2)
+    _ = p
+    return total

@@ -1,0 +1,34 @@
+"""Cori-scale cluster simulation.
+
+The paper's scaling experiments ran on up to 9,568 Cori Phase II nodes
+(Section VI-A).  This package simulates that machine: a discrete-event model
+of processes drawing tasks from the (real) Dtree scheduler, executing them
+with durations from a calibrated workload model, loading images through a
+Burst-Buffer bandwidth model, and accounting wall time into the paper's four
+components — task processing, image loading, load imbalance, and other
+(Section VII).  The scheduler object is the actual :class:`repro.sched.Dtree`
+implementation, not a stand-in.
+"""
+
+from repro.cluster.machine import MachineConfig
+from repro.cluster.workload import WorkloadConfig, sample_workload
+from repro.cluster.simulate import (
+    ComponentBreakdown,
+    SimResult,
+    simulate_run,
+    weak_scaling,
+    strong_scaling,
+    performance_run,
+)
+
+__all__ = [
+    "MachineConfig",
+    "WorkloadConfig",
+    "sample_workload",
+    "ComponentBreakdown",
+    "SimResult",
+    "simulate_run",
+    "weak_scaling",
+    "strong_scaling",
+    "performance_run",
+]

@@ -1,0 +1,59 @@
+"""Physical and accounting constants shared across the Celeste reproduction.
+
+The FLOP-accounting constants come directly from the paper (Section VI-B):
+each *active pixel visit* — one evaluation of a single source's contribution
+to one pixel's Poisson rate, together with its gradient and Hessian —
+performs 32,317 double-precision FLOPs, as measured by the authors with the
+Intel Software Development Emulator.  FLOPs outside the objective function
+(trust-region eigendecompositions, Cholesky factorizations, ...) scale the
+total by a further 1.375x.
+"""
+
+from __future__ import annotations
+
+# --- SDSS photometric bands -------------------------------------------------
+#: Band names in SDSS order (ultraviolet through near infrared).
+BANDS: tuple[str, ...] = ("u", "g", "r", "i", "z")
+#: Number of photometric bands.
+NUM_BANDS: int = len(BANDS)
+#: Index of the reference band (r) whose brightness is modeled directly.
+REFERENCE_BAND: int = 2
+#: Number of colors (log flux ratios between adjacent bands).
+NUM_COLORS: int = NUM_BANDS - 1
+
+# --- Source types ------------------------------------------------------------
+#: Index of the "star" hypothesis in type-indexed arrays.
+STAR: int = 0
+#: Index of the "galaxy" hypothesis in type-indexed arrays.
+GALAXY: int = 1
+#: Number of source types (star, galaxy).
+NUM_TYPES: int = 2
+
+#: Number of components in the Gaussian-mixture color prior (Celeste used 8;
+#: with 2 types this contributes the k[8,2] block of the 44-parameter layout).
+NUM_COLOR_COMPONENTS: int = 8
+
+# --- FLOP accounting (paper Section VI-B) ------------------------------------
+#: Double-precision FLOPs performed per active pixel visit (SDE-measured).
+FLOPS_PER_ACTIVE_PIXEL_VISIT: int = 32_317
+#: Multiplier accounting for FLOPs outside the objective function.
+FLOP_OVERHEAD_FACTOR: float = 1.375
+
+# --- Machine model defaults (Cori Phase II, paper Section VI-A) ---------------
+#: Cores per Cori Phase II node (Intel Xeon Phi 7250).
+CORES_PER_NODE: int = 68
+#: Processes per node in the empirically best configuration (Section VII-B).
+PROCESSES_PER_NODE: int = 17
+#: Threads per process in the empirically best configuration (Section VII-B).
+THREADS_PER_PROCESS: int = 8
+#: Burst Buffer aggregate peak bandwidth, bytes/second (1.7 TB/s).
+BURST_BUFFER_BANDWIDTH: float = 1.7e12
+#: Lustre aggregate bandwidth, bytes/second (700 GB/s).
+LUSTRE_BANDWIDTH: float = 7.0e11
+#: Size of one SDSS field file in bytes (the paper's "12 MB image files").
+FIELD_FILE_BYTES: int = 12 * 1024 * 1024
+
+# --- Parameter-vector layout sizes -------------------------------------------
+#: Constrained parameters per source: a[2] + u[2] + r1[2] + r2[2] + c1[4,2]
+#: + c2[4,2] + e_dev + e_axis + e_angle + e_scale + k[8,2] = 44 (paper, §IV).
+NUM_CANONICAL_PARAMS: int = 44

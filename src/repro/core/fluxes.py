@@ -1,0 +1,82 @@
+"""Band-flux moments under the variational distribution.
+
+The model specifies the flux of source ``s`` in band ``b`` through the
+reference-band brightness and the colors (log flux ratios of adjacent
+bands):
+
+.. math::
+
+    \\log f_b = \\tilde r + w_b^\\top c, \\qquad \\tilde r = \\log r,
+
+where ``w_b`` is a fixed sign pattern (``COLOR_COEFFS``).  Under the
+variational posterior, ``log r ~ N(r1, r2)`` and each color is an
+independent Gaussian ``N(c1_i, c2_i)``, so ``log f_b`` is Gaussian with mean
+``r1 + w_b . c1`` and variance ``r2 + (w_b^2) . c2`` and the flux moments are
+log-normal moments — everything stays analytic, which is what makes the
+Celeste ELBO tractable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autodiff import Taylor, texp, lift
+from repro.constants import NUM_BANDS, NUM_COLORS, REFERENCE_BAND
+
+__all__ = ["COLOR_COEFFS", "flux_moments", "flux_from_colors", "colors_from_fluxes"]
+
+
+def _build_color_coeffs() -> np.ndarray:
+    """Sign pattern relating band log-fluxes to the reference band and colors.
+
+    Color ``i`` is ``log(f_{i+1} / f_i)``.  Walking from the reference band
+    outwards: bands above the reference add colors, bands below subtract.
+    """
+    coeffs = np.zeros((NUM_BANDS, NUM_COLORS))
+    for b in range(REFERENCE_BAND + 1, NUM_BANDS):
+        coeffs[b] = coeffs[b - 1]
+        coeffs[b, b - 1] += 1.0
+    for b in range(REFERENCE_BAND - 1, -1, -1):
+        coeffs[b] = coeffs[b + 1]
+        coeffs[b, b] -= 1.0
+    return coeffs
+
+
+#: ``COLOR_COEFFS[b]`` is the coefficient vector w_b over the 4 colors.
+COLOR_COEFFS: np.ndarray = _build_color_coeffs()
+
+
+def flux_moments(r1, r2, c1: list, c2: list, band: int) -> tuple[Taylor, Taylor]:
+    """First and second moments of the band flux under q (Taylor path).
+
+    Parameters are Taylor scalars: ``r1``/``r2`` the mean/variance of the log
+    reference-band flux; ``c1``/``c2`` lists of per-color means/variances.
+
+    Returns ``(E[f_b], E[f_b^2])``.
+    """
+    coeff = COLOR_COEFFS[band]
+    m = lift(r1)
+    v = lift(r2)
+    for i in range(NUM_COLORS):
+        w = coeff[i]
+        if w != 0.0:
+            m = m + w * lift(c1[i])
+            v = v + (w * w) * lift(c2[i])
+    first = texp(m + 0.5 * v)
+    second = texp(2.0 * m + 2.0 * v)
+    return first, second
+
+
+def flux_from_colors(flux_ref: float, colors: np.ndarray) -> np.ndarray:
+    """Deterministic band fluxes from a reference flux and colors (NumPy
+    path, used by the renderer and catalog code)."""
+    colors = np.asarray(colors, dtype=float)
+    log_ref = np.log(flux_ref)
+    return np.exp(log_ref + COLOR_COEFFS @ colors)
+
+
+def colors_from_fluxes(fluxes: np.ndarray) -> np.ndarray:
+    """Invert :func:`flux_from_colors`: colors are log ratios of adjacent
+    band fluxes."""
+    fluxes = np.maximum(np.asarray(fluxes, dtype=float), 1e-12)
+    return np.log(fluxes[1:] / fluxes[:-1])

@@ -1,0 +1,74 @@
+"""Newton's method with a trust region, for nonconvex minimization.
+
+The driver used for every light source (paper Section IV-D): exact Hessians
+from the AD engine, step control by :func:`solve_trust_region`, standard
+accept/expand/shrink logic on the predicted-vs-actual decrease ratio
+(Nocedal & Wright Algorithm 4.1).  Converges in tens of iterations on the
+ELBO where first-order methods need hundreds to thousands.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.optim.result import OptimResult
+from repro.optim.trust_region import solve_trust_region
+
+__all__ = ["newton_trust_region"]
+
+
+def newton_trust_region(
+    fgh: Callable[[np.ndarray], tuple[float, np.ndarray, np.ndarray]],
+    x0: np.ndarray,
+    grad_tol: float = 1e-6,
+    max_iter: int = 60,
+    initial_radius: float = 1.0,
+    max_radius: float = 16.0,
+    min_radius: float = 1e-10,
+    eta_accept: float = 0.1,
+    eta_expand: float = 0.75,
+) -> OptimResult:
+    """Minimize a smooth nonconvex function with exact second order info.
+
+    Parameters
+    ----------
+    fgh:
+        Callable returning ``(value, gradient, hessian)`` at a point.
+    grad_tol:
+        Convergence threshold on the infinity norm of the gradient.
+    """
+    x = np.asarray(x0, dtype=float).copy()
+    f, g, h = fgh(x)
+    n_eval = 1
+    radius = float(initial_radius)
+
+    for it in range(max_iter):
+        gnorm = float(np.linalg.norm(g, ord=np.inf))
+        if gnorm < grad_tol:
+            return OptimResult(x, f, g, it, n_eval, True, "gradient tolerance met")
+        if radius < min_radius:
+            return OptimResult(x, f, g, it, n_eval, False, "trust region collapsed")
+
+        step, predicted = solve_trust_region(g, h, radius)
+        if predicted <= 0.0 or not np.all(np.isfinite(step)):
+            radius *= 0.25
+            continue
+
+        x_new = x + step
+        f_new, g_new, h_new = fgh(x_new)
+        n_eval += 1
+        if not np.isfinite(f_new):
+            radius *= 0.25
+            continue
+
+        rho = (f - f_new) / predicted
+        if rho >= eta_accept:
+            x, f, g, h = x_new, f_new, g_new, h_new
+            if rho >= eta_expand and np.linalg.norm(step) >= 0.9 * radius:
+                radius = min(radius * 2.0, max_radius)
+        else:
+            radius *= 0.25
+
+    return OptimResult(x, f, g, max_iter, n_eval, False, "iteration limit")

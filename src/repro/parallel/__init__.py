@@ -1,0 +1,22 @@
+"""Thread-level parallelism: Cyclades conflict-free block coordinate ascent.
+
+Within a task's region, threads jointly optimize light sources using the
+Cyclades approach (paper Section IV-D): build a conflict graph over
+overlapping sources, sample a batch without replacement, split the sampled
+subgraph into connected components, and give each component to one thread —
+so no two conflicting sources are ever optimized concurrently, and block
+coordinate ascent remains exactly serializable.
+"""
+
+from repro.parallel.conflict import ConflictGraph, build_conflict_graph
+from repro.parallel.cyclades import CycladesBatch, cyclades_batches
+from repro.parallel.executor import ParallelRegionConfig, optimize_region_parallel
+
+__all__ = [
+    "ConflictGraph",
+    "build_conflict_graph",
+    "CycladesBatch",
+    "cyclades_batches",
+    "ParallelRegionConfig",
+    "optimize_region_parallel",
+]

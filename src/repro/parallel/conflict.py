@@ -1,0 +1,98 @@
+"""Conflict graphs over light sources.
+
+"Nodes are light sources and edges indicate a conflict.  Light sources are
+in conflict if they overlap" (paper, Section IV-D).  Overlap is judged by
+patch radii: two sources conflict when their active-pixel patches can share
+pixels, which is exactly the condition under which concurrent updates would
+race on the shared model-image state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ConflictGraph", "build_conflict_graph", "UnionFind"]
+
+
+class UnionFind:
+    """Path-compressed union-find (used for connected components)."""
+
+    def __init__(self, n: int):
+        self.parent = list(range(n))
+        self.rank = [0] * n
+
+    def find(self, x: int) -> int:
+        root = x
+        while self.parent[root] != root:
+            root = self.parent[root]
+        while self.parent[x] != root:
+            self.parent[x], x = root, self.parent[x]
+        return root
+
+    def union(self, a: int, b: int) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return
+        if self.rank[ra] < self.rank[rb]:
+            ra, rb = rb, ra
+        self.parent[rb] = ra
+        if self.rank[ra] == self.rank[rb]:
+            self.rank[ra] += 1
+
+
+@dataclass
+class ConflictGraph:
+    """Adjacency over source indices."""
+
+    n: int
+    adjacency: list[set]
+
+    def conflicts(self, i: int, j: int) -> bool:
+        return j in self.adjacency[i]
+
+    @property
+    def n_edges(self) -> int:
+        return sum(len(a) for a in self.adjacency) // 2
+
+    def degree(self, i: int) -> int:
+        return len(self.adjacency[i])
+
+    def connected_components(self, subset=None) -> list[list[int]]:
+        """Connected components of the graph restricted to ``subset``
+        (all nodes by default)."""
+        nodes = list(range(self.n)) if subset is None else list(subset)
+        index = {node: k for k, node in enumerate(nodes)}
+        uf = UnionFind(len(nodes))
+        node_set = set(nodes)
+        for node in nodes:
+            for other in self.adjacency[node]:
+                if other in node_set and other > node:
+                    uf.union(index[node], index[other])
+        groups: dict[int, list[int]] = {}
+        for node in nodes:
+            groups.setdefault(uf.find(index[node]), []).append(node)
+        return list(groups.values())
+
+
+def build_conflict_graph(positions: np.ndarray, radii) -> ConflictGraph:
+    """Build the conflict graph: sources conflict when their patch circles
+    intersect (``dist < r_i + r_j``)."""
+    positions = np.asarray(positions, dtype=float)
+    n = len(positions)
+    radii = np.broadcast_to(np.asarray(radii, dtype=float), (n,))
+    adjacency = [set() for _ in range(n)]
+    if n > 1:
+        from scipy.spatial import cKDTree
+
+        tree = cKDTree(positions)
+        r_max = float(radii.max())
+        for i in range(n):
+            for j in tree.query_ball_point(positions[i], radii[i] + r_max):
+                if j == i:
+                    continue
+                if np.linalg.norm(positions[i] - positions[j]) < radii[i] + radii[j]:
+                    adjacency[i].add(int(j))
+                    adjacency[int(j)].add(i)
+    return ConflictGraph(n=n, adjacency=adjacency)

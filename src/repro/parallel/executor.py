@@ -1,0 +1,84 @@
+"""Threaded execution of conflict-free region optimization.
+
+Drives :class:`repro.core.joint.RegionOptimizer` with real Python threads:
+each Cyclades batch runs its thread assignments concurrently (the heavy
+NumPy kernels release the GIL), with a barrier between batches.  Because
+batches are conflict-free, the result is equivalent to some serial block
+coordinate ascent order — which is tested, not assumed.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.catalog import CatalogEntry
+from repro.core.joint import JointConfig, RegionOptimizer, RegionResult
+from repro.core.priors import Priors
+from repro.parallel.conflict import build_conflict_graph
+from repro.parallel.cyclades import cyclades_batches
+from repro.perf.counters import Counters
+from repro.survey.image import Image
+from repro.survey.render import source_radius
+
+__all__ = ["ParallelRegionConfig", "optimize_region_parallel"]
+
+
+@dataclass
+class ParallelRegionConfig:
+    """Knobs for Cyclades-parallel region optimization."""
+
+    n_threads: int = 4
+    n_passes: int = 2
+    joint: JointConfig = field(default_factory=JointConfig)
+    batch_size: int | None = None
+    seed: int = 0
+
+
+def optimize_region_parallel(
+    images: list[Image],
+    entries: list[CatalogEntry],
+    priors: Priors,
+    config: ParallelRegionConfig | None = None,
+    counters: Counters | None = None,
+) -> RegionResult:
+    """Jointly optimize a region's sources with Cyclades-scheduled threads."""
+    if config is None:
+        config = ParallelRegionConfig()
+    opt = RegionOptimizer(images, entries, priors, config.joint, counters)
+
+    # Conflict radii: the patch radius each source uses on the widest PSF.
+    worst_psf = max((im.meta.psf for im in images),
+                    key=lambda p: float(np.trace(p.second_moment())))
+    radii = np.array([source_radius(e, worst_psf) for e in entries])
+    graph = build_conflict_graph(
+        np.stack([e.position for e in entries]) if entries else np.zeros((0, 2)),
+        radii,
+    )
+    rng = np.random.default_rng(config.seed)
+
+    with ThreadPoolExecutor(max_workers=config.n_threads) as pool:
+        for _ in range(config.n_passes):
+            for batch in cyclades_batches(
+                graph, config.n_threads, config.batch_size, rng=rng
+            ):
+                futures = [
+                    pool.submit(_run_assignment, opt, assignment)
+                    for assignment in batch.thread_assignments
+                    if assignment
+                ]
+                for f in futures:
+                    f.result()  # barrier; re-raise worker exceptions
+
+    return RegionResult(
+        catalog=opt.catalog(),
+        results=list(opt.results),
+        elbo_total=opt.total_elbo(),
+    )
+
+
+def _run_assignment(opt: RegionOptimizer, assignment: list[int]) -> None:
+    for s in assignment:
+        opt.update_source(s)

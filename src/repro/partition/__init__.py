@@ -1,0 +1,20 @@
+"""Task decomposition: partitioning the sky into equal-work regions.
+
+The paper's preprocessing step (Section IV-A): the sky is recursively
+partitioned into regions expected to contain roughly the same number of
+bright pixels (a proxy for optimization work), using an existing catalog —
+no pixel data is touched.  A second, shifted partition handles sources near
+region borders (two-stage optimization).
+"""
+
+from repro.partition.regions import Region, partition_sky, bright_pixel_weight
+from repro.partition.tasks import Task, generate_tasks, shifted_partition
+
+__all__ = [
+    "Region",
+    "partition_sky",
+    "bright_pixel_weight",
+    "Task",
+    "generate_tasks",
+    "shifted_partition",
+]

@@ -1,0 +1,111 @@
+"""Recursive equal-work partitioning of the sky."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.catalog import Catalog, CatalogEntry
+
+__all__ = ["Region", "bright_pixel_weight", "partition_sky"]
+
+
+@dataclass(frozen=True)
+class Region:
+    """An axis-aligned sky rectangle (half-open on the upper edges)."""
+
+    x_min: float
+    x_max: float
+    y_min: float
+    y_max: float
+
+    @property
+    def width(self) -> float:
+        return self.x_max - self.x_min
+
+    @property
+    def height(self) -> float:
+        return self.y_max - self.y_min
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    def contains(self, position: np.ndarray) -> bool:
+        x, y = position
+        return self.x_min <= x < self.x_max and self.y_min <= y < self.y_max
+
+    def split(self) -> tuple["Region", "Region"]:
+        """Bisect along the longer axis."""
+        if self.width >= self.height:
+            mid = 0.5 * (self.x_min + self.x_max)
+            return (
+                Region(self.x_min, mid, self.y_min, self.y_max),
+                Region(mid, self.x_max, self.y_min, self.y_max),
+            )
+        mid = 0.5 * (self.y_min + self.y_max)
+        return (
+            Region(self.x_min, self.x_max, self.y_min, mid),
+            Region(self.x_min, self.x_max, mid, self.y_max),
+        )
+
+    def shifted(self, dx: float, dy: float) -> "Region":
+        return Region(self.x_min + dx, self.x_max + dx,
+                      self.y_min + dy, self.y_max + dy)
+
+
+def bright_pixel_weight(entry: CatalogEntry) -> float:
+    """Expected number of bright pixels contributed by a catalog entry.
+
+    "Bright pixels correlate with the amount of processing that will
+    subsequently be needed" (paper, Section IV-A).  A source's footprint
+    grows with its flux (more pixels above threshold) and, for galaxies,
+    with its angular size.
+    """
+    base = np.log1p(entry.flux_r) ** 2  # area above threshold ~ log^2 flux
+    if entry.is_galaxy:
+        base *= 1.0 + 0.5 * entry.gal_radius_px
+    return float(max(base, 0.25))
+
+
+def partition_sky(
+    catalog: Catalog,
+    bounds: Region,
+    target_weight: float,
+    min_size: float = 8.0,
+) -> list[Region]:
+    """Recursively bisect ``bounds`` until each region's expected bright-pixel
+    weight falls below ``target_weight``.
+
+    Regions are split along their longer axis; a region smaller than
+    ``min_size`` in both dimensions is never split further (a single
+    crowded region must remain one task — its sources need joint
+    optimization).  Returns the leaf regions; their union is ``bounds`` and
+    they are pairwise disjoint.
+    """
+    if target_weight <= 0:
+        raise ValueError("target_weight must be positive")
+    positions = catalog.positions()
+    weights = np.array([bright_pixel_weight(e) for e in catalog])
+
+    out: list[Region] = []
+    stack = [bounds]
+    while stack:
+        region = stack.pop()
+        if len(positions):
+            mask = (
+                (positions[:, 0] >= region.x_min)
+                & (positions[:, 0] < region.x_max)
+                & (positions[:, 1] >= region.y_min)
+                & (positions[:, 1] < region.y_max)
+            )
+            w = float(weights[mask].sum())
+        else:
+            w = 0.0
+        splittable = region.width > min_size or region.height > min_size
+        if w > target_weight and splittable:
+            stack.extend(region.split())
+        else:
+            out.append(region)
+    return out

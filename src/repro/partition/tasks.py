@@ -1,0 +1,125 @@
+"""Task descriptions and the two-stage shifted partitioning."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.catalog import Catalog, CatalogEntry
+from repro.partition.regions import Region, bright_pixel_weight, partition_sky
+
+__all__ = ["Task", "generate_tasks", "shifted_partition"]
+
+
+@dataclass
+class Task:
+    """One node-level unit of work: jointly optimize the sources of a region.
+
+    Carries everything the paper says a task description carries (Section
+    IV-A): the region, the light sources to optimize, and their initial
+    parameters (the catalog entries themselves), plus bookkeeping used by the
+    scheduler and the cluster simulator.
+    """
+
+    task_id: int
+    stage: int
+    region: Region
+    source_indices: list[int]
+    entries: list[CatalogEntry] = field(default_factory=list)
+
+    @property
+    def n_sources(self) -> int:
+        return len(self.source_indices)
+
+    def weight(self) -> float:
+        """Expected work (bright-pixel proxy)."""
+        return float(sum(bright_pixel_weight(e) for e in self.entries))
+
+
+def _tasks_for_partition(
+    catalog: Catalog, regions: list[Region], stage: int, start_id: int
+) -> list[Task]:
+    positions = catalog.positions()
+    tasks = []
+    tid = start_id
+    for region in regions:
+        if len(positions):
+            mask = (
+                (positions[:, 0] >= region.x_min)
+                & (positions[:, 0] < region.x_max)
+                & (positions[:, 1] >= region.y_min)
+                & (positions[:, 1] < region.y_max)
+            )
+            idxs = list(np.nonzero(mask)[0])
+        else:
+            idxs = []
+        if not idxs:
+            continue  # empty sky costs nothing; no task needed
+        tasks.append(Task(
+            task_id=tid,
+            stage=stage,
+            region=region,
+            source_indices=[int(i) for i in idxs],
+            entries=[catalog[int(i)] for i in idxs],
+        ))
+        tid += 1
+    return tasks
+
+
+def shifted_partition(regions: list[Region], bounds: Region) -> list[Region]:
+    """The second-stage partition: every region shifted by half its typical
+    size, clipped to the survey bounds.
+
+    "Light sources near a border in the first partition will almost always
+    be away from a border in the second partition" (Section IV-A).
+    """
+    if not regions:
+        return []
+    dx = 0.5 * float(np.median([r.width for r in regions]))
+    dy = 0.5 * float(np.median([r.height for r in regions]))
+    # Shifting a partition of `bounds` yields a partition of the shifted
+    # bounds; clipping to `bounds` keeps the pieces disjoint and leaves
+    # exactly two uncovered strips along the low edges, which become their
+    # own regions.  Stage-1 regions therefore tile the sky with no overlap —
+    # no source is ever owned by two concurrent tasks.
+    out = []
+    for r in regions:
+        s = r.shifted(dx, dy)
+        clipped = Region(
+            max(s.x_min, bounds.x_min), min(s.x_max, bounds.x_max),
+            max(s.y_min, bounds.y_min), min(s.y_max, bounds.y_max),
+        )
+        if clipped.width > 0 and clipped.height > 0:
+            out.append(clipped)
+    bottom = Region(bounds.x_min, bounds.x_max, bounds.y_min,
+                    min(bounds.y_min + dy, bounds.y_max))
+    left = Region(bounds.x_min, min(bounds.x_min + dx, bounds.x_max),
+                  bottom.y_max, bounds.y_max)
+    for strip in (bottom, left):
+        if strip.width > 0 and strip.height > 0:
+            out.append(strip)
+    return out
+
+
+def generate_tasks(
+    catalog: Catalog,
+    bounds: Region,
+    target_weight: float,
+    two_stage: bool = True,
+) -> list[Task]:
+    """Preprocessing: produce the full task list for a survey region.
+
+    Stage-0 tasks partition the sky into equal-work regions; stage-1 tasks
+    (when ``two_stage``) re-cover the sky with shifted regions so border
+    sources get a pass away from any border.  Stage-1 tasks must only run
+    after every stage-0 task completed (enforced by the scheduler).
+    """
+    regions = partition_sky(catalog, bounds, target_weight)
+    tasks = _tasks_for_partition(catalog, regions, stage=0, start_id=0)
+    if two_stage:
+        shifted = shifted_partition(regions, bounds)
+        tasks.extend(_tasks_for_partition(
+            catalog, shifted, stage=1, start_id=len(tasks)
+        ))
+    return tasks

@@ -1,0 +1,22 @@
+"""Performance measurement: counters, FLOP accounting, and reports.
+
+Reproduces the paper's measurement methodology (Section VI-B): FLOPs are
+derived from *active pixel visits* — each visit performs 32,317 DP FLOPs (an
+SDE-measured constant), and work outside the objective function scales the
+total by 1.375x.
+"""
+
+from repro.perf.counters import Counters, GLOBAL_COUNTERS, counting
+from repro.perf.flops import flops_from_visits, flop_rate, FlopReport
+from repro.perf.report import thread_runtime_breakdown, RuntimeBreakdown
+
+__all__ = [
+    "Counters",
+    "GLOBAL_COUNTERS",
+    "counting",
+    "flops_from_visits",
+    "flop_rate",
+    "FlopReport",
+    "thread_runtime_breakdown",
+    "RuntimeBreakdown",
+]

@@ -1,0 +1,62 @@
+"""Instrumentation counters.
+
+A tiny registry of named counters incremented by the inference code:
+``active_pixel_visits`` (the paper's FLOP-accounting unit), Newton
+iterations, objective evaluations, RMA get/put operations, and bytes loaded.
+Thread-safe, since Cyclades runs source updates concurrently.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import defaultdict
+from contextlib import contextmanager
+
+__all__ = ["Counters", "GLOBAL_COUNTERS", "counting"]
+
+
+class Counters:
+    """A concurrent bag of named integer counters."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._values: dict[str, float] = defaultdict(float)
+
+    def add(self, name: str, amount: float = 1.0) -> None:
+        with self._lock:
+            self._values[name] += amount
+
+    def get(self, name: str) -> float:
+        with self._lock:
+            return self._values.get(name, 0.0)
+
+    def snapshot(self) -> dict[str, float]:
+        with self._lock:
+            return dict(self._values)
+
+    def reset(self, name: str | None = None) -> None:
+        with self._lock:
+            if name is None:
+                self._values.clear()
+            else:
+                self._values.pop(name, None)
+
+    def __repr__(self):
+        return "Counters(%r)" % (self.snapshot(),)
+
+
+#: Process-wide counters used by the inference engine by default.
+GLOBAL_COUNTERS = Counters()
+
+
+@contextmanager
+def counting(counters: Counters | None = None):
+    """Context manager yielding a fresh counter bag and merging it into the
+    global registry on exit (so nested scopes can be measured separately)."""
+    local = counters if counters is not None else Counters()
+    try:
+        yield local
+    finally:
+        if local is not GLOBAL_COUNTERS:
+            for name, value in local.snapshot().items():
+                GLOBAL_COUNTERS.add(name, value)

@@ -1,0 +1,60 @@
+"""Per-thread runtime breakdown reports (paper Section VII-A).
+
+The paper profiles each thread's runtime into categories (Julia-generated
+code 67%, native dependencies 18%, system math library 10%, MKL 3%, libc +
+kernel 2%) and reports the fraction of FLOPs issued on vector registers.
+Our analogue: time spent in vectorized NumPy kernels vs. Python-level
+orchestration vs. I/O, measured with real timers around the corresponding
+code regions.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+__all__ = ["RuntimeBreakdown", "thread_runtime_breakdown"]
+
+
+@dataclass
+class RuntimeBreakdown:
+    """Accumulated seconds per category for one worker thread."""
+
+    seconds: dict[str, float] = field(default_factory=dict)
+
+    @contextmanager
+    def region(self, name: str):
+        """Time a code region under a category name."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.seconds[name] = self.seconds.get(name, 0.0) + (
+                time.perf_counter() - start
+            )
+
+    def add(self, name: str, secs: float) -> None:
+        self.seconds[name] = self.seconds.get(name, 0.0) + secs
+
+    def total(self) -> float:
+        return sum(self.seconds.values())
+
+    def fractions(self) -> dict[str, float]:
+        """Category fractions of total time (the paper's percentages)."""
+        total = self.total()
+        if total <= 0:
+            return {k: 0.0 for k in self.seconds}
+        return {k: v / total for k, v in self.seconds.items()}
+
+    def merge(self, other: "RuntimeBreakdown") -> None:
+        for k, v in other.seconds.items():
+            self.add(k, v)
+
+
+def thread_runtime_breakdown(breakdowns: list[RuntimeBreakdown]) -> RuntimeBreakdown:
+    """Aggregate per-thread breakdowns into one report."""
+    out = RuntimeBreakdown()
+    for b in breakdowns:
+        out.merge(b)
+    return out

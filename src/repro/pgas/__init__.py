@@ -1,0 +1,19 @@
+"""Partitioned global address space (PGAS) shared state.
+
+"During the optimization procedure, the current parameters for all celestial
+bodies are stored in a partitioned global address space.  Our interface
+mimics that of the Global Arrays Toolkit.  We use MPI-3 as the transport
+layer; get and put operations on elements make use of one-sided RMA
+operations" (paper, Section IV-C).
+
+This package reproduces that interface: a :class:`GlobalArray` partitioned
+across ranks with one-sided ``get``/``put`` element operations, over
+pluggable transports — an in-process transport for real runs, and a
+cost-recording transport that feeds the cluster simulator's communication
+model.
+"""
+
+from repro.pgas.transport import LocalTransport, RecordingTransport, RMAStats
+from repro.pgas.global_array import GlobalArray
+
+__all__ = ["GlobalArray", "LocalTransport", "RecordingTransport", "RMAStats"]

@@ -1,0 +1,30 @@
+"""The "Photo"-style heuristic pipeline: the paper's baseline.
+
+Photo (Lupton et al.) is "a carefully hand-tuned heuristic" and "a
+state-of-the-art software pipeline for constructing large astronomical
+catalogs" (paper, Section VIII).  This package implements the same class of
+single-image pipeline from scratch: matched-filter detection, moments
+centroiding, PSF-weighted photometry, concentration-based star/galaxy
+classification, second-moment shape measurement, and per-profile chi-square
+fits.  It exhibits the heuristics' characteristic deficiencies the paper
+calls out: it uses one field at a time (no multi-image fusion), it has no
+principled uncertainty, and prior information enters only through tuned
+thresholds.
+"""
+
+from repro.photo.detect import detect_sources
+from repro.photo.photometry import psf_flux, aperture_flux
+from repro.photo.shapes import measure_shape, ShapeMeasurement
+from repro.photo.classify import classify_star_galaxy
+from repro.photo.pipeline import run_photo, PhotoConfig
+
+__all__ = [
+    "detect_sources",
+    "psf_flux",
+    "aperture_flux",
+    "measure_shape",
+    "ShapeMeasurement",
+    "classify_star_galaxy",
+    "run_photo",
+    "PhotoConfig",
+]

@@ -1,0 +1,56 @@
+"""Flux measurement: PSF-weighted and aperture photometry."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.survey.image import Image
+from repro.survey.render import source_patch
+
+__all__ = ["psf_flux", "aperture_flux"]
+
+
+def psf_flux(image: Image, sky_position: np.ndarray, radius: float = 12.0) -> float:
+    """Matched-filter (PSF-weighted) flux estimate, in nanomaggies.
+
+    For a point source with density ``g`` the estimator
+    ``sum(g (x - sky)) / (iota sum(g^2))`` is the minimum-variance linear
+    unbiased estimate on background-limited pixels — the standard "psfMag"
+    style measurement.  Biased low for extended sources, which is one of the
+    heuristic baseline's characteristic errors.
+    """
+    bounds = source_patch(image, sky_position, radius)
+    if bounds is None:
+        return 0.0
+    x0, x1, y0, y1 = bounds
+    ys, xs = np.mgrid[y0:y1, x0:x1]
+    px, py = image.meta.wcs.sky_to_pix(np.asarray(sky_position))
+    g = image.meta.psf.density(xs - px, ys - py)
+    data = image.pixels[y0:y1, x0:x1] - image.meta.sky_level
+    if image.mask is not None:
+        good = ~image.mask[y0:y1, x0:x1]
+        g = np.where(good, g, 0.0)  # drops both numerator and denominator
+        data = np.where(good, data, 0.0)
+    denom = image.meta.calibration * float((g * g).sum())
+    if denom <= 0:
+        return 0.0
+    return float((g * data).sum() / denom)
+
+
+def aperture_flux(image: Image, sky_position: np.ndarray, radius: float = 6.0) -> float:
+    """Plain circular-aperture flux, in nanomaggies.
+
+    Unbiased for any profile that fits in the aperture, but noisy; used for
+    extended sources and for the concentration classifier.
+    """
+    bounds = source_patch(image, sky_position, radius + 1.0)
+    if bounds is None:
+        return 0.0
+    x0, x1, y0, y1 = bounds
+    ys, xs = np.mgrid[y0:y1, x0:x1]
+    px, py = image.meta.wcs.sky_to_pix(np.asarray(sky_position))
+    inside = (xs - px) ** 2 + (ys - py) ** 2 <= radius ** 2
+    data = image.pixels[y0:y1, x0:x1] - image.meta.sky_level
+    if image.mask is not None:
+        inside = inside & ~image.mask[y0:y1, x0:x1]
+    return float(data[inside].sum() / image.meta.calibration)

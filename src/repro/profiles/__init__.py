@@ -1,0 +1,34 @@
+"""Galaxy light profiles as mixtures of Gaussians.
+
+Celeste models every galaxy as a convex combination of an exponential disk
+and a de Vaucouleurs bulge, each approximated by a mixture of circular
+Gaussians (the Hogg-Lang MoG approximation).  We re-derive those mixture
+tables from scratch by non-negative least squares against the analytic radial
+profiles, rather than copying published coefficients.
+"""
+
+from repro.profiles.mog import (
+    dev_mixture,
+    exp_mixture,
+    fit_radial_mixture,
+    profile_dev,
+    profile_exp,
+)
+from repro.profiles.galaxy import (
+    GalaxyShape,
+    galaxy_components,
+    convolved_components,
+    galaxy_density,
+)
+
+__all__ = [
+    "galaxy_density",
+    "dev_mixture",
+    "exp_mixture",
+    "fit_radial_mixture",
+    "profile_dev",
+    "profile_exp",
+    "GalaxyShape",
+    "galaxy_components",
+    "convolved_components",
+]

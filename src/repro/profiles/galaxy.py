@@ -1,0 +1,85 @@
+"""Galaxy shapes and their PSF-convolved Gaussian-mixture representation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.gaussians import gauss2d, rotation_covariance
+from repro.profiles.mog import dev_mixture, exp_mixture
+from repro.psf.gmm import MixturePSF
+
+__all__ = ["GalaxyShape", "galaxy_components", "convolved_components"]
+
+
+@dataclass(frozen=True)
+class GalaxyShape:
+    """Morphological parameters of a galaxy (the paper's phi_s vector).
+
+    Attributes
+    ----------
+    frac_dev:
+        Fraction of flux in the de Vaucouleurs (bulge) component, in [0, 1].
+    axis_ratio:
+        Minor/major axis ratio rho, in (0, 1].
+    angle:
+        Position angle of the major axis in radians.
+    radius:
+        Half-light (effective) radius of the major axis in pixels.
+    """
+
+    frac_dev: float
+    axis_ratio: float
+    angle: float
+    radius: float
+
+    def covariance(self) -> tuple[float, float, float]:
+        """Shared shape covariance triple ``(sxx, sxy, syy)``; per-component
+        covariances are this matrix scaled by the MoG variance table."""
+        return rotation_covariance(self.axis_ratio, self.angle, self.radius)
+
+
+def galaxy_components(shape: GalaxyShape):
+    """Unconvolved MoG components of a unit-flux galaxy.
+
+    Yields ``(weight, (sxx, sxy, syy))``; weights mix the de Vaucouleurs and
+    exponential tables by ``frac_dev`` and sum to one.
+    """
+    sxx, sxy, syy = shape.covariance()
+    out = []
+    for table_weight, (weights, variances) in (
+        (shape.frac_dev, dev_mixture()),
+        (1.0 - shape.frac_dev, exp_mixture()),
+    ):
+        if table_weight <= 0.0:
+            continue
+        for q, v in zip(weights, variances):
+            out.append((table_weight * q, (v * sxx, v * sxy, v * syy)))
+    return out
+
+
+def convolved_components(shape: GalaxyShape, psf: MixturePSF):
+    """PSF-convolved MoG components of a unit-flux galaxy.
+
+    Convolution of Gaussians adds covariances, so the result is the outer
+    product of the galaxy and PSF component lists:
+    ``(w_gal * w_psf, mean_psf, cov_gal + cov_psf)``.
+    """
+    gal = galaxy_components(shape)
+    out = []
+    for w_psf, mu, (pxx, pxy, pyy) in psf.components():
+        for w_gal, (gxx, gxy, gyy) in gal:
+            out.append((w_gal * w_psf, mu, (gxx + pxx, gxy + pxy, gyy + pyy)))
+    return out
+
+
+def galaxy_density(shape: GalaxyShape, psf: MixturePSF, dx, dy) -> np.ndarray:
+    """PSF-convolved, unit-flux galaxy density at pixel offsets (NumPy path,
+    used for rendering and the Photo baseline)."""
+    dx = np.asarray(dx, dtype=float)
+    dy = np.asarray(dy, dtype=float)
+    out = np.zeros(np.broadcast(dx, dy).shape)
+    for w, mu, (sxx, sxy, syy) in convolved_components(shape, psf):
+        out += w * gauss2d(dx - mu[0], dy - mu[1], sxx, sxy, syy)
+    return out

@@ -1,0 +1,11 @@
+"""Point spread function modeling.
+
+SDSS models the PSF of each field as a small mixture of bivariate Gaussians;
+Celeste adopts the same representation because it composes analytically with
+the Gaussian-mixture galaxy profiles (convolution = covariance addition).
+"""
+
+from repro.psf.gmm import MixturePSF, default_psf
+from repro.psf.fit import fit_psf
+
+__all__ = ["MixturePSF", "default_psf", "fit_psf"]

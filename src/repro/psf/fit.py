@@ -1,0 +1,119 @@
+"""Fitting a Gaussian-mixture PSF to a pixelized PSF image.
+
+SDSS ships an empirical PSF per field; Celeste fits a small Gaussian mixture
+to it during task initialization ("fitting some image-specific parameters",
+paper Section IV-D).  We reproduce that step with an intensity-weighted EM
+algorithm: each pixel of the (background-subtracted) PSF stamp is treated as
+a data point at its center, weighted by its intensity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.psf.gmm import MixturePSF
+
+__all__ = ["fit_psf"]
+
+
+def fit_psf(
+    stamp: np.ndarray,
+    n_components: int = 2,
+    n_iter: int = 60,
+    tol: float = 1e-9,
+    center: tuple[float, float] | None = None,
+    min_var: float = 0.05,
+    noise_floor: float = 1e-3,
+) -> MixturePSF:
+    """Fit a :class:`MixturePSF` to a PSF stamp via weighted EM.
+
+    Parameters
+    ----------
+    stamp:
+        2-D array of PSF intensities (need not be normalized; negative pixels
+        are clipped to zero).
+    n_components:
+        Number of Gaussian components.
+    center:
+        Pixel coordinates ``(x, y)`` of the PSF center; defaults to the
+        stamp's intensity centroid.  Component means are stored as offsets
+        from this center.
+    min_var:
+        Variance floor (pixels^2) keeping components from collapsing onto a
+        single pixel.
+    noise_floor:
+        Pixels below this fraction of the stamp maximum are zeroed before
+        fitting, so read noise in the wings does not inflate the fit.
+    """
+    stamp = np.asarray(stamp, dtype=float)
+    if stamp.ndim != 2:
+        raise ValueError("PSF stamp must be 2-D")
+    h, w = stamp.shape
+    ys, xs = np.mgrid[0:h, 0:w]
+    # Estimate the noise level from the stamp border (MAD, robust to flux in
+    # the corners) and zero everything consistent with pure noise.
+    border = np.concatenate([stamp[0], stamp[-1], stamp[1:-1, 0], stamp[1:-1, -1]])
+    noise_sigma = 1.4826 * np.median(np.abs(border - np.median(border)))
+    weights_px = np.clip(stamp, 0.0, None).ravel()
+    if weights_px.max() > 0:
+        cut = max(noise_floor * weights_px.max(), 3.0 * noise_sigma)
+        weights_px[weights_px < cut] = 0.0
+    total = weights_px.sum()
+    if total <= 0:
+        raise ValueError("PSF stamp has no positive flux")
+    weights_px = weights_px / total
+    pts = np.column_stack([xs.ravel().astype(float), ys.ravel().astype(float)])
+
+    if center is None:
+        center = tuple(weights_px @ pts)
+    center = np.asarray(center, dtype=float)
+
+    # Initialize: nested isotropic components around the centroid.
+    d2 = ((pts - center) ** 2 * weights_px[:, None]).sum(axis=0).sum()
+    base_var = max(d2 / 2.0, min_var)
+    mix_w = np.full(n_components, 1.0 / n_components)
+    means = np.tile(center, (n_components, 1))
+    covs = np.stack([
+        np.eye(2) * base_var * (0.5 * 2.0 ** k) for k in range(n_components)
+    ])
+
+    prev_ll = -np.inf
+    for _ in range(n_iter):
+        # E-step: responsibilities under current mixture.
+        log_r = np.empty((len(pts), n_components))
+        for k in range(n_components):
+            diff = pts - means[k]
+            cov = covs[k]
+            det = np.linalg.det(cov)
+            inv = np.linalg.inv(cov)
+            q = np.einsum("ni,ij,nj->n", diff, inv, diff)
+            log_r[:, k] = np.log(mix_w[k]) - 0.5 * (q + np.log((2 * np.pi) ** 2 * det))
+        m = log_r.max(axis=1, keepdims=True)
+        r = np.exp(log_r - m)
+        norm = r.sum(axis=1, keepdims=True)
+        ll = float((weights_px * (np.log(norm[:, 0]) + m[:, 0])).sum())
+        r /= norm
+
+        # M-step with pixel-intensity weights.
+        wr = r * weights_px[:, None]
+        nk = wr.sum(axis=0)
+        nk = np.maximum(nk, 1e-12)
+        mix_w = nk / nk.sum()
+        for k in range(n_components):
+            mu = (wr[:, k][:, None] * pts).sum(axis=0) / nk[k]
+            diff = pts - mu
+            cov = (wr[:, k][:, None, None] * np.einsum("ni,nj->nij", diff, diff)).sum(axis=0) / nk[k]
+            cov += np.eye(2) * min_var
+            means[k] = mu
+            covs[k] = cov
+
+        if abs(ll - prev_ll) < tol * max(1.0, abs(ll)):
+            break
+        prev_ll = ll
+
+    order = np.argsort([np.trace(c) for c in covs])
+    return MixturePSF(
+        weights=mix_w[order],
+        means=means[order] - center,
+        covs=covs[order],
+    )

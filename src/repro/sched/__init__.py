@@ -1,0 +1,15 @@
+"""Dynamic task scheduling.
+
+The paper uses Dtree (Pamnany et al.), "a distributed dynamic scheduler that
+balances load for irregular tasks, even at petascale", which organizes
+compute nodes into a tree of logarithmic height so each node only talks to
+its parent and children (Section IV-B).  :mod:`repro.sched.dtree` implements
+that design; :mod:`repro.sched.central` is the centralized work queue it is
+compared against (the centralized queue's single lock becomes the bottleneck
+at scale — measurable in the scheduler-overhead benchmark).
+"""
+
+from repro.sched.dtree import Dtree, DtreeConfig
+from repro.sched.central import CentralQueue
+
+__all__ = ["Dtree", "DtreeConfig", "CentralQueue"]

@@ -1,0 +1,45 @@
+"""Centralized work queue: the baseline Dtree is measured against.
+
+One shared queue, one lock.  Perfect load balance in principle, but every
+request from every worker serializes on the same lock (and, on a real
+machine, on the same network endpoint) — the scaling pathology Dtree's tree
+topology removes.
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = ["CentralQueue"]
+
+
+class CentralQueue:
+    """A single locked cursor over the task range."""
+
+    def __init__(self, n_workers: int, n_tasks: int):
+        if n_workers < 1:
+            raise ValueError("need at least one worker")
+        self.n_workers = n_workers
+        self.n_tasks = n_tasks
+        self._cursor = 0
+        self._lock = threading.Lock()
+        self.messages = 0
+
+    def request(self, worker_id: int, max_batch: int | None = None) -> list[int]:
+        """Next batch (size 1 by default, as a central queue hands out work
+        one task at a time to stay balanced)."""
+        if not 0 <= worker_id < self.n_workers:
+            raise IndexError("bad worker id")
+        want = max_batch if max_batch is not None else 1
+        with self._lock:
+            self.messages += 1
+            lo = self._cursor
+            hi = min(lo + want, self.n_tasks)
+            self._cursor = hi
+        return list(range(lo, hi))
+
+    @property
+    def stats(self) -> dict:
+        # Every message contends on the single central endpoint: the
+        # effective "hops" equal the message count.
+        return {"messages": self.messages, "hops": self.messages, "height": 1}

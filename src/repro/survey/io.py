@@ -1,0 +1,83 @@
+"""On-disk field files.
+
+SDSS stores each field as a ~12 MB file; Celeste's I/O pattern (and the Burst
+Buffer analysis in the paper) is driven by loading many such files per task.
+We serialize fields to ``.npz`` with the same granularity so the cluster
+simulator's byte counts correspond to real file sizes.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.psf.gmm import MixturePSF
+from repro.survey.image import Image, ImageMeta
+from repro.survey.wcs import AffineWCS
+
+__all__ = ["save_field", "load_field", "field_file_size"]
+
+
+def save_field(path: str, images: list[Image]) -> int:
+    """Write one field (all bands) to a single ``.npz`` file.
+
+    Returns the number of bytes written.
+    """
+    payload = {"n_images": np.asarray(len(images))}
+    for i, im in enumerate(images):
+        meta = im.meta
+        payload["pixels_%d" % i] = im.pixels
+        payload["band_%d" % i] = np.asarray(meta.band)
+        payload["wcs_matrix_%d" % i] = meta.wcs.matrix
+        payload["wcs_sky_ref_%d" % i] = meta.wcs.sky_ref
+        payload["wcs_pix_ref_%d" % i] = meta.wcs.pix_ref
+        payload["psf_weights_%d" % i] = meta.psf.weights
+        payload["psf_means_%d" % i] = meta.psf.means
+        payload["psf_covs_%d" % i] = meta.psf.covs
+        payload["sky_level_%d" % i] = np.asarray(meta.sky_level)
+        payload["calibration_%d" % i] = np.asarray(meta.calibration)
+        payload["field_id_%d" % i] = np.asarray(meta.field_id)
+        payload["epoch_%d" % i] = np.asarray(meta.epoch)
+        if im.mask is not None:
+            payload["mask_%d" % i] = im.mask
+    with open(path, "wb") as fh:
+        np.savez(fh, **payload)
+    return os.path.getsize(path)
+
+
+def load_field(path: str) -> list[Image]:
+    """Read a field file written by :func:`save_field`."""
+    with np.load(path) as data:
+        n = int(data["n_images"])
+        images = []
+        for i in range(n):
+            wcs = AffineWCS(
+                matrix=data["wcs_matrix_%d" % i],
+                sky_ref=data["wcs_sky_ref_%d" % i],
+                pix_ref=data["wcs_pix_ref_%d" % i],
+            )
+            psf = MixturePSF(
+                weights=data["psf_weights_%d" % i],
+                means=data["psf_means_%d" % i],
+                covs=data["psf_covs_%d" % i],
+            )
+            meta = ImageMeta(
+                band=int(data["band_%d" % i]),
+                wcs=wcs,
+                psf=psf,
+                sky_level=float(data["sky_level_%d" % i]),
+                calibration=float(data["calibration_%d" % i]),
+                field_id=tuple(int(x) for x in data["field_id_%d" % i]),
+                epoch=int(data["epoch_%d" % i]),
+            )
+            mask = data["mask_%d" % i] if "mask_%d" % i in data else None
+            images.append(Image(pixels=data["pixels_%d" % i], meta=meta,
+                                mask=mask))
+    return images
+
+
+def field_file_size(shape_hw: tuple[int, int], n_bands: int = 5) -> int:
+    """Approximate bytes of a field file (float64 pixels + small metadata)."""
+    h, w = shape_hw
+    return n_bands * (h * w * 8 + 1024)

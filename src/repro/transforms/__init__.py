@@ -1,0 +1,24 @@
+"""Bijective reparameterizations between free (unconstrained) and canonical
+(constrained) variational parameters.
+
+Celeste optimizes a transformed, unconstrained parameter vector so that
+Newton steps never leave the feasible region (probabilities in the simplex,
+variances positive, axis ratios in (0, 1)).  Because derivatives flow through
+the Taylor AD engine, the transforms need no hand-written Jacobians.
+"""
+
+from repro.transforms.bijectors import (
+    Identity,
+    LogitBox,
+    softmax_fixed_last,
+    softmax_fixed_last_inverse,
+    softmax_fixed_last_taylor,
+)
+
+__all__ = [
+    "Identity",
+    "LogitBox",
+    "softmax_fixed_last",
+    "softmax_fixed_last_inverse",
+    "softmax_fixed_last_taylor",
+]

@@ -1,0 +1,97 @@
+"""Bijectors mapping free real parameters to constrained domains.
+
+Each bijector provides three views:
+
+- ``forward_np`` / ``inverse_np`` — plain float/ndarray math, used when
+  initializing the optimizer from a catalog or reading results back out.
+- ``forward_taylor`` — the same map applied to Taylor values, used inside the
+  variational objective so that gradients/Hessians are taken with respect to
+  the *free* parameters (the vector Newton's method actually steps in).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autodiff import Taylor, lift, texp
+
+__all__ = [
+    "Identity",
+    "LogitBox",
+    "softmax_fixed_last",
+    "softmax_fixed_last_inverse",
+    "softmax_fixed_last_taylor",
+]
+
+#: Clip probabilities this far away from {0, 1} when inverting logistic maps,
+#: so catalog initializations at the boundary stay finite.
+_EDGE = 1e-6
+
+
+class Identity:
+    """The trivial bijector (unconstrained parameters)."""
+
+    def forward_np(self, u):
+        return u
+
+    def inverse_np(self, y):
+        return y
+
+    def forward_taylor(self, u):
+        return lift(u)
+
+
+class LogitBox:
+    """Maps R onto the open interval ``(lo, hi)`` via a scaled logistic."""
+
+    def __init__(self, lo: float, hi: float):
+        if not hi > lo:
+            raise ValueError("need hi > lo, got (%g, %g)" % (lo, hi))
+        self.lo = float(lo)
+        self.hi = float(hi)
+
+    def forward_np(self, u):
+        return self.lo + (self.hi - self.lo) / (1.0 + np.exp(-np.asarray(u, dtype=float)))
+
+    def inverse_np(self, y):
+        frac = (np.asarray(y, dtype=float) - self.lo) / (self.hi - self.lo)
+        frac = np.clip(frac, _EDGE, 1.0 - _EDGE)
+        return np.log(frac / (1.0 - frac))
+
+    def forward_taylor(self, u) -> Taylor:
+        u = lift(u)
+        return self.lo + (self.hi - self.lo) * (1.0 + texp(-1.0 * u)).reciprocal()
+
+    def __repr__(self):
+        return "LogitBox(%g, %g)" % (self.lo, self.hi)
+
+
+def softmax_fixed_last(free: np.ndarray) -> np.ndarray:
+    """Map ``n-1`` free logits to an ``n``-point simplex with the last logit
+    pinned to zero (avoids the rank deficiency of a full softmax, which would
+    make the Newton Hessian singular along the constant direction)."""
+    free = np.asarray(free, dtype=float)
+    logits = np.concatenate([free, [0.0]])
+    logits = logits - logits.max()
+    e = np.exp(logits)
+    return e / e.sum()
+
+
+def softmax_fixed_last_inverse(probs: np.ndarray) -> np.ndarray:
+    """Recover the ``n-1`` free logits from simplex probabilities."""
+    probs = np.clip(np.asarray(probs, dtype=float), _EDGE, None)
+    probs = probs / probs.sum()
+    return np.log(probs[:-1] / probs[-1])
+
+
+def softmax_fixed_last_taylor(free: list) -> list:
+    """Taylor version of :func:`softmax_fixed_last`; takes/returns lists of
+    Taylor scalars."""
+    exps = [texp(lift(u)) for u in free]
+    denom = lift(1.0)
+    for e in exps:
+        denom = denom + e
+    inv = denom.reciprocal()
+    probs = [e * inv for e in exps]
+    probs.append(inv)
+    return probs

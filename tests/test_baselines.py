@@ -1,0 +1,169 @@
+"""Tests for the Laplace (Tractor-style) and MCMC inference baselines."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff.check import finite_difference_gradient
+from repro.baselines import laplace_approximation, metropolis_hastings
+from repro.baselines.mcmc import effective_sample_size
+from repro.baselines.model import PointParameterization, point_log_posterior
+from repro.core import CatalogEntry, default_priors, make_context
+from repro.psf import default_psf
+from repro.survey import AffineWCS, ImageMeta, render_image
+
+
+STAR = CatalogEntry([13.0, 12.0], False, 30.0, [1.5, 1.1, 0.25, 0.05])
+GAL = CatalogEntry([13.0, 12.0], True, 60.0, [0.7, 0.45, 0.6, 0.45],
+                   gal_radius_px=2.2, gal_axis_ratio=0.6, gal_angle=0.7,
+                   gal_frac_dev=0.3)
+
+
+def make_ctx(entry, bands=(1, 2, 3), seed=0, shape=(26, 26)):
+    rng = np.random.default_rng(seed)
+    images = [
+        render_image([entry], ImageMeta(
+            band=b, wcs=AffineWCS.translation(0.0, 0.0), psf=default_psf(3.0),
+            sky_level=100.0, calibration=100.0), shape, rng=rng)
+        for b in bands
+    ]
+    return make_context(images, entry.position, default_priors())
+
+
+class TestPointParameterization:
+    def test_star_size(self):
+        assert PointParameterization(False).size == 7
+        assert PointParameterization(True).size == 11
+
+    def test_pack_unpack_roundtrip(self):
+        p = PointParameterization(True)
+        u_center = np.array([10.0, 10.0])
+        theta = p.pack(u_center, [10.4, 9.8], 2.3, [0.5, 0.4, 0.3, 0.2],
+                       shape=(0.4, 0.7, 1.1, 2.5))
+        out = p.unpack_np(theta, u_center)
+        np.testing.assert_allclose(out["position"], [10.4, 9.8], rtol=1e-6)
+        np.testing.assert_allclose(out["log_flux"], 2.3)
+        np.testing.assert_allclose(out["shape"], (0.4, 0.7, 1.1, 2.5),
+                                   rtol=1e-6)
+
+
+class TestPointLogPosterior:
+    def test_gradient_matches_fd_star(self):
+        ctx = make_ctx(STAR)
+        p = PointParameterization(False)
+        theta = p.pack(ctx.u_center, STAR.position, np.log(30.0), STAR.colors)
+        out = point_log_posterior(ctx, False, theta, order=2)
+        g_ad = out.gradient(p.size)
+        f = lambda v: float(point_log_posterior(ctx, False, v, order=1).val)  # noqa: E731
+        g_fd = finite_difference_gradient(f, theta, eps=1e-5)
+        np.testing.assert_allclose(g_ad, g_fd, rtol=1e-4,
+                                   atol=1e-4 * (1 + np.abs(g_fd).max()))
+
+    def test_gradient_matches_fd_galaxy(self):
+        ctx = make_ctx(GAL, seed=1)
+        p = PointParameterization(True)
+        theta = p.pack(ctx.u_center, GAL.position, np.log(60.0), GAL.colors,
+                       shape=(0.3, 0.6, 0.7, 2.2))
+        out = point_log_posterior(ctx, True, theta, order=2)
+        g_ad = out.gradient(p.size)
+        f = lambda v: float(point_log_posterior(ctx, True, v, order=1).val)  # noqa: E731
+        g_fd = finite_difference_gradient(f, theta, eps=1e-5)
+        np.testing.assert_allclose(g_ad, g_fd, rtol=1e-3,
+                                   atol=1e-3 * (1 + np.abs(g_fd).max()))
+
+    def test_peaks_near_truth(self):
+        ctx = make_ctx(STAR, seed=2)
+        p = PointParameterization(False)
+        at_truth = float(point_log_posterior(
+            ctx, False,
+            p.pack(ctx.u_center, STAR.position, np.log(30.0), STAR.colors),
+            order=1).val)
+        off = float(point_log_posterior(
+            ctx, False,
+            p.pack(ctx.u_center, STAR.position + 1.0, np.log(90.0),
+                   STAR.colors), order=1).val)
+        assert at_truth > off
+
+
+class TestLaplace:
+    @pytest.fixture(scope="class")
+    def star_fit(self):
+        ctx = make_ctx(STAR, seed=3)
+        return laplace_approximation(ctx, STAR)
+
+    def test_map_recovers_flux(self, star_fit):
+        star, _, _ = star_fit
+        assert star.converged
+        flux = np.exp(star.summary["log_flux"])
+        assert abs(flux - 30.0) / 30.0 < 0.15
+
+    def test_covariance_positive_definite(self, star_fit):
+        star, gal, _ = star_fit
+        for fit in (star, gal):
+            evals = np.linalg.eigvalsh(fit.covariance)
+            assert np.all(evals > 0)
+
+    def test_type_probability_prefers_star(self, star_fit):
+        _, _, prob_galaxy = star_fit
+        assert prob_galaxy < 0.5
+
+    def test_flux_sd_positive_and_reasonable(self, star_fit):
+        star, _, _ = star_fit
+        assert 0.0 < star.flux_sd < 10.0
+
+    def test_galaxy_scene_prefers_galaxy(self):
+        ctx = make_ctx(GAL, seed=4, shape=(30, 30))
+        _, gal, prob_galaxy = laplace_approximation(ctx, GAL)
+        assert prob_galaxy > 0.5
+        assert abs(gal.summary["shape"][3] - GAL.gal_radius_px) < 1.0
+
+
+class TestMCMC:
+    def test_samples_standard_normal(self):
+        rng = np.random.default_rng(0)
+        res = metropolis_hastings(
+            lambda x: -0.5 * float(x @ x), np.zeros(2),
+            n_samples=4000, burn_in=800, rng=rng,
+        )
+        np.testing.assert_allclose(res.mean(), [0.0, 0.0], atol=0.15)
+        np.testing.assert_allclose(res.sd(), [1.0, 1.0], atol=0.15)
+        assert 0.1 < res.acceptance_rate < 0.7
+
+    def test_adaptation_targets_acceptance(self):
+        rng = np.random.default_rng(1)
+        res = metropolis_hastings(
+            lambda x: -0.5 * float(x @ x) / 0.01, np.zeros(3),
+            n_samples=2000, burn_in=1500, initial_scale=1.0, rng=rng,
+        )
+        # Tight posterior: scale must have adapted way down.
+        assert res.step_scale < 0.2
+        assert 0.1 < res.acceptance_rate < 0.6
+
+    def test_ess_less_than_n_for_correlated_chain(self):
+        rng = np.random.default_rng(2)
+        # AR(1) with strong correlation.
+        n, rho = 4000, 0.95
+        x = np.zeros(n)
+        for i in range(1, n):
+            x[i] = rho * x[i - 1] + rng.normal()
+        ess = effective_sample_size(x)
+        assert ess < n / 10
+
+    def test_ess_near_n_for_iid(self):
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=3000)
+        assert effective_sample_size(x) > 1500
+
+    def test_mcmc_agrees_with_laplace_on_flux(self):
+        ctx = make_ctx(STAR, seed=5)
+        star, _, _ = laplace_approximation(ctx, STAR)
+        p = PointParameterization(False)
+
+        def lp(theta):
+            return float(point_log_posterior(ctx, False, theta, order=1).val)
+
+        rng = np.random.default_rng(6)
+        res = metropolis_hastings(lp, star.mode, n_samples=800, burn_in=300,
+                                  initial_scale=0.02, rng=rng)
+        # log-flux posterior mean within a couple of posterior sds.
+        log_flux_sd = np.sqrt(star.covariance[2, 2])
+        assert abs(res.mean()[2] - star.mode[2]) < 3 * log_flux_sd

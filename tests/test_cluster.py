@@ -1,0 +1,170 @@
+"""Tests for the cluster simulator and FLOP accounting."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    MachineConfig,
+    WorkloadConfig,
+    performance_run,
+    sample_workload,
+    simulate_run,
+    strong_scaling,
+    weak_scaling,
+)
+from repro.cluster.simulate import scaling_efficiency
+from repro.cluster.workload import workload_from_tasks
+from repro.constants import FLOP_OVERHEAD_FACTOR, FLOPS_PER_ACTIVE_PIXEL_VISIT
+from repro.perf import FlopReport, flop_rate, flops_from_visits
+
+
+class TestMachineConfig:
+    def test_process_and_thread_counts(self):
+        m = MachineConfig(n_nodes=2)
+        assert m.n_processes == 34
+        assert m.n_threads == 272
+
+    def test_peak_flops_full_machine(self):
+        m = MachineConfig(n_nodes=9600)
+        assert m.n_threads == 1_305_600
+        np.testing.assert_allclose(m.peak_flops(), 1.54e15, rtol=0.01)
+
+    def test_burst_buffer_limits_full_machine_load(self):
+        small = MachineConfig(n_nodes=1)
+        huge = MachineConfig(n_nodes=50_000)
+        assert small.effective_load_bandwidth() == small.per_process_load_bandwidth
+        assert huge.effective_load_bandwidth() < huge.per_process_load_bandwidth
+
+
+class TestWorkload:
+    def test_sample_statistics(self):
+        wl = sample_workload(WorkloadConfig(n_tasks=20000, seed=1))
+        np.testing.assert_allclose(wl.visits.mean(), 2.0e7, rtol=0.05)
+        assert wl.visits.min() > 0
+        assert wl.bytes.min() > 0
+
+    def test_io_correlates_with_work(self):
+        wl = sample_workload(WorkloadConfig(n_tasks=20000, seed=2))
+        corr = np.corrcoef(np.log(wl.visits), np.log(wl.bytes))[0, 1]
+        assert corr > 0.5
+
+    def test_workload_from_partitioner(self):
+        from repro.partition import Task, Region
+        from repro.core.catalog import CatalogEntry
+
+        entries = [CatalogEntry([1.0, 1.0], False, 10.0, np.zeros(4))]
+        t = Task(0, 0, Region(0, 10, 0, 10), [0], entries)
+        wl = workload_from_tasks([t, t])
+        assert wl.n_tasks == 2
+        assert wl.visits[0] > 0
+
+
+class TestSimulateRun:
+    def test_conservation_and_components(self):
+        m = MachineConfig(n_nodes=2)
+        r = simulate_run(m, WorkloadConfig(n_tasks=m.n_processes * 4, seed=3))
+        c = r.components
+        assert r.n_tasks == m.n_processes * 4
+        assert c.task_processing > 0
+        assert c.image_loading > 0
+        assert c.load_imbalance >= 0
+        assert c.other > 0
+        # Mean components cannot exceed the wall clock.
+        assert c.total <= r.wall_seconds * 1.01
+
+    def test_task_processing_matches_workload(self):
+        m = MachineConfig(n_nodes=1)
+        wl = sample_workload(WorkloadConfig(n_tasks=m.n_processes * 4, seed=4))
+        r = simulate_run(m, wl)
+        expected = wl.visits.sum() / m.visits_per_second_per_process() / m.n_processes
+        np.testing.assert_allclose(r.components.task_processing, expected, rtol=1e-9)
+
+    def test_central_scheduler_supported(self):
+        m = MachineConfig(n_nodes=1)
+        r = simulate_run(m, WorkloadConfig(n_tasks=68, seed=5),
+                         scheduler="central")
+        assert r.n_tasks == 68
+
+    def test_central_overhead_grows_with_scale(self):
+        wl = dict(seed=6)
+        small = simulate_run(MachineConfig(n_nodes=1),
+                             WorkloadConfig(n_tasks=68, **wl), scheduler="central")
+        big = simulate_run(MachineConfig(n_nodes=32),
+                           WorkloadConfig(n_tasks=68 * 32, **wl),
+                           scheduler="central")
+        fixed = small.machine.fixed_process_overhead_seconds
+        sched_small = small.components.other - fixed
+        sched_big = big.components.other - fixed
+        assert sched_big > sched_small * 3
+
+    def test_unknown_scheduler(self):
+        with pytest.raises(ValueError):
+            simulate_run(MachineConfig(n_nodes=1), WorkloadConfig(n_tasks=4),
+                         scheduler="magic")
+
+
+class TestScalingShapes:
+    """The paper's qualitative scaling claims, at reduced scale for speed."""
+
+    def test_weak_scaling_processing_constant(self):
+        res = weak_scaling([1, 4, 16], tasks_per_process=4)
+        tps = [r.components.task_processing for r in res]
+        assert max(tps) / min(tps) < 1.15
+
+    def test_weak_scaling_imbalance_grows(self):
+        res = weak_scaling([1, 16, 64], tasks_per_process=4)
+        imb = [r.components.load_imbalance for r in res]
+        assert imb[-1] > imb[0]
+
+    def test_weak_scaling_loading_constant(self):
+        res = weak_scaling([1, 16, 64], tasks_per_process=4)
+        loads = [r.components.image_loading for r in res]
+        assert max(loads) / min(loads) < 1.3
+
+    def test_strong_scaling_processing_halves(self):
+        res = strong_scaling([8, 16, 32], n_tasks=8 * 17 * 16)
+        tps = [r.components.task_processing for r in res]
+        np.testing.assert_allclose(tps[0] / tps[1], 2.0, rtol=0.05)
+        np.testing.assert_allclose(tps[1] / tps[2], 2.0, rtol=0.05)
+
+    def test_strong_scaling_efficiency_decreases(self):
+        res = strong_scaling([8, 16, 32], n_tasks=8 * 17 * 16)
+        effs = scaling_efficiency(res)
+        assert effs[0] == 1.0
+        assert effs[2] < effs[1] <= 1.01
+
+    def test_more_tasks_per_process_better_balance(self):
+        few = weak_scaling([16], tasks_per_process=2)[0]
+        many = weak_scaling([16], tasks_per_process=16)[0]
+        rel_few = few.components.load_imbalance / few.components.task_processing
+        rel_many = many.components.load_imbalance / many.components.task_processing
+        assert rel_many < rel_few
+
+
+class TestFlopAccounting:
+    def test_constants(self):
+        assert FLOPS_PER_ACTIVE_PIXEL_VISIT == 32_317
+        assert FLOP_OVERHEAD_FACTOR == 1.375
+
+    def test_flops_from_visits(self):
+        np.testing.assert_allclose(
+            flops_from_visits(1000), 1000 * 32317 * 1.375
+        )
+
+    def test_flop_rate(self):
+        assert flop_rate(1000, 2.0) == flops_from_visits(1000) / 2.0
+        with pytest.raises(ValueError):
+            flop_rate(1000, 0.0)
+
+    def test_report_scopes_monotone(self):
+        rep = FlopReport(1e9, 100.0, 50.0, 25.0)
+        assert rep.rate_task_processing > rep.rate_with_imbalance > rep.rate_with_io
+        table = rep.as_table()
+        assert set(table) == {"task processing", "+load imbalance", "+image loading"}
+
+    def test_performance_run_small(self):
+        # Scaled-down Table I run: first scope must sit at ~45% of peak.
+        res, rep = performance_run(n_nodes=16, n_tasks=16 * 17 * 2)
+        peak = res.machine.peak_flops()
+        np.testing.assert_allclose(rep.rate_task_processing / peak, 0.45,
+                                   rtol=0.02)

@@ -1,0 +1,121 @@
+"""End-to-end integration: the full campaign pipeline at miniature scale.
+
+Exercises the same chain the petascale run executes: synthetic survey ->
+Photo bootstrap catalog -> task generation (two-stage partition) -> Dtree
+scheduling -> joint variational optimization per task, with parameters
+stored in the PGAS global array -> validation against truth.
+"""
+
+import numpy as np
+import pytest
+
+from repro.constants import NUM_CANONICAL_PARAMS
+from repro.core import JointConfig, default_priors, optimize_region
+from repro.core.catalog import Catalog
+from repro.core.params import SourceParams
+from repro.core.single import OptimizeConfig
+from repro.partition import Region, generate_tasks
+from repro.pgas import GlobalArray, LocalTransport, RecordingTransport
+from repro.photo import run_photo
+from repro.sched import Dtree
+from repro.survey import SurveyConfig, SyntheticSkyConfig, build_survey
+from repro.validation import match_catalogs, score_catalog
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    """Run the miniature campaign once; several tests inspect the outcome."""
+    rng = np.random.default_rng(11)
+    config = SurveyConfig(
+        field_width=72, field_height=72, fields_per_run=1, n_runs=1,
+        sky=SyntheticSkyConfig(source_density=12.0, min_separation=10.0,
+                               flux_floor=15.0),
+    )
+    layout = build_survey(config, rng=rng)
+    truth = layout.truth
+
+    # Bootstrap catalog from the heuristic pipeline (the paper initializes
+    # from existing catalogs).
+    photo_cat = run_photo(layout.images)
+    matched = match_catalogs(truth, photo_cat)
+    boot = Catalog([e for _, e in matched.pairs])
+
+    # Preprocessing: two-stage task generation over the survey footprint.
+    x0, x1, y0, y1 = layout.sky_bounds()
+    tasks = generate_tasks(boot, Region(x0, x1, y0, y1),
+                           target_weight=60.0, two_stage=True)
+    stage0 = [t for t in tasks if t.stage == 0]
+
+    # Shared state: one PGAS row of 44 canonical parameters per source.
+    transport = RecordingTransport(LocalTransport(), local_rank=0)
+    ga = GlobalArray(len(boot), NUM_CANONICAL_PARAMS, n_ranks=2,
+                     transport=transport)
+
+    # Dynamic scheduling of stage-0 tasks over two simulated processes.
+    sched = Dtree(n_workers=2, n_tasks=len(stage0))
+    priors = default_priors()
+    joint = JointConfig(n_passes=1,
+                        single=OptimizeConfig(max_iter=18, grad_tol=5e-4))
+    executed = []
+    active = [0, 1]
+    while active:
+        still = []
+        for w in active:
+            batch = sched.request(w)
+            if not batch:
+                continue
+            still.append(w)
+            for tid in batch:
+                task = stage0[tid]
+                result = optimize_region(
+                    layout.images, task.entries, priors, joint
+                )
+                for local_idx, src_idx in enumerate(task.source_indices):
+                    ga.put_row(
+                        src_idx,
+                        result.results[local_idx].params.to_canonical(),
+                    )
+                executed.append(tid)
+        active = still
+
+    final = Catalog([
+        _entry_from_row(ga.get_row(i)) for i in range(len(boot))
+    ])
+    return layout, truth, boot, stage0, executed, ga, transport, final
+
+
+def _entry_from_row(row):
+    from repro.core.single import to_catalog_entry
+
+    return to_catalog_entry(SourceParams.from_canonical(row))
+
+
+class TestCampaign:
+    def test_all_tasks_executed_once(self, campaign):
+        _, _, _, stage0, executed, _, _, _ = campaign
+        assert sorted(executed) == list(range(len(stage0)))
+
+    def test_every_source_written_to_pgas(self, campaign):
+        _, _, boot, _, _, ga, transport, _ = campaign
+        dense = ga.to_dense()
+        assert dense.shape == (len(boot), NUM_CANONICAL_PARAMS)
+        assert np.all(np.abs(dense).sum(axis=1) > 0)
+        assert transport.stats.n_put >= len(boot)
+
+    def test_final_catalog_beats_bootstrap(self, campaign):
+        layout, truth, boot, _, _, _, _, final = campaign
+        m_boot = score_catalog(truth, boot)
+        m_final = score_catalog(truth, final)
+        assert m_final.n_matched >= m_boot.n_matched - 1
+        assert m_final.position <= m_boot.position + 0.02
+        assert m_final.brightness < m_boot.brightness + 0.02
+
+    def test_final_catalog_has_uncertainties(self, campaign):
+        *_, final = campaign
+        assert all(e.flux_r_sd is not None and e.flux_r_sd > 0 for e in final)
+        assert all(e.prob_galaxy is not None for e in final)
+
+    def test_classification_quality(self, campaign):
+        _, truth, _, _, _, _, _, final = campaign
+        m = score_catalog(truth, final)
+        assert np.isnan(m.missed_stars) or m.missed_stars <= 0.5

@@ -1,0 +1,172 @@
+"""Tests for joint (block coordinate) optimization and posterior summaries."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CatalogEntry,
+    JointConfig,
+    default_priors,
+    optimize_region,
+    posterior_summary,
+)
+from repro.core.joint import RegionOptimizer, expected_contribution
+from repro.core.single import OptimizeConfig, initial_params
+from repro.psf import default_psf
+from repro.survey import AffineWCS, ImageMeta, render_image
+
+
+def two_star_scene(sep=6.0, seed=0, shape=(36, 24)):
+    """Two stars close enough that their PSFs overlap."""
+    a = CatalogEntry(position=[12.0, 12.0], is_galaxy=False, flux_r=40.0,
+                     colors=[1.5, 1.1, 0.25, 0.05])
+    b = CatalogEntry(position=[12.0 + sep, 12.0], is_galaxy=False, flux_r=25.0,
+                     colors=[1.2, 0.9, 0.2, 0.0])
+    rng = np.random.default_rng(seed)
+    images = []
+    for band in (1, 2, 3):
+        meta = ImageMeta(band=band, wcs=AffineWCS.translation(0.0, 0.0),
+                         psf=default_psf(3.0), sky_level=100.0,
+                         calibration=100.0)
+        images.append(render_image([a, b], meta, shape, rng=rng))
+    return [a, b], images
+
+
+FAST = JointConfig(n_passes=2, single=OptimizeConfig(max_iter=25, grad_tol=3e-4))
+
+
+class TestExpectedContribution:
+    def test_contribution_positive_and_peaked(self):
+        truth, images = two_star_scene()
+        priors = default_priors()
+        params = initial_params(truth[0], priors)
+        contrib = expected_contribution(params, images[1], (4, 20, 4, 20))
+        assert np.all(contrib >= 0)
+        peak = np.unravel_index(np.argmax(contrib), contrib.shape)
+        assert abs(peak[0] + 4 - 12) <= 1 and abs(peak[1] + 4 - 12) <= 1
+
+    def test_contribution_scales_with_flux(self):
+        truth, images = two_star_scene()
+        priors = default_priors()
+        p1 = initial_params(truth[0], priors)
+        p2 = initial_params(truth[1], priors)
+        c1 = expected_contribution(p1, images[1], (4, 20, 4, 20)).sum()
+        c2 = expected_contribution(p2, images[1], (4, 20, 4, 20)).sum()
+        assert c1 > c2
+
+
+class TestRegionOptimizer:
+    def test_model_images_include_all_sources(self):
+        truth, images = two_star_scene()
+        opt = RegionOptimizer(images, truth, default_priors(), FAST)
+        model = opt.model[1]
+        sky = images[1].meta.sky_level
+        assert model.max() > sky * 1.5
+        excess = (model - sky).sum()
+        assert excess > 0
+
+    def test_background_excludes_own_contribution(self):
+        truth, images = two_star_scene()
+        opt = RegionOptimizer(images, truth, default_priors(), FAST)
+        bgs = opt.backgrounds_for(0)
+        # Near source 0's center the background should be far below the
+        # total model (its own flux removed), but still above plain sky
+        # because source 1 leaks in.
+        px, py = images[1].meta.wcs.sky_to_pix(truth[0].position)
+        x, y = int(px), int(py)
+        assert bgs[1][y, x] < opt.model[1][y, x]
+
+    def test_update_source_changes_model_consistently(self):
+        truth, images = two_star_scene()
+        opt = RegionOptimizer(images, truth, default_priors(), FAST)
+        before_total = opt.model[0].sum()
+        opt.update_source(0)
+        after_total = opt.model[0].sum()
+        # The model stays finite and sky-dominated, and the bookkeeping
+        # keeps model == sky + sum(contributions).
+        recon = np.full(images[0].pixels.shape, images[0].meta.sky_level)
+        for s in range(2):
+            b = opt._bounds[s][0]
+            x0, x1, y0, y1 = b
+            recon[y0:y1, x0:x1] += opt._contrib[s][0]
+        np.testing.assert_allclose(opt.model[0], recon, rtol=1e-9)
+        assert np.isfinite(before_total) and np.isfinite(after_total)
+
+
+class TestOptimizeRegion:
+    @pytest.fixture(scope="class")
+    def result(self):
+        truth, images = two_star_scene()
+        res = optimize_region(images, truth, default_priors(), FAST)
+        return truth, res
+
+    def test_both_sources_recovered(self, result):
+        truth, res = result
+        assert len(res.catalog) == 2
+        for t, est in zip(truth, res.catalog):
+            assert np.linalg.norm(est.position - t.position) < 0.5
+            assert abs(est.flux_r - t.flux_r) / t.flux_r < 0.25
+
+    def test_deblending_splits_flux(self, result):
+        truth, res = result
+        ratio_true = truth[0].flux_r / truth[1].flux_r
+        ratio_est = res.catalog[0].flux_r / res.catalog[1].flux_r
+        assert abs(np.log(ratio_est / ratio_true)) < 0.4
+
+    def test_elbo_total_accumulated(self, result):
+        _, res = result
+        assert np.isfinite(res.elbo_total)
+        assert res.n_converged >= 1
+
+    def test_joint_beats_isolated_on_blended_pair(self):
+        # Optimizing the pair jointly must beat treating each source alone
+        # against a sky-only background (the paper's motivation for joint
+        # optimization: overlapping sources bias isolated fits).
+        from repro.core import make_context
+        from repro.core.single import optimize_source, to_catalog_entry
+
+        truth, images = two_star_scene(sep=4.0, seed=2)
+        priors = default_priors()
+
+        iso = []
+        for t in truth:
+            ctx = make_context(images, t.position, priors)
+            r = optimize_source(ctx, t, FAST.single)
+            iso.append(to_catalog_entry(r.params))
+        joint = optimize_region(images, truth, priors, FAST).catalog
+
+        def flux_err(catalog):
+            return sum(
+                abs(e.flux_r - t.flux_r) / t.flux_r
+                for e, t in zip(catalog, truth)
+            )
+
+        assert flux_err(joint) < flux_err(iso)
+
+
+class TestPosteriorSummary:
+    def test_summary_fields(self):
+        truth, images = two_star_scene()
+        res = optimize_region(images, truth, default_priors(), FAST)
+        params = [r.params for r in res.results]
+        s = posterior_summary(params[0])
+        assert 0.0 <= s.prob_galaxy <= 1.0
+        assert s.flux_sd > 0
+        assert s.flux_interval[0] < s.flux_mean < s.flux_interval[1] * 1.5
+        assert s.color_sd.shape == (4,)
+        assert s.band_flux_mean.shape == (5,)
+
+    def test_entropy_peaks_at_half(self):
+        from repro.core.uncertainty import _type_entropy
+
+        assert _type_entropy(0.5) > _type_entropy(0.9) > _type_entropy(0.999)
+
+    def test_interval_widens_with_variance(self):
+        truth, _ = two_star_scene()
+        p = initial_params(truth[0], default_priors())
+        s1 = posterior_summary(p)
+        p.r2 = p.r2 * 4.0
+        s2 = posterior_summary(p)
+        w1 = s1.flux_interval[1] - s1.flux_interval[0]
+        w2 = s2.flux_interval[1] - s2.flux_interval[0]
+        assert w2 > w1

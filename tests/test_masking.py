@@ -1,0 +1,142 @@
+"""Tests for defective-pixel masking (cosmic rays, saturation).
+
+Real survey frames carry pixel masks; the inference and the heuristic
+pipeline must both exclude flagged pixels, and corruption that *is* flagged
+must not bias results the way unflagged corruption does.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import CatalogEntry, default_priors, make_context
+from repro.core.single import OptimizeConfig, optimize_source, to_catalog_entry
+from repro.photo import detect_sources, psf_flux
+from repro.psf import default_psf
+from repro.survey import AffineWCS, Image, ImageMeta, render_image
+
+
+STAR = CatalogEntry([13.0, 12.0], False, 30.0, [1.5, 1.1, 0.25, 0.05])
+
+
+def meta(band=2):
+    return ImageMeta(band=band, wcs=AffineWCS.translation(0.0, 0.0),
+                     psf=default_psf(3.0), sky_level=100.0, calibration=100.0)
+
+
+def clean_scene(seed=0, bands=(1, 2, 3)):
+    rng = np.random.default_rng(seed)
+    return [render_image([STAR], meta(b), (26, 26), rng=rng) for b in bands]
+
+
+def corrupt(images, where=(12, 13), amount=5e4, flag=True):
+    """Deposit a cosmic ray near the source, optionally flagged."""
+    out = []
+    for im in images:
+        pixels = im.pixels.copy()
+        pixels[where] += amount
+        mask = np.zeros(pixels.shape, dtype=bool)
+        mask[where] = True
+        out.append(Image(pixels=pixels, meta=im.meta,
+                         mask=mask if flag else None))
+    return out
+
+
+class TestImageMask:
+    def test_mask_shape_validated(self):
+        with pytest.raises(ValueError):
+            Image(np.zeros((10, 10)), meta(), mask=np.zeros((5, 5), bool))
+
+    def test_render_with_cosmic_rays(self):
+        rng = np.random.default_rng(1)
+        im = render_image([], meta(), (60, 60), rng=rng, cosmic_ray_rate=0.01)
+        assert im.mask is not None
+        n_hits = int(im.mask.sum())
+        assert 10 <= n_hits <= 80
+        # Hit pixels are far above sky.
+        assert im.pixels[im.mask].mean() > 5 * im.meta.sky_level
+
+    def test_render_without_cosmic_rays_has_no_mask(self):
+        im = render_image([], meta(), (20, 20),
+                          rng=np.random.default_rng(2))
+        assert im.mask is None
+
+
+class TestInferenceWithMask:
+    def test_masked_pixels_excluded_from_context(self):
+        images = corrupt(clean_scene(), flag=True)
+        priors = default_priors()
+        ctx_clean = make_context(clean_scene(), STAR.position, priors)
+        ctx_masked = make_context(images, STAR.position, priors)
+        assert ctx_masked.n_active_pixels == ctx_clean.n_active_pixels - 3
+
+    def test_flagged_corruption_harmless(self):
+        priors = default_priors()
+        cfg = OptimizeConfig(max_iter=30)
+
+        ctx_clean = make_context(clean_scene(), STAR.position, priors)
+        clean_est = to_catalog_entry(
+            optimize_source(ctx_clean, STAR, cfg).params)
+
+        ctx_masked = make_context(corrupt(clean_scene(), flag=True),
+                                  STAR.position, priors)
+        masked_est = to_catalog_entry(
+            optimize_source(ctx_masked, STAR, cfg).params)
+
+        # Flagged corruption barely moves the answer.
+        assert abs(masked_est.flux_r - clean_est.flux_r) < 0.1 * clean_est.flux_r
+
+    def test_unflagged_corruption_biases(self):
+        priors = default_priors()
+        cfg = OptimizeConfig(max_iter=30)
+        ctx_clean = make_context(clean_scene(), STAR.position, priors)
+        clean_est = to_catalog_entry(
+            optimize_source(ctx_clean, STAR, cfg).params)
+        ctx_bad = make_context(corrupt(clean_scene(), flag=False),
+                               STAR.position, priors)
+        bad_est = to_catalog_entry(optimize_source(ctx_bad, STAR, cfg).params)
+        # A 500-sigma unflagged deposit on the source visibly biases flux.
+        assert abs(bad_est.flux_r - clean_est.flux_r) > 0.1 * clean_est.flux_r
+
+
+class TestPhotoWithMask:
+    def test_detection_ignores_flagged_cosmic_ray(self):
+        rng = np.random.default_rng(5)
+        blank = render_image([], meta(), (50, 50), rng=rng)
+        corrupted = corrupt([blank], where=(25, 25), flag=True)[0]
+        assert len(detect_sources(corrupted)) == 0
+
+    def test_detection_fooled_by_unflagged_cosmic_ray(self):
+        rng = np.random.default_rng(5)
+        blank = render_image([], meta(), (50, 50), rng=rng)
+        corrupted = corrupt([blank], where=(25, 25), amount=5e3, flag=False)[0]
+        assert len(detect_sources(corrupted)) >= 1
+
+    def test_psf_flux_with_mask(self):
+        images = clean_scene(seed=6)
+        ref = images[1]
+        clean = psf_flux(ref, STAR.position)
+        corrupted = corrupt([ref], flag=True)[0]
+        flagged = psf_flux(corrupted, STAR.position)
+        assert abs(flagged - clean) < 0.2 * clean
+
+
+class TestMaskIO:
+    def test_mask_roundtrips_through_field_files(self, tmp_path):
+        from repro.survey import load_field, save_field
+
+        images = corrupt(clean_scene(seed=7), flag=True)
+        path = str(tmp_path / "masked_field.npz")
+        save_field(path, images)
+        loaded = load_field(path)
+        for a, b in zip(images, loaded):
+            assert b.mask is not None
+            np.testing.assert_array_equal(a.mask, b.mask)
+
+    def test_no_mask_roundtrip(self, tmp_path):
+        from repro.survey import load_field, save_field
+
+        images = clean_scene(seed=8)
+        path = str(tmp_path / "clean_field.npz")
+        save_field(path, images)
+        loaded = load_field(path)
+        assert all(im.mask is None for im in loaded)

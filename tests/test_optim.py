@@ -1,0 +1,175 @@
+"""Tests for the trust-region Newton and L-BFGS optimizers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.optim import lbfgs_minimize, newton_trust_region, solve_trust_region
+
+
+def quad_factory(H, g0):
+    """f(x) = g0.x + x.H.x/2 with analytic derivatives."""
+
+    def fgh(x):
+        return float(g0 @ x + 0.5 * x @ H @ x), g0 + H @ x, H
+
+    def fg(x):
+        f, g, _ = fgh(x)
+        return f, g
+
+    return fgh, fg
+
+
+def rosenbrock_fgh(x):
+    a, b = 1.0, 100.0
+    f = (a - x[0]) ** 2 + b * (x[1] - x[0] ** 2) ** 2
+    g = np.array([
+        -2 * (a - x[0]) - 4 * b * x[0] * (x[1] - x[0] ** 2),
+        2 * b * (x[1] - x[0] ** 2),
+    ])
+    h = np.array([
+        [2 - 4 * b * (x[1] - 3 * x[0] ** 2), -4 * b * x[0]],
+        [-4 * b * x[0], 2 * b],
+    ])
+    return f, g, h
+
+
+class TestTrustRegionSubproblem:
+    def test_interior_newton_step(self):
+        H = np.diag([2.0, 4.0])
+        g = np.array([2.0, 4.0])
+        step, pred = solve_trust_region(g, H, radius=10.0)
+        np.testing.assert_allclose(step, [-1.0, -1.0], atol=1e-8)
+        np.testing.assert_allclose(pred, 3.0, rtol=1e-8)
+
+    def test_boundary_step_has_radius_norm(self):
+        H = np.diag([2.0, 4.0])
+        g = np.array([10.0, 20.0])
+        radius = 0.5
+        step, _ = solve_trust_region(g, H, radius)
+        np.testing.assert_allclose(np.linalg.norm(step), radius, rtol=1e-6)
+
+    def test_indefinite_hessian_moves_to_boundary(self):
+        H = np.diag([-2.0, 1.0])
+        g = np.array([0.5, 0.5])
+        radius = 1.0
+        step, pred = solve_trust_region(g, H, radius)
+        np.testing.assert_allclose(np.linalg.norm(step), radius, rtol=1e-6)
+        assert pred > 0
+
+    def test_hard_case_zero_gradient_component(self):
+        # Gradient orthogonal to the negative eigenvector: the classic hard case.
+        H = np.diag([-1.0, 2.0])
+        g = np.array([0.0, 1.0])
+        radius = 2.0
+        step, pred = solve_trust_region(g, H, radius)
+        np.testing.assert_allclose(np.linalg.norm(step), radius, rtol=1e-6)
+        assert pred > 0
+
+    def test_zero_gradient_negative_curvature(self):
+        H = np.diag([-1.0, 3.0])
+        g = np.zeros(2)
+        step, pred = solve_trust_region(g, H, radius=1.5)
+        np.testing.assert_allclose(np.linalg.norm(step), 1.5, rtol=1e-6)
+        assert pred > 0
+
+    def test_invalid_radius(self):
+        with pytest.raises(ValueError):
+            solve_trust_region(np.ones(2), np.eye(2), radius=0.0)
+
+    def test_predicted_decrease_matches_model(self):
+        rng = np.random.default_rng(3)
+        A = rng.normal(size=(5, 5))
+        H = A + A.T
+        g = rng.normal(size=5)
+        step, pred = solve_trust_region(g, H, radius=0.7)
+        model_decrease = -(g @ step + 0.5 * step @ H @ step)
+        np.testing.assert_allclose(pred, model_decrease, rtol=1e-9)
+
+
+class TestNewtonTrustRegion:
+    def test_quadratic_one_step(self):
+        H = np.diag([1.0, 10.0])
+        g0 = np.array([1.0, -2.0])
+        fgh, _ = quad_factory(H, g0)
+        res = newton_trust_region(fgh, np.zeros(2), initial_radius=100.0)
+        assert res.converged
+        np.testing.assert_allclose(res.x, -np.linalg.solve(H, g0), atol=1e-6)
+        assert res.n_iterations <= 3
+
+    def test_rosenbrock_converges_in_tens(self):
+        res = newton_trust_region(rosenbrock_fgh, np.array([-1.2, 1.0]),
+                                  max_iter=100)
+        assert res.converged
+        np.testing.assert_allclose(res.x, [1.0, 1.0], atol=1e-5)
+        assert res.n_iterations < 50  # "tens of iterations"
+
+    def test_nonconvex_start_escapes_saddle(self):
+        # f = x^2 y^2-ish saddle at origin with negative curvature directions.
+        def fgh(x):
+            f = x[0] ** 4 / 4 - x[0] ** 2 / 2 + x[1] ** 2
+            g = np.array([x[0] ** 3 - x[0], 2 * x[1]])
+            h = np.array([[3 * x[0] ** 2 - 1, 0.0], [0.0, 2.0]])
+            return f, g, h
+
+        res = newton_trust_region(fgh, np.array([0.0, 0.5]), max_iter=100)
+        assert res.converged
+        assert abs(abs(res.x[0]) - 1.0) < 1e-5  # reached a true minimum
+
+    def test_respects_iteration_limit(self):
+        res = newton_trust_region(rosenbrock_fgh, np.array([-1.2, 1.0]), max_iter=2)
+        assert not res.converged
+        assert res.n_iterations == 2
+
+
+class TestLBFGS:
+    def test_quadratic(self):
+        H = np.diag([1.0, 4.0, 9.0])
+        g0 = np.array([1.0, 1.0, 1.0])
+        _, fg = quad_factory(H, g0)
+        res = lbfgs_minimize(fg, np.zeros(3))
+        assert res.converged
+        np.testing.assert_allclose(res.x, -np.linalg.solve(H, g0), atol=1e-5)
+
+    def test_rosenbrock(self):
+        def fg(x):
+            f, g, _ = rosenbrock_fgh(x)
+            return f, g
+
+        res = lbfgs_minimize(fg, np.array([-1.2, 1.0]), max_iter=2000)
+        assert res.converged
+        np.testing.assert_allclose(res.x, [1.0, 1.0], atol=1e-4)
+
+    def test_newton_beats_lbfgs_on_illconditioned(self):
+        # The paper's core claim at the optimizer level: second-order info
+        # slashes iteration counts on ill-conditioned problems.
+        rng = np.random.default_rng(0)
+        n = 12
+        evals = np.geomspace(1.0, 1e4, n)
+        Q, _ = np.linalg.qr(rng.normal(size=(n, n)))
+        H = Q @ np.diag(evals) @ Q.T
+        g0 = rng.normal(size=n)
+        fgh, fg = quad_factory(H, g0)
+        newton = newton_trust_region(fgh, np.zeros(n), initial_radius=1e3)
+        lbfgs = lbfgs_minimize(fg, np.zeros(n), max_iter=2000)
+        assert newton.converged
+        assert newton.n_iterations * 10 < max(lbfgs.n_iterations, 100)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    d1=st.floats(min_value=-3.0, max_value=5.0),
+    d2=st.floats(min_value=0.1, max_value=5.0),
+    gx=st.floats(min_value=-5.0, max_value=5.0),
+    gy=st.floats(min_value=-5.0, max_value=5.0),
+    radius=st.floats(min_value=0.05, max_value=5.0),
+)
+def test_property_tr_step_feasible_and_decreasing(d1, d2, gx, gy, radius):
+    H = np.diag([d1, d2])
+    g = np.array([gx, gy])
+    step, pred = solve_trust_region(g, H, radius)
+    assert np.linalg.norm(step) <= radius * (1 + 1e-6)
+    assert pred >= -1e-10
+    # The model value at the step never exceeds the value at the origin.
+    model = g @ step + 0.5 * step @ H @ step
+    assert model <= 1e-9

@@ -1,0 +1,195 @@
+"""Tests for sky partitioning and task generation."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.catalog import Catalog, CatalogEntry
+from repro.partition import (
+    Region,
+    Task,
+    bright_pixel_weight,
+    generate_tasks,
+    partition_sky,
+    shifted_partition,
+)
+
+
+def make_catalog(n=200, seed=0, clustered=False):
+    rng = np.random.default_rng(seed)
+    entries = []
+    for i in range(n):
+        if clustered and i < n // 2:
+            pos = rng.normal([25.0, 25.0], 6.0)
+            pos = np.clip(pos, 0.0, 99.9)
+        else:
+            pos = rng.uniform(0, 100, 2)
+        entries.append(CatalogEntry(
+            position=pos,
+            is_galaxy=bool(rng.random() < 0.5),
+            flux_r=float(np.exp(rng.normal(1.0, 1.0))) + 0.1,
+            colors=rng.normal(0.5, 0.2, 4),
+        ))
+    return Catalog(entries)
+
+
+BOUNDS = Region(0.0, 100.0, 0.0, 100.0)
+
+
+class TestRegion:
+    def test_split_longer_axis(self):
+        wide = Region(0, 10, 0, 4)
+        a, b = wide.split()
+        assert a.x_max == b.x_min == 5.0
+        tall = Region(0, 4, 0, 10)
+        a, b = tall.split()
+        assert a.y_max == b.y_min == 5.0
+
+    def test_split_preserves_area(self):
+        r = Region(0, 7, 0, 13)
+        a, b = r.split()
+        np.testing.assert_allclose(a.area + b.area, r.area)
+
+    def test_contains_half_open(self):
+        r = Region(0, 10, 0, 10)
+        assert r.contains(np.array([0.0, 0.0]))
+        assert not r.contains(np.array([10.0, 5.0]))
+
+
+class TestBrightPixelWeight:
+    def test_brighter_means_heavier(self):
+        dim = CatalogEntry([0, 0], False, 1.0, np.zeros(4))
+        bright = CatalogEntry([0, 0], False, 100.0, np.zeros(4))
+        assert bright_pixel_weight(bright) > bright_pixel_weight(dim)
+
+    def test_bigger_galaxy_heavier(self):
+        small = CatalogEntry([0, 0], True, 10.0, np.zeros(4), gal_radius_px=1.0)
+        big = CatalogEntry([0, 0], True, 10.0, np.zeros(4), gal_radius_px=5.0)
+        assert bright_pixel_weight(big) > bright_pixel_weight(small)
+
+
+class TestPartitionSky:
+    def test_partition_covers_bounds(self):
+        cat = make_catalog()
+        regions = partition_sky(cat, BOUNDS, target_weight=30.0)
+        total_area = sum(r.area for r in regions)
+        np.testing.assert_allclose(total_area, BOUNDS.area, rtol=1e-9)
+
+    def test_regions_disjoint(self):
+        cat = make_catalog()
+        regions = partition_sky(cat, BOUNDS, target_weight=30.0)
+        rng = np.random.default_rng(1)
+        for _ in range(200):
+            p = rng.uniform(0, 100, 2)
+            owners = [r for r in regions if r.contains(p)]
+            assert len(owners) == 1
+
+    def test_weights_balanced(self):
+        cat = make_catalog(n=400, clustered=True)
+        target = 40.0
+        regions = partition_sky(cat, BOUNDS, target_weight=target)
+        weights = []
+        for r in regions:
+            w = sum(bright_pixel_weight(e) for e in cat
+                    if r.contains(e.position))
+            weights.append(w)
+        assert max(weights) <= 1.05 * target or len(regions) > 4
+
+    def test_clustered_catalog_gets_smaller_regions_in_cluster(self):
+        cat = make_catalog(n=400, clustered=True, seed=2)
+        regions = partition_sky(cat, BOUNDS, target_weight=40.0)
+        in_cluster = [r for r in regions if r.contains(np.array([25.0, 25.0]))]
+        far = [r for r in regions if r.contains(np.array([85.0, 85.0]))]
+        assert in_cluster[0].area < far[0].area
+
+    def test_min_size_respected(self):
+        cat = make_catalog(n=500, seed=3)
+        regions = partition_sky(cat, BOUNDS, target_weight=0.5, min_size=12.0)
+        for r in regions:
+            assert r.width >= 6.0 - 1e-9 and r.height >= 6.0 - 1e-9
+
+    def test_invalid_target(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            partition_sky(make_catalog(), BOUNDS, target_weight=0.0)
+
+
+class TestGenerateTasks:
+    def test_every_source_in_exactly_one_stage0_task(self):
+        cat = make_catalog()
+        tasks = generate_tasks(cat, BOUNDS, target_weight=30.0, two_stage=False)
+        seen = []
+        for t in tasks:
+            seen.extend(t.source_indices)
+        assert sorted(seen) == list(range(len(cat)))
+
+    def test_two_stage_covers_twice(self):
+        cat = make_catalog()
+        tasks = generate_tasks(cat, BOUNDS, target_weight=30.0, two_stage=True)
+        stage0 = [t for t in tasks if t.stage == 0]
+        stage1 = [t for t in tasks if t.stage == 1]
+        assert stage0 and stage1
+        seen1 = sorted(i for t in stage1 for i in t.source_indices)
+        assert seen1 == list(range(len(cat)))
+
+    def test_stage1_regions_disjoint_and_cover(self):
+        cat = make_catalog(n=300, seed=5)
+        regions = partition_sky(cat, BOUNDS, target_weight=40.0)
+        shifted = shifted_partition(regions, BOUNDS)
+        rng = np.random.default_rng(7)
+        for _ in range(300):
+            p = rng.uniform(0, 100, 2)
+            assert sum(r.contains(p) for r in shifted) == 1
+
+    def test_border_sources_interior_in_stage1(self):
+        cat = make_catalog(n=300, seed=5)
+        regions = partition_sky(cat, BOUNDS, target_weight=40.0)
+        shifted = shifted_partition(regions, BOUNDS)
+        # For most sources near a stage-0 border (excluding the survey's own
+        # outer boundary, which no shift can fix), the stage-1 region border
+        # should be farther away.
+        improved = 0
+        checked = 0
+        for e in cat:
+            if _border_distance(BOUNDS, e.position) < 3.0:
+                continue
+            d0 = min(_border_distance(r, e.position) for r in regions
+                     if r.contains(e.position))
+            if d0 > 2.0:
+                continue
+            d1 = min(_border_distance(r, e.position) for r in shifted
+                     if r.contains(e.position))
+            checked += 1
+            if d1 > d0:
+                improved += 1
+        assert checked > 0
+        # The majority of border sources must improve (the paper's regions
+        # are more uniform than ours, hence its stronger "almost always").
+        assert improved / checked > 0.6
+
+    def test_task_weight_positive(self):
+        cat = make_catalog()
+        for t in generate_tasks(cat, BOUNDS, 30.0, two_stage=False):
+            assert t.weight() > 0
+            assert t.n_sources == len(t.entries)
+
+
+def _border_distance(region: Region, p) -> float:
+    return min(p[0] - region.x_min, region.x_max - p[0],
+               p[1] - region.y_min, region.y_max - p[1])
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n=st.integers(min_value=0, max_value=120),
+    target=st.floats(min_value=5.0, max_value=200.0),
+    seed=st.integers(min_value=0, max_value=10),
+)
+def test_property_partition_exact_cover(n, target, seed):
+    cat = make_catalog(n=n, seed=seed)
+    regions = partition_sky(cat, BOUNDS, target_weight=target)
+    total_area = sum(r.area for r in regions)
+    np.testing.assert_allclose(total_area, BOUNDS.area, rtol=1e-9)
+    # every source assigned to exactly one region
+    for e in cat:
+        assert sum(r.contains(e.position) for r in regions) == 1

@@ -1,0 +1,197 @@
+"""Tests for the PGAS global array and the Dtree / central schedulers."""
+
+import threading
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.pgas import GlobalArray, LocalTransport, RecordingTransport
+from repro.sched import CentralQueue, Dtree, DtreeConfig
+
+
+class TestGlobalArray:
+    def test_put_get_roundtrip(self):
+        ga = GlobalArray(n_rows=10, row_width=4, n_ranks=3)
+        row = np.array([1.0, 2.0, 3.0, 4.0])
+        ga.put_row(7, row)
+        np.testing.assert_allclose(ga.get_row(7), row)
+
+    def test_partition_covers_all_rows(self):
+        ga = GlobalArray(n_rows=11, row_width=2, n_ranks=4)
+        owned = []
+        for rank in range(4):
+            lo, hi = ga.owned_range(rank)
+            owned.extend(range(lo, hi))
+        assert sorted(owned) == list(range(11))
+
+    def test_owner_consistent_with_range(self):
+        ga = GlobalArray(n_rows=23, row_width=3, n_ranks=5)
+        for row in range(23):
+            rank = ga.owner(row)
+            lo, hi = ga.owned_range(rank)
+            assert lo <= row < hi
+
+    def test_out_of_range(self):
+        ga = GlobalArray(n_rows=5, row_width=2, n_ranks=2)
+        with pytest.raises(IndexError):
+            ga.get_row(5)
+        with pytest.raises(ValueError):
+            ga.put_row(0, np.zeros(3))
+
+    def test_dense_gather(self):
+        ga = GlobalArray(n_rows=6, row_width=2, n_ranks=2)
+        for i in range(6):
+            ga.put_row(i, np.array([i, i * 10.0]))
+        dense = ga.to_dense()
+        np.testing.assert_allclose(dense[:, 0], np.arange(6))
+
+    def test_recording_transport_counts(self):
+        rec = RecordingTransport(LocalTransport(), local_rank=0)
+        ga = GlobalArray(n_rows=8, row_width=44, n_ranks=4, transport=rec)
+        ga.put_row(0, np.zeros(44))   # local
+        ga.get_row(7)                 # remote
+        assert rec.stats.n_put == 1
+        assert rec.stats.n_get == 1
+        assert rec.stats.bytes_put == 44 * 8
+        assert rec.stats.remote_fraction_ops == 1
+        assert rec.stats.modeled_seconds > 0
+
+    def test_concurrent_put_get(self):
+        ga = GlobalArray(n_rows=40, row_width=4, n_ranks=4)
+        errors = []
+
+        def worker(base):
+            try:
+                for i in range(40):
+                    ga.put_row(i, np.full(4, float(base)))
+                    ga.get_row((i * 7) % 40)
+            except Exception as e:  # pragma: no cover
+                errors.append(e)
+
+        threads = [threading.Thread(target=worker, args=(k,)) for k in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        # Every row holds one of the written values (no torn rows).
+        for i in range(40):
+            row = ga.get_row(i)
+            assert row.min() == row.max()
+
+
+class TestDtree:
+    def test_all_tasks_distributed_exactly_once(self):
+        sched = Dtree(n_workers=16, n_tasks=200)
+        seen = []
+        active = list(range(16))
+        while active:
+            still = []
+            for w in active:
+                batch = sched.request(w)
+                if batch:
+                    seen.extend(batch)
+                    still.append(w)
+            active = still
+        assert sorted(seen) == list(range(200))
+
+    def test_tree_height_logarithmic(self):
+        assert Dtree(1, 10).height == 0
+        assert Dtree(8, 10).height == 1
+        assert Dtree(64, 10).height == 2
+        assert Dtree(65, 10).height == 3
+
+    def test_static_allotment_served_without_hops(self):
+        sched = Dtree(n_workers=4, n_tasks=100)
+        sched.request(0)
+        assert sched.stats["hops"] == 0  # first request hits the local pool
+
+    def test_message_count_scales_gently(self):
+        # Total hops should be far below one-per-task (batching + locality).
+        sched = Dtree(n_workers=64, n_tasks=6400)
+        n = 0
+        active = list(range(64))
+        while active:
+            still = []
+            for w in active:
+                b = sched.request(w, max_batch=4)
+                n += len(b)
+                if b:
+                    still.append(w)
+            active = still
+        assert n == 6400
+        assert sched.stats["hops"] < 6400
+
+    def test_empty_work(self):
+        sched = Dtree(n_workers=4, n_tasks=0)
+        assert sched.request(0) == []
+
+    def test_invalid_worker(self):
+        with pytest.raises(IndexError):
+            Dtree(2, 10).request(5)
+
+    def test_threaded_distribution_no_loss(self):
+        sched = Dtree(n_workers=8, n_tasks=800,
+                      config=DtreeConfig(min_batch=2))
+        seen = []
+        lock = threading.Lock()
+
+        def worker(w):
+            while True:
+                batch = sched.request(w, max_batch=3)
+                if not batch:
+                    return
+                with lock:
+                    seen.extend(batch)
+
+        threads = [threading.Thread(target=worker, args=(w,)) for w in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert sorted(seen) == list(range(800))
+
+
+class TestCentralQueue:
+    def test_all_tasks_once(self):
+        q = CentralQueue(n_workers=4, n_tasks=50)
+        seen = []
+        while True:
+            got_any = False
+            for w in range(4):
+                b = q.request(w)
+                if b:
+                    seen.extend(b)
+                    got_any = True
+            if not got_any:
+                break
+        assert sorted(seen) == list(range(50))
+
+    def test_message_per_request(self):
+        q = CentralQueue(n_workers=2, n_tasks=10)
+        q.request(0)
+        q.request(1)
+        assert q.stats["messages"] == 2
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n_workers=st.integers(min_value=1, max_value=40),
+    n_tasks=st.integers(min_value=0, max_value=300),
+    fanout=st.integers(min_value=2, max_value=8),
+)
+def test_property_dtree_conservation(n_workers, n_tasks, fanout):
+    sched = Dtree(n_workers, n_tasks, DtreeConfig(fanout=fanout))
+    seen = []
+    active = list(range(n_workers))
+    while active:
+        still = []
+        for w in active:
+            b = sched.request(w, max_batch=2)
+            seen.extend(b)
+            if b:
+                still.append(w)
+        active = still
+    assert sorted(seen) == list(range(n_tasks))
+    assert len(set(seen)) == len(seen)

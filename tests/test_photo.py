@@ -1,0 +1,214 @@
+"""Tests for the Photo-style heuristic baseline pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core.catalog import Catalog, CatalogEntry
+from repro.photo import (
+    PhotoConfig,
+    aperture_flux,
+    classify_star_galaxy,
+    detect_sources,
+    measure_shape,
+    psf_flux,
+    run_photo,
+)
+from repro.psf import default_psf
+from repro.survey import AffineWCS, ImageMeta, generate_field_images, render_image
+from repro.validation import match_catalogs, score_catalog
+
+
+def star(pos, flux=40.0, colors=(1.5, 1.1, 0.25, 0.05)):
+    return CatalogEntry(position=np.asarray(pos, float), is_galaxy=False,
+                        flux_r=flux, colors=np.asarray(colors))
+
+
+def galaxy(pos, flux=80.0, radius=2.5, colors=(0.7, 0.45, 0.6, 0.45)):
+    return CatalogEntry(position=np.asarray(pos, float), is_galaxy=True,
+                        flux_r=flux, colors=np.asarray(colors),
+                        gal_radius_px=radius, gal_axis_ratio=0.6,
+                        gal_angle=0.9, gal_frac_dev=0.0)
+
+
+def render_scene(entries, band=2, shape=(60, 60), seed=0, sky=100.0):
+    rng = np.random.default_rng(seed)
+    meta = ImageMeta(band=band, wcs=AffineWCS.translation(0.0, 0.0),
+                     psf=default_psf(3.0), sky_level=sky, calibration=100.0)
+    return render_image(entries, meta, shape, rng=rng)
+
+
+class TestDetect:
+    def test_finds_isolated_bright_star(self):
+        im = render_scene([star([30.0, 25.0], 60.0)])
+        pos = detect_sources(im)
+        assert len(pos) >= 1
+        assert np.linalg.norm(pos[0] - [30.0, 25.0]) < 1.0
+
+    def test_no_false_positives_on_blank_sky(self):
+        im = render_scene([], seed=1)
+        pos = detect_sources(im, threshold_sigma=5.0)
+        assert len(pos) == 0
+
+    def test_detects_multiple_sources(self):
+        entries = [star([15.0, 15.0], 60.0), star([45.0, 40.0], 50.0),
+                   galaxy([20.0, 45.0], 120.0)]
+        im = render_scene(entries, seed=2)
+        pos = detect_sources(im)
+        assert len(pos) == 3
+
+    def test_subpixel_refinement(self):
+        im = render_scene([star([30.4, 25.6], 200.0)], seed=3)
+        pos = detect_sources(im)
+        assert np.linalg.norm(pos[0] - [30.4, 25.6]) < 0.35
+
+    def test_brightest_first(self):
+        entries = [star([15.0, 15.0], 30.0), star([45.0, 40.0], 300.0)]
+        im = render_scene(entries, seed=4)
+        pos = detect_sources(im)
+        assert np.linalg.norm(pos[0] - [45.0, 40.0]) < 1.0
+
+
+class TestPhotometry:
+    def test_psf_flux_unbiased_for_star(self):
+        fluxes = []
+        for seed in range(6):
+            im = render_scene([star([30.0, 30.0], 50.0)], seed=seed)
+            fluxes.append(psf_flux(im, np.array([30.0, 30.0])))
+        assert abs(np.mean(fluxes) - 50.0) / 50.0 < 0.05
+
+    def test_psf_flux_underestimates_galaxy(self):
+        gal = galaxy([30.0, 30.0], flux=100.0, radius=3.0)
+        im = render_scene([gal], seed=1)
+        assert psf_flux(im, gal.position) < 80.0
+
+    def test_aperture_flux_recovers_galaxy(self):
+        gal = galaxy([30.0, 30.0], flux=100.0, radius=2.0)
+        vals = [
+            aperture_flux(render_scene([gal], seed=s), gal.position, radius=8.0)
+            for s in range(6)
+        ]
+        assert abs(np.mean(vals) - 100.0) / 100.0 < 0.15
+
+    def test_off_image_returns_zero(self):
+        im = render_scene([])
+        assert psf_flux(im, np.array([500.0, 500.0])) == 0.0
+        assert aperture_flux(im, np.array([500.0, 500.0])) == 0.0
+
+
+class TestShapes:
+    def test_star_concentration_near_one(self):
+        im = render_scene([star([30.0, 30.0], 200.0)], seed=5)
+        s = measure_shape(im, np.array([30.0, 30.0]))
+        assert 0.9 < s.concentration < 1.12
+
+    def test_galaxy_concentration_above_one(self):
+        gal = galaxy([30.0, 30.0], flux=300.0, radius=3.0)
+        im = render_scene([gal], seed=6)
+        s = measure_shape(im, gal.position)
+        assert s.concentration > 1.2
+
+    def test_angle_recovered_for_elongated_galaxy(self):
+        gal = CatalogEntry(position=[30.0, 30.0], is_galaxy=True, flux_r=500.0,
+                           colors=[0.7, 0.45, 0.6, 0.45], gal_radius_px=4.0,
+                           gal_axis_ratio=0.3, gal_angle=0.6, gal_frac_dev=0.0)
+        im = render_scene([gal], seed=7)
+        s = measure_shape(im, gal.position)
+        d = abs(s.angle - 0.6) % np.pi
+        assert min(d, np.pi - d) < 0.25
+
+    def test_radius_scales_with_true_radius(self):
+        rs = []
+        for radius in (1.0, 3.0):
+            gal = galaxy([30.0, 30.0], flux=400.0, radius=radius)
+            im = render_scene([gal], seed=8)
+            rs.append(measure_shape(im, gal.position).radius_px)
+        assert rs[1] > rs[0] * 1.5
+
+    def test_classify(self):
+        im_s = render_scene([star([30.0, 30.0], 200.0)], seed=9)
+        im_g = render_scene([galaxy([30.0, 30.0], 300.0, radius=3.0)], seed=9)
+        s_star = measure_shape(im_s, np.array([30.0, 30.0]))
+        s_gal = measure_shape(im_g, np.array([30.0, 30.0]))
+        assert not classify_star_galaxy(s_star)
+        assert classify_star_galaxy(s_gal)
+
+
+class TestPipeline:
+    @pytest.fixture(scope="class")
+    def field(self):
+        truth = Catalog([
+            star([15.0, 15.0], 60.0),
+            star([45.0, 20.0], 35.0),
+            galaxy([20.0, 45.0], 150.0, radius=2.5),
+            galaxy([45.0, 45.0], 90.0, radius=1.8),
+        ])
+        rng = np.random.default_rng(10)
+        images = generate_field_images(truth, (0.0, 0.0), (60, 60), rng=rng)
+        return truth, images
+
+    def test_catalog_completeness(self, field):
+        truth, images = field
+        cat = run_photo(images)
+        match = match_catalogs(truth, cat)
+        assert match.completeness >= 0.75
+
+    def test_type_classification_mostly_right(self, field):
+        truth, images = field
+        cat = run_photo(images)
+        metrics = score_catalog(truth, cat)
+        assert metrics.missed_gals <= 0.5
+        assert metrics.missed_stars <= 0.5
+
+    def test_brightness_reasonable(self, field):
+        truth, images = field
+        metrics = score_catalog(truth, run_photo(images))
+        assert metrics.brightness < 0.5  # magnitudes
+
+    def test_requires_reference_band(self, field):
+        _, images = field
+        with pytest.raises(ValueError):
+            run_photo([im for im in images if im.band != 2])
+
+    def test_no_uncertainty_fields(self, field):
+        _, images = field
+        cat = run_photo(images)
+        assert all(e.flux_r_sd is None for e in cat)
+        assert all(e.prob_galaxy is None for e in cat)
+
+
+class TestValidation:
+    def test_match_pairs_nearest(self):
+        truth = Catalog([star([10.0, 10.0]), star([30.0, 30.0])])
+        est = Catalog([star([10.3, 10.1]), star([29.8, 30.2])])
+        m = match_catalogs(truth, est)
+        assert m.n_matched == 2
+        assert m.completeness == 1.0
+
+    def test_match_respects_max_distance(self):
+        truth = Catalog([star([10.0, 10.0])])
+        est = Catalog([star([16.0, 10.0])])
+        m = match_catalogs(truth, est, max_distance=2.0)
+        assert m.n_matched == 0
+        assert len(m.unmatched_truth) == 1
+        assert len(m.unmatched_estimate) == 1
+
+    def test_perfect_catalog_scores_zero(self):
+        truth = Catalog([star([10.0, 10.0]), galaxy([30.0, 30.0])])
+        metrics = score_catalog(truth, truth)
+        assert metrics.position == 0.0
+        assert metrics.brightness == 0.0
+        assert metrics.missed_gals == 0.0
+        assert metrics.angle == 0.0
+
+    def test_angle_error_wraps(self):
+        t = galaxy([10.0, 10.0])
+        e = galaxy([10.0, 10.0])
+        e.gal_angle = t.gal_angle + np.pi - 0.05  # nearly the same axis
+        metrics = score_catalog(Catalog([t]), Catalog([e]))
+        assert metrics.angle < 5.0
+
+    def test_empty_catalogs(self):
+        m = match_catalogs(Catalog([]), Catalog([]))
+        assert m.n_matched == 0
+        metrics = score_catalog(Catalog([star([1.0, 1.0])]), Catalog([]))
+        assert metrics.n_matched == 0

@@ -1,0 +1,108 @@
+"""Tests for the Gaussian-mixture PSF and PSF fitting."""
+
+import numpy as np
+import pytest
+
+from repro.psf import MixturePSF, default_psf, fit_psf
+
+
+class TestMixturePSF:
+    def test_weights_normalized(self):
+        psf = MixturePSF(
+            weights=np.array([2.0, 2.0]),
+            means=np.zeros((2, 2)),
+            covs=np.stack([np.eye(2), 4 * np.eye(2)]),
+        )
+        np.testing.assert_allclose(psf.weights.sum(), 1.0)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            MixturePSF(np.ones(2), np.zeros((3, 2)), np.stack([np.eye(2)] * 2))
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            MixturePSF(np.array([1.0, -0.1]), np.zeros((2, 2)), np.stack([np.eye(2)] * 2))
+
+    def test_density_integrates_to_one(self):
+        psf = default_psf(fwhm=3.0)
+        xs = np.linspace(-25, 25, 251)
+        dx, dy = np.meshgrid(xs, xs)
+        total = psf.density(dx, dy).sum() * (xs[1] - xs[0]) ** 2
+        np.testing.assert_allclose(total, 1.0, atol=1e-3)
+
+    def test_density_peak_at_center(self):
+        psf = default_psf(fwhm=3.0)
+        center = psf.density(0.0, 0.0)
+        assert center > psf.density(1.0, 0.0) > psf.density(3.0, 0.0)
+
+    def test_fwhm_roundtrip(self):
+        # A single-Gaussian PSF's effective FWHM should equal the input FWHM.
+        psf = default_psf(fwhm=3.4, wing_fraction=0.0)
+        np.testing.assert_allclose(psf.fwhm(), 3.4, rtol=1e-6)
+
+    def test_second_moment_isotropic(self):
+        psf = default_psf(fwhm=2.8)
+        m = psf.second_moment()
+        np.testing.assert_allclose(m[0, 1], 0.0, atol=1e-12)
+        np.testing.assert_allclose(m[0, 0], m[1, 1], rtol=1e-12)
+
+    def test_components_iteration(self):
+        psf = default_psf(fwhm=3.0)
+        comps = list(psf.components())
+        assert len(comps) == 2
+        total_w = sum(w for w, _, _ in comps)
+        np.testing.assert_allclose(total_w, 1.0)
+
+
+class TestFitPSF:
+    def _render_stamp(self, psf, size=25):
+        c = size // 2
+        ys, xs = np.mgrid[0:size, 0:size]
+        return psf.density(xs - c, ys - c)
+
+    def test_recovers_single_gaussian(self):
+        truth = default_psf(fwhm=3.0, wing_fraction=0.0)
+        stamp = self._render_stamp(truth)
+        fit = fit_psf(stamp, n_components=1)
+        np.testing.assert_allclose(fit.fwhm(), truth.fwhm(), rtol=0.05)
+        np.testing.assert_allclose(fit.means[0], [0.0, 0.0], atol=0.05)
+
+    def test_recovers_double_gaussian_moments(self):
+        truth = default_psf(fwhm=3.2, wing_fraction=0.2)
+        stamp = self._render_stamp(truth, size=41)
+        fit = fit_psf(stamp, n_components=2)
+        np.testing.assert_allclose(
+            fit.second_moment(), truth.second_moment(), rtol=0.15, atol=0.05
+        )
+
+    def test_fit_density_close_to_truth(self):
+        truth = default_psf(fwhm=3.0, wing_fraction=0.15)
+        stamp = self._render_stamp(truth, size=31)
+        fit = fit_psf(stamp, n_components=2)
+        xs = np.linspace(-6, 6, 25)
+        dx, dy = np.meshgrid(xs, xs)
+        d_true = truth.density(dx, dy)
+        d_fit = fit.density(dx, dy)
+        rel_err = np.abs(d_fit - d_true).max() / d_true.max()
+        assert rel_err < 0.05
+
+    def test_rejects_empty_stamp(self):
+        with pytest.raises(ValueError):
+            fit_psf(np.zeros((11, 11)))
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            fit_psf(np.ones(10))
+
+    def test_noisy_stamp_core_is_stable(self):
+        # Moment-based width is wing-noise sensitive, so assert on the core
+        # density (what photometry actually uses) rather than the FWHM.
+        rng = np.random.default_rng(7)
+        truth = default_psf(fwhm=3.0)
+        stamp = self._render_stamp(truth, size=31)
+        noisy = stamp + rng.normal(0, stamp.max() * 0.005, stamp.shape)
+        fit = fit_psf(noisy, n_components=2)
+        xs = np.linspace(-4, 4, 17)
+        dx, dy = np.meshgrid(xs, xs)
+        err = np.abs(fit.density(dx, dy) - truth.density(dx, dy)).max()
+        assert err < 0.1 * truth.density(0.0, 0.0)

@@ -1,0 +1,241 @@
+"""Tests for the synthetic survey substrate (WCS, images, rendering, layout,
+I/O, coadds)."""
+
+import numpy as np
+import pytest
+
+from repro.core.catalog import Catalog, CatalogEntry
+from repro.psf import default_psf
+from repro.survey import (
+    AffineWCS,
+    Image,
+    ImageMeta,
+    SurveyConfig,
+    SyntheticSkyConfig,
+    build_survey,
+    coadd_images,
+    expected_image,
+    generate_catalog,
+    generate_field_images,
+    load_field,
+    render_image,
+    save_field,
+    source_patch,
+    stripe82,
+)
+
+
+def star(pos, flux=30.0):
+    return CatalogEntry(position=np.asarray(pos, float), is_galaxy=False,
+                        flux_r=flux, colors=np.array([1.0, 0.7, 0.4, 0.2]))
+
+
+def simple_meta(band=2, origin=(0.0, 0.0), sky=100.0, calib=100.0, fwhm=3.0):
+    return ImageMeta(band=band, wcs=AffineWCS.translation(*origin),
+                     psf=default_psf(fwhm), sky_level=sky, calibration=calib)
+
+
+class TestWCS:
+    def test_translation_roundtrip(self):
+        wcs = AffineWCS.translation(50.0, -20.0)
+        sky = np.array([55.0, -15.0])
+        pix = wcs.sky_to_pix(sky)
+        np.testing.assert_allclose(pix, [5.0, 5.0])
+        np.testing.assert_allclose(wcs.pix_to_sky(pix), sky)
+
+    def test_rotation(self):
+        theta = 0.3
+        R = np.array([[np.cos(theta), -np.sin(theta)],
+                      [np.sin(theta), np.cos(theta)]])
+        wcs = AffineWCS(R, np.zeros(2), np.zeros(2))
+        sky = np.array([[1.0, 0.0], [0.0, 1.0]])
+        back = wcs.pix_to_sky(wcs.sky_to_pix(sky))
+        np.testing.assert_allclose(back, sky, atol=1e-12)
+
+    def test_taylor_path_matches(self):
+        from repro.autodiff import seed
+
+        wcs = AffineWCS(np.array([[1.1, 0.1], [-0.2, 0.9]]),
+                        np.array([3.0, 4.0]), np.array([10.0, 20.0]))
+        sx, sy = seed([5.0, 6.0])
+        px, py = wcs.sky_to_pix_taylor(sx, sy)
+        ref = wcs.sky_to_pix(np.array([5.0, 6.0]))
+        np.testing.assert_allclose([float(px.val), float(py.val)], ref, rtol=1e-12)
+
+    def test_singular_matrix_rejected(self):
+        with pytest.raises(ValueError):
+            AffineWCS(np.zeros((2, 2)), np.zeros(2), np.zeros(2))
+
+
+class TestImage:
+    def test_bounds_and_containment(self):
+        im = Image(np.zeros((40, 60)), simple_meta(origin=(100.0, 200.0)))
+        assert im.contains_sky(np.array([130.0, 220.0]))
+        assert not im.contains_sky(np.array([170.0, 220.0]))
+        assert im.contains_sky(np.array([161.0, 220.0]), margin=5.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Image(np.zeros(10), simple_meta())
+        with pytest.raises(ValueError):
+            ImageMeta(band=0, wcs=AffineWCS.translation(0, 0),
+                      psf=default_psf(), sky_level=-1.0, calibration=100.0)
+
+
+class TestRendering:
+    def test_expected_image_flux_conservation(self):
+        meta = simple_meta()
+        entry = star([25.0, 25.0], flux=50.0)
+        rate = expected_image([entry], meta, (50, 50))
+        excess = rate.sum() - meta.sky_level * 50 * 50
+        expected_photons = meta.calibration * entry.band_fluxes()[meta.band]
+        np.testing.assert_allclose(excess, expected_photons, rtol=0.02)
+
+    def test_star_peak_at_position(self):
+        meta = simple_meta()
+        rate = expected_image([star([20.0, 30.0], 100.0)], meta, (50, 50))
+        peak = np.unravel_index(np.argmax(rate), rate.shape)
+        assert peak == (30, 20)  # (row=y, col=x)
+
+    def test_galaxy_broader_than_star(self):
+        meta = simple_meta()
+        gal = CatalogEntry(position=[25.0, 25.0], is_galaxy=True, flux_r=50.0,
+                           colors=[1.0, 0.7, 0.4, 0.2], gal_radius_px=3.0)
+        r_star = expected_image([star([25.0, 25.0], 50.0)], meta, (50, 50))
+        r_gal = expected_image([gal], meta, (50, 50))
+        assert r_gal.max() < r_star.max()  # same flux, more spread
+
+    def test_poisson_statistics(self):
+        meta = simple_meta(sky=200.0)
+        rng = np.random.default_rng(0)
+        im = render_image([], meta, (80, 80), rng=rng)
+        np.testing.assert_allclose(im.pixels.mean(), 200.0, rtol=0.01)
+        np.testing.assert_allclose(im.pixels.var(), 200.0, rtol=0.05)
+
+    def test_off_image_source_ignored(self):
+        meta = simple_meta()
+        rate = expected_image([star([500.0, 500.0])], meta, (30, 30))
+        np.testing.assert_allclose(rate, meta.sky_level)
+
+    def test_source_patch_clipping(self):
+        im = Image(np.zeros((30, 30)), simple_meta())
+        assert source_patch(im, np.array([2.0, 2.0]), 5.0) == (0, 8, 0, 8)
+        assert source_patch(im, np.array([100.0, 100.0]), 5.0) is None
+
+
+class TestSynthesis:
+    def test_catalog_density(self):
+        cfg = SyntheticSkyConfig(source_density=20.0)
+        rng = np.random.default_rng(5)
+        cat = generate_catalog((0, 200), (0, 200), cfg, rng=rng)
+        # 200x200 px = 4 patches of 100x100 -> expect ~80 sources
+        assert 40 <= len(cat) <= 130
+
+    def test_min_separation_enforced(self):
+        cfg = SyntheticSkyConfig(source_density=15.0, min_separation=8.0)
+        cat = generate_catalog((0, 150), (0, 150), cfg,
+                               rng=np.random.default_rng(1))
+        pos = cat.positions()
+        for i in range(len(pos)):
+            for j in range(i + 1, len(pos)):
+                assert np.linalg.norm(pos[i] - pos[j]) >= 8.0
+
+    def test_flux_floor(self):
+        cfg = SyntheticSkyConfig(flux_floor=2.0)
+        cat = generate_catalog((0, 300), (0, 300), cfg,
+                               rng=np.random.default_rng(2))
+        assert all(e.flux_r >= 2.0 for e in cat)
+
+    def test_field_images_share_wcs(self):
+        cat = Catalog([star([20.0, 20.0])])
+        images = generate_field_images(cat, (0.0, 0.0), (40, 40),
+                                       rng=np.random.default_rng(3))
+        assert len(images) == 5
+        assert len({id(im.meta.wcs.matrix.tobytes()) for im in images}) >= 1
+        for b, im in enumerate(images):
+            assert im.band == b
+
+
+class TestSurveyLayout:
+    def test_fields_overlap(self):
+        layout = build_survey(SurveyConfig(), rng=np.random.default_rng(0))
+        s0, s1 = layout.field_specs[0], layout.field_specs[1]
+        assert s0.bounds()[1] > s1.bounds()[0]  # x-overlap between neighbors
+
+    def test_every_source_covered_by_some_image(self):
+        layout = build_survey(SurveyConfig(), rng=np.random.default_rng(1))
+        counts = layout.coverage_counts()
+        assert np.all(counts >= 1)
+
+    def test_coverage_nonuniform_with_overlaps(self):
+        layout = build_survey(SurveyConfig(), rng=np.random.default_rng(2))
+        counts = layout.coverage_counts()
+        assert counts.max() > counts.min()  # overlap regions see more images
+
+    def test_stripe82_epoch_count(self):
+        layout = stripe82(n_epochs=4, rng=np.random.default_rng(3))
+        epochs = {im.meta.epoch for im in layout.images}
+        assert epochs == {0, 1, 2, 3}
+
+
+class TestIO:
+    def test_save_load_roundtrip(self, tmp_path):
+        cat = Catalog([star([20.0, 20.0])])
+        images = generate_field_images(cat, (0.0, 0.0), (30, 30),
+                                       rng=np.random.default_rng(4))
+        path = str(tmp_path / "field.npz")
+        nbytes = save_field(path, images)
+        assert nbytes > 0
+        loaded = load_field(path)
+        assert len(loaded) == len(images)
+        for a, b in zip(images, loaded):
+            np.testing.assert_allclose(a.pixels, b.pixels)
+            assert a.band == b.band
+            np.testing.assert_allclose(a.meta.calibration, b.meta.calibration)
+            np.testing.assert_allclose(a.meta.psf.weights, b.meta.psf.weights)
+
+
+class TestCoadd:
+    def _epochs(self, n=10, seed=0):
+        rng = np.random.default_rng(seed)
+        truth = [star([15.0, 15.0], flux=5.0)]
+        images = []
+        for e in range(n):
+            meta = ImageMeta(
+                band=2, wcs=AffineWCS.translation(0, 0),
+                psf=default_psf(3.0 * np.exp(rng.normal(0, 0.1))),
+                sky_level=100.0 * np.exp(rng.normal(0, 0.1)),
+                calibration=100.0 * np.exp(rng.normal(0, 0.1)),
+                epoch=e,
+            )
+            images.append(render_image(truth, meta, (30, 30), rng=rng))
+        return images
+
+    def test_coadd_improves_snr(self):
+        images = self._epochs(16)
+        co = coadd_images(images)
+        # Relative background noise should drop roughly as 1/sqrt(n).
+        single_noise = np.std(images[0].pixels[:5] - images[0].meta.sky_level) \
+            / images[0].meta.calibration
+        co_noise = np.std(co.pixels[:5] - co.meta.sky_level) / co.meta.calibration
+        assert co_noise < single_noise / 2.0
+
+    def test_coadd_preserves_calibrated_flux(self):
+        images = self._epochs(12, seed=7)
+        co = coadd_images(images)
+        excess = (co.pixels - co.meta.sky_level).sum() / co.meta.calibration
+        singles = [
+            (im.pixels - im.meta.sky_level).sum() / im.meta.calibration
+            for im in images
+        ]
+        np.testing.assert_allclose(excess, np.mean(singles), rtol=0.1)
+
+    def test_band_mismatch_rejected(self):
+        images = self._epochs(2)
+        object.__setattr__(images[0].meta, "band", 1)
+        with pytest.raises(ValueError):
+            coadd_images(images)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            coadd_images([])

@@ -1,0 +1,144 @@
+"""Tests for bijective reparameterizations."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.autodiff import seed
+from repro.transforms import (
+    Identity,
+    LogitBox,
+    softmax_fixed_last,
+    softmax_fixed_last_inverse,
+    softmax_fixed_last_taylor,
+)
+
+
+class TestIdentity:
+    def test_roundtrip(self):
+        b = Identity()
+        assert b.forward_np(3.7) == 3.7
+        assert b.inverse_np(3.7) == 3.7
+
+    def test_taylor_passthrough(self):
+        b = Identity()
+        x, = seed([1.5])
+        assert b.forward_taylor(x) is x
+
+
+class TestLogitBox:
+    def test_range(self):
+        b = LogitBox(0.05, 1.0)
+        for u in [-50.0, -1.0, 0.0, 1.0, 50.0]:
+            y = b.forward_np(u)
+            assert 0.05 <= y <= 1.0
+
+    def test_midpoint(self):
+        b = LogitBox(0.0, 2.0)
+        np.testing.assert_allclose(b.forward_np(0.0), 1.0)
+
+    def test_roundtrip(self):
+        b = LogitBox(-1.0, 4.0)
+        for y in [-0.5, 0.0, 1.3, 3.9]:
+            np.testing.assert_allclose(b.forward_np(b.inverse_np(y)), y, rtol=1e-9)
+
+    def test_inverse_clips_boundary(self):
+        b = LogitBox(0.0, 1.0)
+        assert np.isfinite(b.inverse_np(0.0))
+        assert np.isfinite(b.inverse_np(1.0))
+
+    def test_taylor_matches_numpy(self):
+        b = LogitBox(0.1, 2.5)
+        u, = seed([0.7])
+        t = b.forward_taylor(u)
+        np.testing.assert_allclose(t.val, b.forward_np(0.7), rtol=1e-12)
+
+    def test_taylor_gradient(self):
+        from repro.autodiff import check_gradient, check_hessian
+
+        b = LogitBox(0.0, 3.0)
+
+        def fn(v):
+            return b.forward_taylor(v[0])
+
+        check_gradient(fn, np.array([0.4]))
+        check_hessian(fn, np.array([0.4]))
+
+    def test_invalid_bounds(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            LogitBox(1.0, 1.0)
+
+
+class TestSoftmaxFixedLast:
+    def test_uniform_at_zero(self):
+        p = softmax_fixed_last(np.zeros(7))
+        np.testing.assert_allclose(p, np.full(8, 1 / 8))
+
+    def test_sums_to_one(self):
+        p = softmax_fixed_last(np.array([3.0, -2.0, 0.5]))
+        np.testing.assert_allclose(p.sum(), 1.0)
+        assert np.all(p > 0)
+
+    def test_roundtrip(self):
+        free = np.array([1.2, -0.3, 0.0, 2.0])
+        p = softmax_fixed_last(free)
+        np.testing.assert_allclose(softmax_fixed_last_inverse(p), free, rtol=1e-9)
+
+    def test_taylor_matches_numpy(self):
+        free = np.array([0.5, -1.0, 0.2])
+        probs_np = softmax_fixed_last(free)
+        vs = seed(free)
+        probs_t = softmax_fixed_last_taylor(vs)
+        np.testing.assert_allclose([p.val for p in probs_t], probs_np, rtol=1e-12)
+
+    def test_taylor_sums_to_one_with_zero_gradient(self):
+        vs = seed([0.3, -0.7])
+        probs = softmax_fixed_last_taylor(vs)
+        total = probs[0]
+        for p in probs[1:]:
+            total = total + p
+        np.testing.assert_allclose(total.val, 1.0, rtol=1e-12)
+        np.testing.assert_allclose(total.gradient(2), [0.0, 0.0], atol=1e-12)
+
+    def test_taylor_gradient_matches_fd(self):
+        from repro.autodiff import check_gradient, check_hessian
+
+        def fn(v):
+            probs = softmax_fixed_last_taylor(list(v))
+            # a generic smooth functional of the simplex point
+            acc = probs[0] * 1.0
+            for i, p in enumerate(probs[1:], start=2):
+                acc = acc + p * float(i * i)
+            return acc
+
+        x0 = np.array([0.2, -0.4, 0.9])
+        check_gradient(fn, x0)
+        check_hessian(fn, x0)
+
+
+@settings(max_examples=50, deadline=None)
+@given(u=st.floats(min_value=-30, max_value=30))
+def test_property_logitbox_monotone(u):
+    b = LogitBox(0.0, 1.0)
+    assert b.forward_np(u) < b.forward_np(u + 0.5)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    free=st.lists(st.floats(min_value=-8, max_value=8), min_size=1, max_size=7)
+)
+def test_property_softmax_simplex(free):
+    p = softmax_fixed_last(np.array(free))
+    assert p.shape == (len(free) + 1,)
+    np.testing.assert_allclose(p.sum(), 1.0, rtol=1e-9)
+    assert np.all(p >= 0)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    y=st.floats(min_value=0.051, max_value=0.999),
+)
+def test_property_logitbox_roundtrip(y):
+    b = LogitBox(0.05, 1.0)
+    np.testing.assert_allclose(b.forward_np(b.inverse_np(y)), y, rtol=1e-6)
