@@ -171,10 +171,12 @@ def make_context(
     Parameters
     ----------
     backgrounds:
-        Optional per-image background arrays (full image shape) accounting
-        for neighboring sources; defaults to each image's sky level.  The
-        joint optimizer passes residual model images here — that is how
-        block coordinate ascent couples neighboring sources.
+        Optional per-image background arrays accounting for neighboring
+        sources; defaults to each image's sky level.  Each array may be
+        either full-image-shaped or patch-shaped (matching the patch bounds
+        for that image — the joint optimizer passes patch-shaped residual
+        model slices together with ``bounds_list``, avoiding full-image
+        allocations on the hot path).
     radius:
         Active-pixel radius in pixels; defaults to a PSF- and
         galaxy-size-based rule.
@@ -200,7 +202,17 @@ def make_context(
         ys, xs = np.mgrid[y0:y1, x0:x1]
         counts = image.pixels[y0:y1, x0:x1].ravel()
         if backgrounds is not None and backgrounds[i] is not None:
-            bg = np.asarray(backgrounds[i])[y0:y1, x0:x1].ravel()
+            bg_arr = np.asarray(backgrounds[i])
+            if bg_arr.shape == (y1 - y0, x1 - x0):
+                bg = bg_arr.ravel()
+            elif bg_arr.shape == image.pixels.shape:
+                bg = bg_arr[y0:y1, x0:x1].ravel()
+            else:
+                raise ValueError(
+                    "background %d has shape %r; expected the patch shape "
+                    "%r or the image shape %r"
+                    % (i, bg_arr.shape, (y1 - y0, x1 - x0), image.pixels.shape)
+                )
         else:
             bg = np.full(counts.shape, image.meta.sky_level)
         px = xs.ravel().astype(float)

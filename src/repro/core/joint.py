@@ -38,7 +38,13 @@ from repro.profiles.galaxy import GalaxyShape, galaxy_density
 from repro.survey.image import Image
 from repro.survey.render import source_patch, source_radius
 
-__all__ = ["JointConfig", "RegionOptimizer", "RegionResult", "optimize_region"]
+__all__ = [
+    "JointConfig",
+    "RegionOptimizer",
+    "RegionResult",
+    "optimize_region",
+    "patch_radius_for",
+]
 
 
 @dataclass
@@ -61,6 +67,23 @@ class RegionResult:
     @property
     def n_converged(self) -> int:
         return sum(1 for r in self.results if r is not None and r.converged)
+
+
+def patch_radius_for(
+    entry: CatalogEntry, psf, patch_radius: float | None = None
+) -> float:
+    """Patch radius (pixels) the region optimizer uses for one source.
+
+    The single rule shared by :class:`RegionOptimizer` (patch bounds) and the
+    Cyclades executor (conflict radii): an explicit ``patch_radius`` override
+    wins; otherwise the radius derives from the PSF and the source's galaxy
+    extent.  Catalog-classified stars may still be galaxies under q, so the
+    derived radius allows for a modestly extended profile either way.
+    """
+    if patch_radius is not None:
+        return float(patch_radius)
+    gal_r = entry.gal_radius_px if entry.is_galaxy else 1.0
+    return float(source_radius(gal_r, psf))
 
 
 def expected_contribution(
@@ -102,7 +125,14 @@ class RegionOptimizer:
         priors: Priors,
         config: JointConfig | None = None,
         counters: Counters | None = None,
+        frozen_entries: list[CatalogEntry] | None = None,
     ):
+        """``frozen_entries`` are catalog sources near (but outside) the
+        region being optimized: their expected contributions are rendered
+        into the model images as fixed background and never updated.
+        Without them, a source near a region border slides toward its
+        unmodeled neighbor's flux — the multi-region driver passes each
+        task's halo here."""
         self.images = images
         self.priors = priors
         self.config = config or JointConfig()
@@ -118,15 +148,9 @@ class RegionOptimizer:
         #: Per-source, per-image patch bounds (None when off-image).
         self._bounds: list[list[tuple | None]] = []
         for e, p in zip(entries, self.params):
-            radius = self.config.patch_radius
-            # Catalog-classified stars may still be galaxies under q, so the
-            # patch allows for a modestly extended profile either way.
-            gal_r = e.gal_radius_px if e.is_galaxy else 1.0
             row = []
             for im in images:
-                r = radius if radius is not None else source_radius(
-                    gal_r, im.meta.psf
-                )
+                r = patch_radius_for(e, im.meta.psf, self.config.patch_radius)
                 row.append(source_patch(im, p.u, r))
             self._bounds.append(row)
 
@@ -148,14 +172,33 @@ class RegionOptimizer:
                 row.append(c)
             self._contrib.append(row)
 
+        # Frozen halo: neighbors outside the region contribute to the model
+        # images once, at their catalog values, and are never re-optimized.
+        for e in frozen_entries or []:
+            p = initial_params(e, priors)
+            for i, im in enumerate(images):
+                r = patch_radius_for(e, im.meta.psf, self.config.patch_radius)
+                b = source_patch(im, p.u, r)
+                if b is None:
+                    continue
+                x0, x1, y0, y1 = b
+                self.model[i][y0:y1, x0:x1] += expected_contribution(p, im, b)
+
     @property
     def n_sources(self) -> int:
         return len(self.params)
 
     def backgrounds_for(self, s: int) -> list[np.ndarray | None]:
-        """Residual model images for source ``s``: total model minus its own
+        """Residual model patches for source ``s``: total model minus its own
         current contribution (so the ELBO treats the rest of the sky as a
-        deterministic background)."""
+        deterministic background).
+
+        Returned arrays are *patch-shaped* (matching ``self._bounds[s]``),
+        not full images: allocating a full-image canvas per source per image
+        would cost O(image size) per block-coordinate update, which dominates
+        the hot path for small patches.  ``make_context`` accepts them
+        alongside ``bounds_list``.
+        """
         out = []
         for i, im in enumerate(self.images):
             b = self._bounds[s][i]
@@ -164,9 +207,7 @@ class RegionOptimizer:
                 continue
             x0, x1, y0, y1 = b
             patch_bg = self.model[i][y0:y1, x0:x1] - self._contrib[s][i]
-            canvas = np.full(im.pixels.shape, im.meta.sky_level)
-            canvas[y0:y1, x0:x1] = np.maximum(patch_bg, 0.5 * im.meta.sky_level)
-            out.append(canvas)
+            out.append(np.maximum(patch_bg, 0.5 * im.meta.sky_level))
         return out
 
     def update_source(self, s: int) -> SourceResult:
@@ -214,11 +255,13 @@ def optimize_region(
     priors: Priors,
     config: JointConfig | None = None,
     counters: Counters | None = None,
+    frozen_entries: list[CatalogEntry] | None = None,
 ) -> RegionResult:
     """Serial block coordinate ascent: ``n_passes`` sweeps over all sources,
     brightest first (bright sources dominate their neighbors' backgrounds,
     so settling them first speeds convergence)."""
-    opt = RegionOptimizer(images, entries, priors, config, counters)
+    opt = RegionOptimizer(images, entries, priors, config, counters,
+                          frozen_entries)
     order = np.argsort([-e.flux_r for e in entries])
     for _ in range(opt.config.n_passes):
         for s in order:

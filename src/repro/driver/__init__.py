@@ -1,0 +1,43 @@
+"""The end-to-end multi-field inference driver.
+
+Runs the paper's complete three-level scheme as one pipeline: Photo seeding
+per field, two-stage shifted sky partitioning, Dtree dynamic scheduling of
+tasks across node-workers, Cyclades conflict-free threading within each
+task, and deduplicated merging into a global catalog — with per-stage ELBO
+totals, FLOP accounting, and JSON checkpoint/resume.  This is the
+architectural spine future scaling work (sharding, async I/O, multiple
+backends) plugs into.
+"""
+
+from repro.driver.checkpoint import (
+    STAGES,
+    Checkpoint,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.driver.merge import dedup_catalog, merge_catalogs
+from repro.driver.pipeline import (
+    DriverConfig,
+    DriverResult,
+    TaskOutcome,
+    images_for_region,
+    run_pipeline,
+    seed_catalog_from_fields,
+    survey_bounds,
+)
+
+__all__ = [
+    "STAGES",
+    "Checkpoint",
+    "load_checkpoint",
+    "save_checkpoint",
+    "dedup_catalog",
+    "merge_catalogs",
+    "DriverConfig",
+    "DriverResult",
+    "TaskOutcome",
+    "images_for_region",
+    "run_pipeline",
+    "seed_catalog_from_fields",
+    "survey_bounds",
+]

@@ -1,0 +1,176 @@
+"""JSON checkpointing for the multi-field driver.
+
+The paper's production runs process tens of thousands of tasks over hours of
+wall clock on a machine where preemption is routine; a run must be able to
+die at any point and restart without redoing completed work.  The driver
+checkpoints at *stage* granularity: after seeding, after each optimization
+stage, and at the end.  Everything downstream of a stage is a deterministic
+function of the stage's output catalog (task generation, scheduling, and the
+optimizers are all seeded), so the checkpoint only needs to record the
+catalogs, the stage ledger, and the accumulated accounting — a resumed run
+reproduces the same final catalog as an uninterrupted one.
+
+The file is plain JSON, written atomically (temp file + rename) so a crash
+mid-write never corrupts an existing checkpoint.  A fingerprint of the run
+configuration guards against resuming with incompatible inputs: on mismatch
+the checkpoint is ignored rather than misapplied.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.catalog import Catalog, CatalogEntry
+
+__all__ = [
+    "STAGES",
+    "Checkpoint",
+    "entry_to_dict",
+    "entry_from_dict",
+    "load_checkpoint",
+    "save_checkpoint",
+]
+
+#: Pipeline stages in execution order.  ``seed`` covers per-field detection
+#: plus cross-field merging; ``stage0``/``stage1`` are the two-stage shifted
+#: optimization rounds; ``final`` is the deduplicated global catalog.
+STAGES: tuple[str, ...] = ("seed", "stage0", "stage1", "final")
+
+_CHECKPOINT_VERSION = 1
+
+
+def entry_to_dict(e: CatalogEntry) -> dict:
+    """JSON-serializable form of one catalog entry."""
+    return {
+        "position": [float(e.position[0]), float(e.position[1])],
+        "is_galaxy": bool(e.is_galaxy),
+        "flux_r": float(e.flux_r),
+        "colors": [float(c) for c in e.colors],
+        "gal_frac_dev": float(e.gal_frac_dev),
+        "gal_axis_ratio": float(e.gal_axis_ratio),
+        "gal_angle": float(e.gal_angle),
+        "gal_radius_px": float(e.gal_radius_px),
+        "prob_galaxy": None if e.prob_galaxy is None else float(e.prob_galaxy),
+        "flux_r_sd": None if e.flux_r_sd is None else float(e.flux_r_sd),
+        "color_sd": None if e.color_sd is None
+        else [float(c) for c in e.color_sd],
+    }
+
+
+def entry_from_dict(d: dict) -> CatalogEntry:
+    return CatalogEntry(
+        position=np.asarray(d["position"], dtype=float),
+        is_galaxy=bool(d["is_galaxy"]),
+        flux_r=float(d["flux_r"]),
+        colors=np.asarray(d["colors"], dtype=float),
+        gal_frac_dev=float(d["gal_frac_dev"]),
+        gal_axis_ratio=float(d["gal_axis_ratio"]),
+        gal_angle=float(d["gal_angle"]),
+        gal_radius_px=float(d["gal_radius_px"]),
+        prob_galaxy=d.get("prob_galaxy"),
+        flux_r_sd=d.get("flux_r_sd"),
+        color_sd=None if d.get("color_sd") is None
+        else np.asarray(d["color_sd"], dtype=float),
+    )
+
+
+def _catalog_to_list(catalog: Catalog | None) -> list | None:
+    if catalog is None:
+        return None
+    return [entry_to_dict(e) for e in catalog]
+
+
+def _catalog_from_list(rows: list | None) -> Catalog | None:
+    if rows is None:
+        return None
+    return Catalog([entry_from_dict(r) for r in rows])
+
+
+@dataclass
+class Checkpoint:
+    """Persistent driver state at the last completed stage."""
+
+    fingerprint: dict
+    completed: list[str] = field(default_factory=list)
+    seed_catalog: Catalog | None = None
+    working_catalog: Catalog | None = None
+    final_catalog: Catalog | None = None
+    stage_elbo: dict[str, float] = field(default_factory=dict)
+    counters: dict[str, float] = field(default_factory=dict)
+    report: dict = field(default_factory=dict)
+
+    def done(self, stage: str) -> bool:
+        return stage in self.completed
+
+    def mark_done(self, stage: str) -> None:
+        if stage not in STAGES:
+            raise ValueError("unknown stage %r" % (stage,))
+        if stage not in self.completed:
+            self.completed.append(stage)
+
+    def to_json(self) -> dict:
+        return {
+            "version": _CHECKPOINT_VERSION,
+            "fingerprint": self.fingerprint,
+            "completed": list(self.completed),
+            "seed_catalog": _catalog_to_list(self.seed_catalog),
+            "working_catalog": _catalog_to_list(self.working_catalog),
+            "final_catalog": _catalog_to_list(self.final_catalog),
+            "stage_elbo": dict(self.stage_elbo),
+            "counters": dict(self.counters),
+            "report": dict(self.report),
+        }
+
+    @classmethod
+    def from_json(cls, d: dict) -> "Checkpoint":
+        return cls(
+            fingerprint=dict(d.get("fingerprint", {})),
+            completed=list(d.get("completed", [])),
+            seed_catalog=_catalog_from_list(d.get("seed_catalog")),
+            working_catalog=_catalog_from_list(d.get("working_catalog")),
+            final_catalog=_catalog_from_list(d.get("final_catalog")),
+            stage_elbo=dict(d.get("stage_elbo", {})),
+            counters=dict(d.get("counters", {})),
+            report=dict(d.get("report", {})),
+        )
+
+
+def save_checkpoint(path: str, ckpt: Checkpoint) -> None:
+    """Atomically write a checkpoint (temp file + rename)."""
+    directory = os.path.dirname(os.path.abspath(path)) or "."
+    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".ckpt.tmp")
+    try:
+        with os.fdopen(fd, "w") as f:
+            json.dump(ckpt.to_json(), f)
+        os.replace(tmp, path)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
+
+
+def load_checkpoint(path: str, fingerprint: dict) -> Checkpoint | None:
+    """Load a checkpoint, or ``None`` when absent/incompatible/corrupt.
+
+    A truncated or unparseable file (killed mid-write before the atomic
+    rename existed, disk trouble, ...) and a fingerprint mismatch both
+    return ``None``: the driver then restarts from scratch, which is always
+    correct, just slower.
+    """
+    if not os.path.exists(path):
+        return None
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except (json.JSONDecodeError, OSError):
+        return None
+    if data.get("version") != _CHECKPOINT_VERSION:
+        return None
+    if data.get("fingerprint") != fingerprint:
+        return None
+    return Checkpoint.from_json(data)

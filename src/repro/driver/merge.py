@@ -1,0 +1,54 @@
+"""Catalog merging and deduplication for the multi-field driver.
+
+Two places in the pipeline produce duplicate detections of the same physical
+source: per-field Photo seeding (adjacent fields overlap, so a source in the
+shared column is detected twice) and, in principle, any future sharded
+optimization.  Both are resolved the same way: greedy brightest-first
+deduplication — the brightest detection of a group claims the source, and
+any other detection within ``radius`` pixels of a claimed position is
+dropped.  Brightest-first matches the matching convention in
+:mod:`repro.validation` and keeps the best-measured duplicate (the brighter
+detection is the one farther from a field edge, with more of its flux on
+the image).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.catalog import Catalog
+
+__all__ = ["dedup_catalog", "merge_catalogs"]
+
+
+def dedup_catalog(catalog: Catalog, radius: float = 2.0) -> Catalog:
+    """Collapse groups of detections closer than ``radius`` pixels.
+
+    Entries are considered brightest-first; an entry survives when no
+    already-kept entry lies within ``radius`` of it.  Deterministic: ties in
+    flux break by the original catalog order, and survivors keep their
+    original (sky) order.
+    """
+    if len(catalog) <= 1:
+        return Catalog(list(catalog))
+    order = sorted(range(len(catalog)), key=lambda i: (-catalog[i].flux_r, i))
+    kept_idx: list[int] = []
+    kept_pos = np.empty((len(catalog), 2))
+    for i in order:
+        pos = catalog[i].position
+        if kept_idx:
+            d2 = np.sum((kept_pos[: len(kept_idx)] - pos) ** 2, axis=1)
+            if d2.min() < radius * radius:
+                continue
+        kept_pos[len(kept_idx)] = pos
+        kept_idx.append(i)
+    return Catalog([catalog[i] for i in sorted(kept_idx)])
+
+
+def merge_catalogs(catalogs: list[Catalog], radius: float = 2.0) -> Catalog:
+    """Concatenate per-field catalogs and deduplicate across field borders."""
+    merged = Catalog()
+    for c in catalogs:
+        for e in c:
+            merged.append(e)
+    return dedup_catalog(merged, radius)

@@ -1,0 +1,455 @@
+"""The end-to-end multi-field inference driver.
+
+This is the paper's full three-level scheme run as one pipeline (Sections
+IV-A through IV-D), over many fields:
+
+1. **Seed** — the heuristic Photo pipeline runs on every field, per-field
+   detections are mapped into global sky coordinates and merged into one
+   deduplicated seed catalog (overlapping fields detect border sources
+   twice).
+2. **Partition** — the sky is recursively split into equal-work regions and
+   re-covered by a half-size-shifted second partition, yielding two stages
+   of tasks (:mod:`repro.partition`).
+3. **Schedule** — a :class:`~repro.sched.dtree.Dtree` instance hands task
+   batches to node-workers (threads standing in for cluster nodes); stage-1
+   tasks only start after every stage-0 task completed, the two-stage
+   barrier of Section IV-A.
+4. **Optimize** — each task jointly optimizes its region's sources with
+   Cyclades-scheduled threads (:func:`repro.parallel.optimize_region_parallel`),
+   reading every image whose footprint covers the region — multi-field
+   fusion, the capability the heuristic baseline lacks.
+5. **Merge** — optimized parameters flow back into the global catalog by
+   source index; a final deduplication produces the result.
+
+Progress is checkpointed to JSON after every stage
+(:mod:`repro.driver.checkpoint`), so a killed run resumes at the last
+completed stage and reproduces the same final catalog.  FLOP and throughput
+accounting accumulate in a :class:`~repro.perf.counters.Counters` bag and a
+:class:`~repro.perf.driver.DriverReport`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+import time
+from dataclasses import dataclass, field, replace
+
+from repro.core.catalog import Catalog, CatalogEntry
+from repro.core.priors import Priors, default_priors
+from repro.driver.checkpoint import (
+    STAGES,
+    Checkpoint,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.driver.merge import dedup_catalog, merge_catalogs
+from repro.parallel import ParallelRegionConfig, optimize_region_parallel
+from repro.partition import Region, Task, generate_tasks
+from repro.perf.counters import Counters
+from repro.perf.driver import DriverReport
+from repro.photo import PhotoConfig, run_photo
+from repro.sched import Dtree, DtreeConfig
+from repro.survey.image import Image
+
+__all__ = [
+    "DriverConfig",
+    "DriverResult",
+    "TaskOutcome",
+    "images_for_region",
+    "run_pipeline",
+    "seed_catalog_from_fields",
+    "survey_bounds",
+]
+
+
+@dataclass
+class DriverConfig:
+    """Knobs of the end-to-end driver.
+
+    ``n_nodes`` node-workers pull task batches from the Dtree; each task
+    internally runs ``parallel.n_threads`` Cyclades threads — the driver's
+    analogue of the paper's processes-per-node x threads-per-process layout.
+    """
+
+    #: Node-workers pulling from the Dtree (the "nodes" of level two).
+    n_nodes: int = 2
+    #: Target bright-pixel weight per region (task granularity).
+    target_weight: float = 40.0
+    #: Run the shifted second-stage partition (paper Section IV-A).
+    two_stage: bool = True
+    #: Dedup radius (pixels) for cross-field seed merging and final merge.
+    dedup_radius: float = 2.0
+    #: Extra margin (pixels) when matching image footprints to task regions,
+    #: so patches of border sources still find their pixels.
+    image_margin: float = 16.0
+    #: Catalog sources within this many pixels outside a task's region are
+    #: rendered into its model images as a frozen halo — without it, a
+    #: source near a region border slides toward its unmodeled neighbor's
+    #: flux and the fit corrupts.
+    halo_margin: float = 16.0
+    #: Task ids granted per Dtree request.
+    max_batch: int = 2
+    photo: PhotoConfig = field(default_factory=PhotoConfig)
+    parallel: ParallelRegionConfig = field(default_factory=ParallelRegionConfig)
+    dtree: DtreeConfig = field(default_factory=DtreeConfig)
+    #: JSON checkpoint file; ``None`` disables checkpointing.
+    checkpoint_path: str | None = None
+    #: Stop (return) right after this stage completes and checkpoints —
+    #: simulates a killed run for resume testing, and supports staged
+    #: operation (e.g. seed on one machine, optimize on another).
+    stop_after: str | None = None
+
+
+@dataclass
+class TaskOutcome:
+    """Per-task execution record (diagnostics; not checkpointed)."""
+
+    task_id: int
+    stage: int
+    worker: int
+    n_sources: int
+    elbo: float
+    seconds: float
+
+
+@dataclass
+class DriverResult:
+    """Everything a driver run produces.
+
+    When the run stopped early (``config.stop_after``), ``catalog`` holds
+    the current working catalog — optimized through the completed stages but
+    not finalized — and ``stopped_early`` is True.
+    """
+
+    catalog: Catalog
+    seed_catalog: Catalog
+    stage_elbo: dict[str, float]
+    report: DriverReport
+    counters: dict[str, float]
+    outcomes: list[TaskOutcome]
+    #: Stages loaded from the checkpoint instead of executed.
+    resumed_stages: list[str]
+    stopped_early: bool = False
+
+
+# ---------------------------------------------------------------------------
+# Geometry helpers
+
+
+def survey_bounds(fields: list[list[Image]]) -> Region:
+    """Bounding region of every image footprint in the survey."""
+    if not fields or not any(fields):
+        raise ValueError("need at least one field with images")
+    boxes = [im.sky_bounds() for images in fields for im in images]
+    eps = 1e-6  # upper edges are half-open; keep boundary sources inside
+    return Region(
+        min(b[0] for b in boxes), max(b[1] for b in boxes) + eps,
+        min(b[2] for b in boxes), max(b[3] for b in boxes) + eps,
+    )
+
+
+def images_for_region(
+    fields: list[list[Image]], region: Region, margin: float
+) -> list[Image]:
+    """Every image whose footprint intersects ``region`` (with margin)."""
+    out = []
+    for images in fields:
+        for im in images:
+            x0, x1, y0, y1 = im.sky_bounds()
+            if (
+                region.x_min < x1 + margin
+                and region.x_max > x0 - margin
+                and region.y_min < y1 + margin
+                and region.y_max > y0 - margin
+            ):
+                out.append(im)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Stage 1: seeding
+
+
+def seed_catalog_from_fields(
+    fields: list[list[Image]], config: DriverConfig
+) -> Catalog:
+    """Run Photo per field and merge the per-field catalogs.
+
+    Photo already reports sky coordinates (``detect_sources`` maps through
+    the field WCS), so the per-field catalogs concatenate directly; the
+    merge deduplicates sources detected by two overlapping fields.
+    """
+    per_field = [run_photo(images, config.photo) for images in fields]
+    return merge_catalogs(per_field, config.dedup_radius)
+
+
+# ---------------------------------------------------------------------------
+# Stages 2+3+4: Dtree-scheduled two-stage optimization
+
+
+def _fingerprint(fields: list[list[Image]], config: DriverConfig) -> dict:
+    """Identity of a run for checkpoint compatibility checks.
+
+    Covers every knob that affects *results*: the inputs, the partition and
+    merge parameters, the halo/image margins, the Photo thresholds, and the
+    full parallel/joint/single optimizer configuration (``asdict`` recurses
+    into nested dataclasses).  Purely scheduling-side knobs (``n_nodes``,
+    ``dtree``, ``max_batch``) are deliberately excluded: task results are
+    independent of completion order, so a run may legitimately resume with
+    a different worker layout.
+    """
+    return {
+        "n_fields": len(fields),
+        "field_shapes": [
+            [im.height, im.width] for images in fields for im in images
+        ],
+        "target_weight": config.target_weight,
+        "two_stage": config.two_stage,
+        "dedup_radius": config.dedup_radius,
+        "image_margin": config.image_margin,
+        "halo_margin": config.halo_margin,
+        "photo": dataclasses.asdict(config.photo),
+        "parallel": dataclasses.asdict(config.parallel),
+    }
+
+
+class _StageRunner:
+    """Executes one stage's tasks across Dtree-fed node-workers."""
+
+    def __init__(
+        self,
+        fields: list[list[Image]],
+        working: list[CatalogEntry],
+        priors: Priors,
+        config: DriverConfig,
+        counters: Counters,
+    ):
+        self.fields = fields
+        self.working = working
+        self.priors = priors
+        self.config = config
+        self.counters = counters
+        self.outcomes: list[TaskOutcome] = []
+        self._lock = threading.Lock()
+
+    def run(self, tasks: list[Task], report: DriverReport) -> float:
+        """Run every task in ``tasks``; returns the stage's total ELBO."""
+        if not tasks:
+            return 0.0
+        config = self.config
+        # Tasks read entries and halos from the stage-start snapshot, never
+        # from live results of concurrent tasks: results must not depend on
+        # task completion order (and a resumed run must reproduce them).
+        with self._lock:
+            base = list(self.working)
+        dtree = Dtree(config.n_nodes, len(tasks), config.dtree)
+        stage_elbo = [0.0]
+        sched_s = [0.0] * config.n_nodes
+        task_s = [0.0] * config.n_nodes
+        errors: list[BaseException] = []
+
+        def node_worker(w: int) -> None:
+            try:
+                while True:
+                    t0 = time.perf_counter()
+                    batch = dtree.request(w, max_batch=config.max_batch)
+                    sched_s[w] += time.perf_counter() - t0
+                    if not batch:
+                        return
+                    for tid in batch:
+                        t1 = time.perf_counter()
+                        self._run_task(tasks[tid], base, w, stage_elbo, report)
+                        task_s[w] += time.perf_counter() - t1
+            except BaseException as exc:  # noqa: BLE001 - reraised below
+                with self._lock:
+                    errors.append(exc)
+
+        threads = [
+            threading.Thread(target=node_worker, args=(w,), daemon=True)
+            for w in range(config.n_nodes)
+        ]
+        t_start = time.perf_counter()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        if errors:
+            raise errors[0]
+        report.wall_seconds += time.perf_counter() - t_start
+        report.sched_seconds += sum(sched_s)
+        report.task_seconds += sum(task_s)
+        report.messages += dtree.stats["messages"]
+        report.hops += dtree.stats["hops"]
+        report.n_tasks += len(tasks)
+        return stage_elbo[0]
+
+    def _run_task(
+        self,
+        task: Task,
+        base: list[CatalogEntry],
+        worker: int,
+        stage_elbo: list,
+        report: DriverReport,
+    ) -> None:
+        config = self.config
+        images = images_for_region(self.fields, task.region, config.image_margin)
+        region, m = task.region, config.halo_margin
+        own = set(task.source_indices)
+        entries = [base[i] for i in task.source_indices]
+        halo = [
+            e for j, e in enumerate(base)
+            if j not in own
+            and region.x_min - m <= e.position[0] < region.x_max + m
+            and region.y_min - m <= e.position[1] < region.y_max + m
+        ]
+        if not images or not entries:
+            return
+        # Per-task deterministic seed: results must not depend on which
+        # worker runs the task or in what order tasks complete.
+        pconfig = replace(
+            config.parallel,
+            seed=config.parallel.seed + 7919 * task.task_id + task.stage,
+        )
+        t0 = time.perf_counter()
+        result = optimize_region_parallel(
+            images, entries, self.priors, pconfig, self.counters,
+            frozen_entries=halo,
+        )
+        seconds = time.perf_counter() - t0
+        with self._lock:
+            # Regions within a stage are disjoint, so no two concurrent
+            # tasks ever write the same source index.
+            for g, e in zip(task.source_indices, result.catalog):
+                self.working[g] = e
+            stage_elbo[0] += result.elbo_total
+            report.n_source_updates += task.n_sources * pconfig.n_passes
+            self.outcomes.append(TaskOutcome(
+                task_id=task.task_id,
+                stage=task.stage,
+                worker=worker,
+                n_sources=task.n_sources,
+                elbo=result.elbo_total,
+                seconds=seconds,
+            ))
+
+
+# ---------------------------------------------------------------------------
+# The driver
+
+
+def run_pipeline(
+    fields: list[list[Image]],
+    config: DriverConfig | None = None,
+    priors: Priors | None = None,
+) -> DriverResult:
+    """Run the complete three-level pipeline over a survey's fields.
+
+    Parameters
+    ----------
+    fields:
+        Per-field image lists (e.g. from
+        :func:`repro.survey.generate_survey_fields`).
+    config:
+        Driver knobs; when ``config.checkpoint_path`` is set, progress is
+        saved after every stage and an existing compatible checkpoint is
+        resumed from.
+    priors:
+        Model priors (defaults to :func:`repro.core.default_priors`).
+    """
+    if config is None:
+        config = DriverConfig()
+    if priors is None:
+        priors = default_priors()
+    if config.stop_after is not None and config.stop_after not in STAGES:
+        raise ValueError(
+            "stop_after must be one of %r, got %r"
+            % (STAGES, config.stop_after)
+        )
+    if config.stop_after == "stage1" and not config.two_stage:
+        raise ValueError("stop_after='stage1' requires two_stage=True")
+
+    fingerprint = _fingerprint(fields, config)
+    ckpt = None
+    if config.checkpoint_path is not None:
+        ckpt = load_checkpoint(config.checkpoint_path, fingerprint)
+    resumed = list(ckpt.completed) if ckpt is not None else []
+    if ckpt is None:
+        ckpt = Checkpoint(fingerprint=fingerprint)
+
+    counters = Counters()
+    for name, value in ckpt.counters.items():
+        counters.add(name, value)
+    report = DriverReport.from_dict(ckpt.report) if ckpt.report else DriverReport()
+    report.n_fields = sum(1 for images in fields if images)
+
+    def save() -> None:
+        report.active_pixel_visits = counters.get("active_pixel_visits")
+        ckpt.counters = counters.snapshot()
+        ckpt.report = report.as_dict()
+        if config.checkpoint_path is not None:
+            save_checkpoint(config.checkpoint_path, ckpt)
+
+    def result(catalog: Catalog, outcomes: list, early: bool) -> DriverResult:
+        report.stage_elbo.update(ckpt.stage_elbo)
+        report.active_pixel_visits = counters.get("active_pixel_visits")
+        return DriverResult(
+            catalog=catalog,
+            seed_catalog=seed,
+            stage_elbo=dict(ckpt.stage_elbo),
+            report=report,
+            counters=counters.snapshot(),
+            outcomes=outcomes,
+            resumed_stages=resumed,
+            stopped_early=early,
+        )
+
+    # -- Stage "seed": detect per field, merge across fields ------------------
+    if ckpt.done("seed"):
+        seed = ckpt.seed_catalog
+    else:
+        t0 = time.perf_counter()
+        seed = seed_catalog_from_fields(fields, config)
+        report.wall_seconds += time.perf_counter() - t0
+        ckpt.seed_catalog = seed
+        ckpt.working_catalog = seed
+        ckpt.mark_done("seed")
+        save()
+    if config.stop_after == "seed":
+        return result(Catalog(list(seed)), [], early=True)
+
+    # -- Partition: regenerated deterministically from the seed catalog -------
+    bounds = survey_bounds(fields)
+    tasks = generate_tasks(
+        seed, bounds, config.target_weight, two_stage=config.two_stage
+    )
+    by_stage: dict[int, list[Task]] = {0: [], 1: []}
+    for t in tasks:
+        by_stage[t.stage].append(t)
+
+    working = list(ckpt.working_catalog) if ckpt.working_catalog else list(seed)
+    runner = _StageRunner(fields, working, priors, config, counters)
+
+    # -- Stages "stage0"/"stage1": Dtree-scheduled joint optimization ---------
+    stage_names = ["stage0"] + (["stage1"] if config.two_stage else [])
+    for stage_idx, stage_name in enumerate(stage_names):
+        if not ckpt.done(stage_name):
+            elbo = runner.run(by_stage[stage_idx], report)
+            ckpt.stage_elbo[stage_name] = elbo
+            ckpt.working_catalog = Catalog(list(working))
+            ckpt.mark_done(stage_name)
+            save()
+        if config.stop_after == stage_name:
+            return result(Catalog(list(working)), list(runner.outcomes),
+                          early=True)
+
+    # -- Stage "final": merge into the deduplicated global catalog ------------
+    if ckpt.done("final"):
+        final = ckpt.final_catalog
+    else:
+        final = dedup_catalog(Catalog(list(working)), config.dedup_radius)
+        ckpt.final_catalog = final
+        ckpt.mark_done("final")
+        save()
+
+    return result(final, list(runner.outcomes), early=False)

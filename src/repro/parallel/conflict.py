@@ -5,6 +5,16 @@ in conflict if they overlap" (paper, Section IV-D).  Overlap is judged by
 patch radii: two sources conflict when their active-pixel patches can share
 pixels, which is exactly the condition under which concurrent updates would
 race on the shared model-image state.
+
+Patches are axis-aligned *boxes* (``source_patch`` floors/ceils a radius
+around the center), so the right overlap test is Chebyshev (L-infinity)
+distance, not Euclidean: two sources whose circles are disjoint can still
+have overlapping boxes on the diagonal.  The ``pad`` term covers the
+integer rounding: a patch's last covered pixel index is
+``ceil(center + radius)`` and its first is ``floor(center - radius)``, so
+two patches can share a pixel only while the per-axis center distance is
+below ``r_i + r_j + 2`` — at ``r_i + r_j + 2`` and beyond they are
+guaranteed pixel-disjoint.
 """
 
 from __future__ import annotations
@@ -76,9 +86,14 @@ class ConflictGraph:
         return list(groups.values())
 
 
-def build_conflict_graph(positions: np.ndarray, radii) -> ConflictGraph:
-    """Build the conflict graph: sources conflict when their patch circles
-    intersect (``dist < r_i + r_j``)."""
+def build_conflict_graph(
+    positions: np.ndarray, radii, pad: float = 2.0
+) -> ConflictGraph:
+    """Build the conflict graph: sources conflict when their patch *boxes*
+    can share pixels — Chebyshev distance below ``r_i + r_j + pad``, where
+    ``pad`` covers the integer rounding of ``source_patch`` (see module
+    docstring).  A conservative edge costs a little parallelism; a missing
+    edge is a data race."""
     positions = np.asarray(positions, dtype=float)
     n = len(positions)
     radii = np.broadcast_to(np.asarray(radii, dtype=float), (n,))
@@ -89,10 +104,14 @@ def build_conflict_graph(positions: np.ndarray, radii) -> ConflictGraph:
         tree = cKDTree(positions)
         r_max = float(radii.max())
         for i in range(n):
-            for j in tree.query_ball_point(positions[i], radii[i] + r_max):
+            candidates = tree.query_ball_point(
+                positions[i], radii[i] + r_max + pad, p=np.inf
+            )
+            for j in candidates:
                 if j == i:
                     continue
-                if np.linalg.norm(positions[i] - positions[j]) < radii[i] + radii[j]:
+                cheb = np.abs(positions[i] - positions[j]).max()
+                if cheb < radii[i] + radii[j] + pad:
                     adjacency[i].add(int(j))
                     adjacency[int(j)].add(i)
     return ConflictGraph(n=n, adjacency=adjacency)

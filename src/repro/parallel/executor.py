@@ -15,15 +15,41 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.catalog import CatalogEntry
-from repro.core.joint import JointConfig, RegionOptimizer, RegionResult
+from repro.core.joint import (
+    JointConfig,
+    RegionOptimizer,
+    RegionResult,
+    patch_radius_for,
+)
 from repro.core.priors import Priors
 from repro.parallel.conflict import build_conflict_graph
 from repro.parallel.cyclades import cyclades_batches
 from repro.perf.counters import Counters
 from repro.survey.image import Image
-from repro.survey.render import source_radius
 
-__all__ = ["ParallelRegionConfig", "optimize_region_parallel"]
+__all__ = ["ParallelRegionConfig", "conflict_radii", "optimize_region_parallel"]
+
+
+def conflict_radii(
+    images: list[Image], entries: list[CatalogEntry], config: JointConfig
+) -> np.ndarray:
+    """Conflict radius per source: the largest patch radius the optimizer
+    will actually use for it on any image.
+
+    Derived from the same rule (:func:`repro.core.joint.patch_radius_for`,
+    including the ``patch_radius`` override) as the optimizer's patch bounds.
+    Deriving them independently is how conflict radii silently diverge from
+    patch bounds — with a custom ``patch_radius`` larger than the
+    PSF-derived radius, "conflict-free" batches could touch overlapping
+    pixels, breaking the serial-equivalence guarantee.
+    """
+    return np.array([
+        max(
+            patch_radius_for(e, im.meta.psf, config.patch_radius)
+            for im in images
+        )
+        for e in entries
+    ])
 
 
 @dataclass
@@ -43,16 +69,20 @@ def optimize_region_parallel(
     priors: Priors,
     config: ParallelRegionConfig | None = None,
     counters: Counters | None = None,
+    frozen_entries: list[CatalogEntry] | None = None,
 ) -> RegionResult:
-    """Jointly optimize a region's sources with Cyclades-scheduled threads."""
+    """Jointly optimize a region's sources with Cyclades-scheduled threads.
+
+    ``frozen_entries`` render as fixed background in the model images (see
+    :class:`repro.core.joint.RegionOptimizer`); they take no part in the
+    conflict graph because they are never written.
+    """
     if config is None:
         config = ParallelRegionConfig()
-    opt = RegionOptimizer(images, entries, priors, config.joint, counters)
+    opt = RegionOptimizer(images, entries, priors, config.joint, counters,
+                          frozen_entries)
 
-    # Conflict radii: the patch radius each source uses on the widest PSF.
-    worst_psf = max((im.meta.psf for im in images),
-                    key=lambda p: float(np.trace(p.second_moment())))
-    radii = np.array([source_radius(e, worst_psf) for e in entries])
+    radii = conflict_radii(images, entries, config.joint)
     graph = build_conflict_graph(
         np.stack([e.position for e in entries]) if entries else np.zeros((0, 2)),
         radii,

@@ -9,6 +9,7 @@ total by 1.375x.
 from repro.perf.counters import Counters, GLOBAL_COUNTERS, counting
 from repro.perf.flops import flops_from_visits, flop_rate, FlopReport
 from repro.perf.report import thread_runtime_breakdown, RuntimeBreakdown
+from repro.perf.driver import DriverReport
 
 __all__ = [
     "Counters",
@@ -19,4 +20,5 @@ __all__ = [
     "FlopReport",
     "thread_runtime_breakdown",
     "RuntimeBreakdown",
+    "DriverReport",
 ]

@@ -1,0 +1,127 @@
+"""Driver-level performance accounting.
+
+The paper reports end-to-end numbers for the full three-level run — sustained
+FLOP rate, load balance, and scheduling overhead — not just per-kernel rates.
+:class:`DriverReport` is the analogue for :mod:`repro.driver`: it aggregates
+the node-workers' task-processing and scheduler-wait time, the Dtree message
+statistics, and the :class:`~repro.perf.counters.Counters`-based FLOP count
+into one summary with the driver's headline throughput (sources optimized per
+second of wall clock).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.perf.flops import flops_from_visits
+
+__all__ = ["DriverReport"]
+
+
+@dataclass
+class DriverReport:
+    """End-to-end statistics of one driver run.
+
+    Attributes
+    ----------
+    wall_seconds:
+        Wall-clock time of the optimization stages (excludes synthesis).
+    task_seconds:
+        Task-processing time summed across node-workers (> wall when the
+        workers overlap, which is the point).
+    sched_seconds:
+        Time node-workers spent inside ``Dtree.request`` summed across
+        workers — the driver's scheduling overhead.
+    n_fields, n_tasks, n_source_updates:
+        Work volume: fields processed, tasks executed, and single-source
+        block updates performed (a source optimized in both stages counts
+        twice — it is two units of work).
+    messages, hops:
+        Dtree traffic totals across all stages.
+    active_pixel_visits:
+        The paper's FLOP-accounting unit, from the driver's counter bag.
+    stage_elbo:
+        Final ELBO total per optimization stage, ``{"stage0": ..., ...}``.
+    """
+
+    wall_seconds: float = 0.0
+    task_seconds: float = 0.0
+    sched_seconds: float = 0.0
+    n_fields: int = 0
+    n_tasks: int = 0
+    n_source_updates: int = 0
+    messages: int = 0
+    hops: int = 0
+    active_pixel_visits: float = 0.0
+    stage_elbo: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def sources_per_second(self) -> float:
+        """Headline throughput: source updates per second of wall clock."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.n_source_updates / self.wall_seconds
+
+    @property
+    def scheduling_overhead_fraction(self) -> float:
+        """Fraction of worker time spent waiting on the scheduler."""
+        busy = self.task_seconds + self.sched_seconds
+        return self.sched_seconds / busy if busy > 0 else 0.0
+
+    @property
+    def total_flops(self) -> float:
+        return flops_from_visits(self.active_pixel_visits)
+
+    @property
+    def flop_rate(self) -> float:
+        """Sustained FLOP/s over the driver's wall clock."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.total_flops / self.wall_seconds
+
+    @property
+    def messages_per_task(self) -> float:
+        return self.messages / self.n_tasks if self.n_tasks else 0.0
+
+    def as_dict(self) -> dict:
+        """JSON-serializable form (stored in driver checkpoints)."""
+        return {
+            "wall_seconds": self.wall_seconds,
+            "task_seconds": self.task_seconds,
+            "sched_seconds": self.sched_seconds,
+            "n_fields": self.n_fields,
+            "n_tasks": self.n_tasks,
+            "n_source_updates": self.n_source_updates,
+            "messages": self.messages,
+            "hops": self.hops,
+            "active_pixel_visits": self.active_pixel_visits,
+            "stage_elbo": dict(self.stage_elbo),
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "DriverReport":
+        out = cls()
+        for k, v in d.items():
+            setattr(out, k, dict(v) if k == "stage_elbo" else v)
+        return out
+
+    def summary_lines(self) -> list[str]:
+        """Human-readable report, one line per statistic."""
+        lines = [
+            "fields processed      %8d" % self.n_fields,
+            "tasks executed        %8d" % self.n_tasks,
+            "source updates        %8d" % self.n_source_updates,
+            "wall time             %10.2f s" % self.wall_seconds,
+            "throughput            %10.2f sources/s" % self.sources_per_second,
+            "active pixel visits   %10.3g" % self.active_pixel_visits,
+            "model GFLOPs          %10.2f" % (self.total_flops / 1e9),
+            "sustained GFLOP/s     %10.3f" % (self.flop_rate / 1e9),
+            "sched overhead        %9.1f%% of worker time"
+            % (100.0 * self.scheduling_overhead_fraction),
+            "dtree messages        %8d (%.2f per task)"
+            % (self.messages, self.messages_per_task),
+            "dtree parent hops     %8d" % self.hops,
+        ]
+        for stage, elbo in sorted(self.stage_elbo.items()):
+            lines.append("ELBO after %-10s %12.1f" % (stage, elbo))
+        return lines

@@ -13,7 +13,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.constants import NUM_COLORS, REFERENCE_BAND
+from repro.constants import NUM_BANDS, NUM_COLORS, REFERENCE_BAND
 from repro.core.catalog import Catalog, CatalogEntry
 from repro.core.fluxes import colors_from_fluxes
 from repro.photo.classify import classify_star_galaxy
@@ -45,6 +45,12 @@ def run_photo(field_images: list[Image], config: PhotoConfig | None = None) -> C
     if config is None:
         config = PhotoConfig()
     by_band = {im.band: im for im in field_images}
+    bad = sorted(b for b in by_band if not 0 <= b < NUM_BANDS)
+    if bad:
+        raise ValueError(
+            "field contains images with invalid band ids %r "
+            "(bands must be in [0, %d))" % (bad, NUM_BANDS)
+        )
     if REFERENCE_BAND not in by_band:
         raise ValueError("Photo requires the reference (r) band")
     ref = by_band[REFERENCE_BAND]
@@ -65,8 +71,7 @@ def run_photo(field_images: list[Image], config: PhotoConfig | None = None) -> C
             shape, threshold=config.concentration_threshold
         )
 
-        fluxes = np.empty(len(by_band) if len(by_band) == 5 else 5)
-        fluxes[:] = np.nan
+        fluxes = np.full(NUM_BANDS, np.nan)
         for band, im in by_band.items():
             if is_galaxy:
                 fluxes[band] = aperture_flux(im, pos, radius=config.aperture_radius)

@@ -15,7 +15,12 @@ from repro.survey.render import (
     source_patch,
     source_radius,
 )
-from repro.survey.synth import SyntheticSkyConfig, generate_catalog, generate_field_images
+from repro.survey.synth import (
+    SyntheticSkyConfig,
+    generate_catalog,
+    generate_field_images,
+    generate_survey_fields,
+)
 from repro.survey.sdss import SurveyConfig, SurveyLayout, FieldSpec, build_survey, stripe82
 from repro.survey.io import save_field, load_field, field_file_size
 from repro.survey.coadd import coadd_images
@@ -31,6 +36,7 @@ __all__ = [
     "SyntheticSkyConfig",
     "generate_catalog",
     "generate_field_images",
+    "generate_survey_fields",
     "SurveyConfig",
     "SurveyLayout",
     "FieldSpec",

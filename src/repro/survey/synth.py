@@ -20,7 +20,12 @@ from repro.survey.image import Image, ImageMeta
 from repro.survey.render import render_image
 from repro.survey.wcs import AffineWCS
 
-__all__ = ["SyntheticSkyConfig", "generate_catalog", "generate_field_images"]
+__all__ = [
+    "SyntheticSkyConfig",
+    "generate_catalog",
+    "generate_field_images",
+    "generate_survey_fields",
+]
 
 
 @dataclass
@@ -145,3 +150,58 @@ def generate_field_images(
         )
         images.append(render_image(catalog, meta, shape_hw, rng=rng))
     return images
+
+
+def generate_survey_fields(
+    n_fields: int,
+    field_shape_hw: tuple[int, int] = (48, 48),
+    overlap: float = 8.0,
+    config: SyntheticSkyConfig | None = None,
+    rng: np.random.Generator | None = None,
+    edge_margin: float = 6.0,
+    bands: tuple = tuple(range(NUM_BANDS)),
+) -> tuple[Catalog, list[list[Image]]]:
+    """A strip of overlapping fields sharing one ground-truth catalog.
+
+    The multi-field substrate for the end-to-end driver: ``n_fields`` fields
+    are laid out along a row (as in an SDSS drift-scan strip), each shifted by
+    ``width - overlap`` pixels so adjacent fields share an ``overlap``-pixel
+    column of sky.  One global truth catalog is sampled over the union
+    footprint (keeping ``edge_margin`` pixels clear of the outer boundary so
+    every source is fully observable somewhere), and every field renders the
+    sources its footprint covers — sources in overlap columns appear in two
+    fields, exercising cross-field deduplication downstream.
+
+    Returns ``(truth, fields)`` where ``fields[f]`` is the list of per-band
+    images of field ``f`` (positions in truth are global sky coordinates).
+    """
+    if n_fields < 1:
+        raise ValueError("need at least one field")
+    if config is None:
+        config = SyntheticSkyConfig()
+    if rng is None:
+        rng = np.random.default_rng()
+    h, w = field_shape_hw
+    step = w - overlap
+    if step <= 0:
+        raise ValueError("overlap must be smaller than the field width")
+    x_max = (n_fields - 1) * step + w
+
+    truth = generate_catalog(
+        (edge_margin, x_max - edge_margin),
+        (edge_margin, h - edge_margin),
+        config,
+        rng,
+    )
+    fields = []
+    for f in range(n_fields):
+        fields.append(generate_field_images(
+            truth,
+            origin=(f * step, 0.0),
+            shape_hw=field_shape_hw,
+            config=config,
+            rng=rng,
+            field_id=(1, 1, f),
+            bands=bands,
+        ))
+    return truth, fields

@@ -1,0 +1,405 @@
+"""Tests for the end-to-end multi-field driver: merging, checkpointing,
+geometry, the survey synthesis helper, the driver report, and the full
+pipeline (smoke + kill/resume)."""
+
+import dataclasses
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.catalog import Catalog, CatalogEntry
+from repro.core.joint import JointConfig
+from repro.core.single import OptimizeConfig
+from repro.driver import (
+    Checkpoint,
+    DriverConfig,
+    dedup_catalog,
+    images_for_region,
+    load_checkpoint,
+    merge_catalogs,
+    run_pipeline,
+    save_checkpoint,
+    seed_catalog_from_fields,
+    survey_bounds,
+)
+from repro.driver.checkpoint import entry_from_dict, entry_to_dict
+from repro.parallel import ParallelRegionConfig
+from repro.partition import Region
+from repro.perf.driver import DriverReport
+from repro.survey import SyntheticSkyConfig, generate_survey_fields
+
+COLORS = [1.0, 0.8, 0.3, 0.1]
+
+
+def entry(x, y, flux=20.0, is_galaxy=False):
+    return CatalogEntry([float(x), float(y)], is_galaxy, float(flux), COLORS)
+
+
+class TestDedup:
+    def test_duplicates_collapse_to_brightest(self):
+        cat = Catalog([entry(10, 10, 5.0), entry(10.5, 10.2, 50.0),
+                       entry(40, 40, 8.0)])
+        out = dedup_catalog(cat, radius=2.0)
+        assert len(out) == 2
+        assert {e.flux_r for e in out} == {50.0, 8.0}
+
+    def test_far_sources_survive(self):
+        cat = Catalog([entry(0, 0), entry(10, 0), entry(0, 10)])
+        assert len(dedup_catalog(cat, radius=2.0)) == 3
+
+    def test_chain_collapses_through_brightest(self):
+        # 0 -- 1.5 -- 3.0: ends are within radius of the middle only.
+        cat = Catalog([entry(0, 0, 10.0), entry(1.5, 0, 30.0),
+                       entry(3.0, 0, 20.0)])
+        out = dedup_catalog(cat, radius=2.0)
+        # Brightest (middle) claims both neighbors.
+        assert len(out) == 1
+        assert out[0].flux_r == 30.0
+
+    def test_survivors_keep_original_order(self):
+        cat = Catalog([entry(0, 0, 1.0), entry(50, 0, 99.0), entry(90, 0, 5.0)])
+        out = dedup_catalog(cat, radius=2.0)
+        assert [e.flux_r for e in out] == [1.0, 99.0, 5.0]
+
+    def test_merge_catalogs_across_fields(self):
+        a = Catalog([entry(10, 10, 20.0), entry(30, 10, 10.0)])
+        b = Catalog([entry(10.4, 10.1, 15.0), entry(60, 10, 9.0)])
+        out = merge_catalogs([a, b], radius=2.0)
+        assert len(out) == 3
+        assert 15.0 not in {e.flux_r for e in out}
+
+    def test_empty_and_singleton(self):
+        assert len(dedup_catalog(Catalog([]), 2.0)) == 0
+        assert len(dedup_catalog(Catalog([entry(1, 1)]), 2.0)) == 1
+
+
+class TestCheckpoint:
+    def test_entry_roundtrip(self):
+        e = CatalogEntry([3.0, 4.0], True, 12.0, COLORS,
+                         gal_frac_dev=0.3, gal_axis_ratio=0.6,
+                         gal_angle=1.1, gal_radius_px=2.2,
+                         prob_galaxy=0.9, flux_r_sd=0.5,
+                         color_sd=np.array([0.1, 0.2, 0.3, 0.4]))
+        back = entry_from_dict(entry_to_dict(e))
+        np.testing.assert_allclose(back.position, e.position)
+        np.testing.assert_allclose(back.colors, e.colors)
+        np.testing.assert_allclose(back.color_sd, e.color_sd)
+        assert back.is_galaxy == e.is_galaxy
+        assert back.prob_galaxy == e.prob_galaxy
+        assert back.flux_r_sd == e.flux_r_sd
+
+    def test_entry_roundtrip_none_fields(self):
+        back = entry_from_dict(entry_to_dict(entry(1, 2)))
+        assert back.prob_galaxy is None
+        assert back.flux_r_sd is None
+        assert back.color_sd is None
+
+    def test_save_load_roundtrip(self, tmp_path):
+        path = str(tmp_path / "ckpt.json")
+        fp = {"n_fields": 2}
+        ckpt = Checkpoint(fingerprint=fp)
+        ckpt.seed_catalog = Catalog([entry(1, 2), entry(3, 4)])
+        ckpt.working_catalog = Catalog([entry(1.1, 2.1)])
+        ckpt.stage_elbo = {"stage0": 12.5}
+        ckpt.counters = {"active_pixel_visits": 100.0}
+        ckpt.mark_done("seed")
+        ckpt.mark_done("stage0")
+        save_checkpoint(path, ckpt)
+
+        back = load_checkpoint(path, fp)
+        assert back is not None
+        assert back.done("seed") and back.done("stage0")
+        assert not back.done("stage1")
+        assert len(back.seed_catalog) == 2
+        assert len(back.working_catalog) == 1
+        assert back.stage_elbo == {"stage0": 12.5}
+        assert back.counters == {"active_pixel_visits": 100.0}
+        assert back.final_catalog is None
+
+    def test_fingerprint_mismatch_ignored(self, tmp_path):
+        path = str(tmp_path / "ckpt.json")
+        save_checkpoint(path, Checkpoint(fingerprint={"n_fields": 2}))
+        assert load_checkpoint(path, {"n_fields": 3}) is None
+
+    def test_corrupt_file_ignored(self, tmp_path):
+        path = str(tmp_path / "ckpt.json")
+        with open(path, "w") as f:
+            f.write('{"version": 1, "fingerpri')  # killed mid-write
+        assert load_checkpoint(path, {}) is None
+
+    def test_missing_file(self, tmp_path):
+        assert load_checkpoint(str(tmp_path / "nope.json"), {}) is None
+
+    def test_unknown_stage_rejected(self):
+        with pytest.raises(ValueError):
+            Checkpoint(fingerprint={}).mark_done("stage7")
+
+    def test_atomic_write_leaves_no_temp_files(self, tmp_path):
+        path = str(tmp_path / "ckpt.json")
+        save_checkpoint(path, Checkpoint(fingerprint={}))
+        save_checkpoint(path, Checkpoint(fingerprint={}))
+        assert os.listdir(str(tmp_path)) == ["ckpt.json"]
+
+
+@pytest.fixture(scope="module")
+def tiny_survey():
+    rng = np.random.default_rng(5)
+    sky = SyntheticSkyConfig(
+        source_density=50.0, min_separation=8.0, flux_floor=20.0
+    )
+    return generate_survey_fields(
+        2, field_shape_hw=(32, 32), overlap=8.0,
+        config=sky, rng=rng, bands=(2,),
+    )
+
+
+class TestSurveyFields:
+    def test_layout(self, tiny_survey):
+        truth, fields = tiny_survey
+        assert len(fields) == 2
+        assert all(len(images) == 1 for images in fields)
+        # Adjacent fields overlap on the sky.
+        b0 = fields[0][0].sky_bounds()
+        b1 = fields[1][0].sky_bounds()
+        assert b1[0] < b0[1]
+
+    def test_truth_inside_survey(self, tiny_survey):
+        truth, fields = tiny_survey
+        bounds = survey_bounds(fields)
+        for e in truth:
+            assert bounds.contains(e.position)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            generate_survey_fields(0)
+        with pytest.raises(ValueError):
+            generate_survey_fields(2, field_shape_hw=(16, 16), overlap=20.0)
+
+
+class TestGeometry:
+    def test_survey_bounds_covers_all_fields(self, tiny_survey):
+        _, fields = tiny_survey
+        bounds = survey_bounds(fields)
+        for images in fields:
+            for im in images:
+                x0, x1, y0, y1 = im.sky_bounds()
+                assert bounds.x_min <= x0 and bounds.x_max >= x1
+                assert bounds.y_min <= y0 and bounds.y_max >= y1
+
+    def test_survey_bounds_empty(self):
+        with pytest.raises(ValueError):
+            survey_bounds([])
+
+    def test_images_for_region_selects_covering_fields(self, tiny_survey):
+        _, fields = tiny_survey
+        # A region well inside field 0 and outside field 1 (field 1 starts
+        # at x=24 and the margin is 2).
+        region = Region(2.0, 10.0, 2.0, 10.0)
+        images = images_for_region(fields, region, margin=2.0)
+        assert images == fields[0]
+        # The overlap column sees both fields.
+        overlap = Region(25.0, 30.0, 2.0, 10.0)
+        assert len(images_for_region(fields, overlap, margin=2.0)) == 2
+
+
+class TestDriverReport:
+    def test_throughput_and_overhead(self):
+        r = DriverReport(wall_seconds=10.0, task_seconds=18.0,
+                         sched_seconds=2.0, n_source_updates=40)
+        assert r.sources_per_second == pytest.approx(4.0)
+        assert r.scheduling_overhead_fraction == pytest.approx(0.1)
+
+    def test_zero_safe(self):
+        r = DriverReport()
+        assert r.sources_per_second == 0.0
+        assert r.scheduling_overhead_fraction == 0.0
+        assert r.flop_rate == 0.0
+        assert r.messages_per_task == 0.0
+
+    def test_dict_roundtrip(self):
+        r = DriverReport(wall_seconds=3.0, n_tasks=5, messages=7,
+                         stage_elbo={"stage0": 1.5})
+        back = DriverReport.from_dict(r.as_dict())
+        assert back.as_dict() == r.as_dict()
+
+    def test_summary_lines_render(self):
+        lines = DriverReport(wall_seconds=1.0, stage_elbo={"stage0": 2.0}
+                             ).summary_lines()
+        assert any("throughput" in ln for ln in lines)
+        assert any("stage0" in ln for ln in lines)
+
+
+def _driver_config(checkpoint_path=None, **overrides):
+    config = DriverConfig(
+        n_nodes=2,
+        target_weight=60.0,
+        parallel=ParallelRegionConfig(
+            n_threads=2,
+            n_passes=1,
+            joint=JointConfig(
+                n_passes=1,
+                single=OptimizeConfig(max_iter=8, grad_tol=2e-3),
+            ),
+        ),
+        checkpoint_path=checkpoint_path,
+    )
+    return dataclasses.replace(config, **overrides)
+
+
+def _same_catalog(a, b):
+    if len(a) != len(b):
+        return False
+    return all(
+        np.allclose(x.position, y.position)
+        and np.isclose(x.flux_r, y.flux_r)
+        and x.is_galaxy == y.is_galaxy
+        for x, y in zip(a, b)
+    )
+
+
+class TestPipelineEndToEnd:
+    def test_smoke_two_fields(self, tiny_survey):
+        truth, fields = tiny_survey
+        result = run_pipeline(fields, _driver_config())
+        assert not result.stopped_early
+        assert result.resumed_stages == []
+        assert len(result.catalog) > 0
+        # Every detected source is optimized in both stages.
+        n_seed = len(result.seed_catalog)
+        assert result.report.n_source_updates == 2 * n_seed
+        assert result.report.n_tasks > 0
+        assert result.report.active_pixel_visits > 0
+        assert set(result.stage_elbo) == {"stage0", "stage1"}
+        assert all(np.isfinite(v) for v in result.stage_elbo.values())
+        # The final catalog tracks truth reasonably even at smoke scale.
+        from repro.validation import match_catalogs
+
+        match = match_catalogs(truth, result.catalog)
+        assert match.completeness >= 0.6
+        assert match.false_detection_rate <= 0.4
+
+    def test_kill_resume_reproduces_catalog(self, tiny_survey, tmp_path):
+        _, fields = tiny_survey
+        path = str(tmp_path / "ckpt.json")
+
+        uninterrupted = run_pipeline(fields, _driver_config())
+
+        partial = run_pipeline(
+            fields, _driver_config(path, stop_after="stage0")
+        )
+        assert partial.stopped_early
+        ckpt_size = os.path.getsize(path)
+        assert ckpt_size > 0
+
+        resumed = run_pipeline(fields, _driver_config(path))
+        assert "stage0" in resumed.resumed_stages
+        assert "stage1" not in resumed.resumed_stages
+        assert not resumed.stopped_early
+        assert _same_catalog(uninterrupted.catalog, resumed.catalog)
+        assert resumed.stage_elbo["stage0"] == pytest.approx(
+            uninterrupted.stage_elbo["stage0"]
+        )
+
+    def test_finished_checkpoint_short_circuits(self, tiny_survey, tmp_path):
+        _, fields = tiny_survey
+        path = str(tmp_path / "ckpt.json")
+        first = run_pipeline(fields, _driver_config(path))
+        again = run_pipeline(fields, _driver_config(path))
+        assert again.resumed_stages == ["seed", "stage0", "stage1", "final"]
+        assert _same_catalog(first.catalog, again.catalog)
+
+    def test_bad_stop_after_rejected(self, tiny_survey):
+        _, fields = tiny_survey
+        with pytest.raises(ValueError):
+            run_pipeline(fields, _driver_config(stop_after="stage9"))
+        with pytest.raises(ValueError):
+            run_pipeline(fields, _driver_config(
+                stop_after="stage1", two_stage=False))
+
+    def test_changed_optimizer_config_invalidates_checkpoint(
+        self, tiny_survey, tmp_path
+    ):
+        # A checkpoint written under one optimizer configuration must not be
+        # resumed under another — results would silently mix configs.
+        _, fields = tiny_survey
+        path = str(tmp_path / "ckpt.json")
+        run_pipeline(fields, _driver_config(path, stop_after="stage0"))
+        stronger = _driver_config(
+            path,
+            parallel=ParallelRegionConfig(
+                n_threads=2, n_passes=1,
+                joint=JointConfig(
+                    n_passes=1,
+                    single=OptimizeConfig(max_iter=20, grad_tol=2e-3),
+                ),
+            ),
+        )
+        result = run_pipeline(fields, stronger)
+        assert result.resumed_stages == []  # checkpoint ignored, fresh run
+
+    def test_single_stage_mode(self, tiny_survey):
+        _, fields = tiny_survey
+        result = run_pipeline(
+            fields, _driver_config(two_stage=False)
+        )
+        assert set(result.stage_elbo) == {"stage0"}
+
+    def test_checkpoint_file_is_json(self, tiny_survey, tmp_path):
+        _, fields = tiny_survey
+        path = str(tmp_path / "ckpt.json")
+        run_pipeline(fields, _driver_config(path, stop_after="seed"))
+        with open(path) as f:
+            data = json.load(f)
+        assert data["completed"] == ["seed"]
+        assert data["seed_catalog"] is not None
+
+    @pytest.mark.slow
+    def test_four_field_recovery_and_resume(self, tmp_path):
+        """Driver-scale acceptance run (excluded from tier-1 by the slow
+        marker): >=90% recovery over 4 fields and kill/resume fidelity."""
+        from repro.validation import match_catalogs
+
+        rng = np.random.default_rng(11)
+        sky = SyntheticSkyConfig(
+            source_density=70.0, min_separation=7.0, flux_floor=15.0
+        )
+        truth, fields = generate_survey_fields(
+            4, field_shape_hw=(44, 44), overlap=8.0,
+            config=sky, rng=rng, bands=(1, 2, 3),
+        )
+        config = _driver_config(
+            parallel=ParallelRegionConfig(
+                n_threads=2, n_passes=1,
+                joint=JointConfig(
+                    n_passes=1,
+                    single=OptimizeConfig(max_iter=15, grad_tol=1e-3),
+                ),
+            ),
+        )
+        result = run_pipeline(fields, config)
+        match = match_catalogs(truth, result.catalog)
+        assert match.completeness >= 0.9
+        assert match.false_detection_rate <= 0.1
+
+        path = str(tmp_path / "ckpt.json")
+        killed = dataclasses.replace(
+            config, checkpoint_path=path, stop_after="stage0"
+        )
+        assert run_pipeline(fields, killed).stopped_early
+        resumed = run_pipeline(
+            fields, dataclasses.replace(config, checkpoint_path=path)
+        )
+        assert _same_catalog(result.catalog, resumed.catalog)
+
+    def test_seed_catalog_positions_are_global(self, tiny_survey):
+        truth, fields = tiny_survey
+        seed = seed_catalog_from_fields(fields, DriverConfig())
+        bounds = survey_bounds(fields)
+        for e in seed:
+            assert bounds.contains(e.position)
+        # Field 1 starts at x=24; detections there must not collapse onto
+        # field-0 pixel coordinates.
+        if len(seed) > 1:
+            assert seed.positions()[:, 0].max() > 24.0

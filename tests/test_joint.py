@@ -69,12 +69,68 @@ class TestRegionOptimizer:
         truth, images = two_star_scene()
         opt = RegionOptimizer(images, truth, default_priors(), FAST)
         bgs = opt.backgrounds_for(0)
+        # Backgrounds are patch-shaped (no full-image canvas on the hot path).
+        x0, x1, y0, y1 = opt._bounds[0][1]
+        assert bgs[1].shape == (y1 - y0, x1 - x0)
         # Near source 0's center the background should be far below the
         # total model (its own flux removed), but still above plain sky
         # because source 1 leaks in.
         px, py = images[1].meta.wcs.sky_to_pix(truth[0].position)
         x, y = int(px), int(py)
-        assert bgs[1][y, x] < opt.model[1][y, x]
+        assert bgs[1][y - y0, x - x0] < opt.model[1][y, x]
+
+    def test_patch_backgrounds_match_full_image_slices(self):
+        # Regression for the hot-path fix: patch-shaped backgrounds passed
+        # with bounds_list must produce the same active pixels as the old
+        # full-image canvases.
+        from repro.core.elbo import make_context
+
+        truth, images = two_star_scene()
+        opt = RegionOptimizer(images, truth, default_priors(), FAST)
+        bgs = opt.backgrounds_for(0)
+        bounds = opt._bounds[0]
+        ctx_patch = make_context(
+            images, opt.params[0].u, opt.priors,
+            backgrounds=bgs, bounds_list=bounds,
+        )
+        full = []
+        for i, im in enumerate(images):
+            canvas = np.full(im.pixels.shape, im.meta.sky_level)
+            x0, x1, y0, y1 = bounds[i]
+            canvas[y0:y1, x0:x1] = bgs[i]
+            full.append(canvas)
+        ctx_full = make_context(
+            images, opt.params[0].u, opt.priors,
+            backgrounds=full, bounds_list=bounds,
+        )
+        assert len(ctx_patch.patches) == len(ctx_full.patches)
+        for p, f in zip(ctx_patch.patches, ctx_full.patches):
+            np.testing.assert_allclose(p.background, f.background)
+            np.testing.assert_allclose(p.counts, f.counts)
+
+    def test_bad_background_shape_rejected(self):
+        from repro.core.elbo import make_context
+
+        truth, images = two_star_scene()
+        opt = RegionOptimizer(images, truth, default_priors(), FAST)
+        bad = [np.zeros((3, 3)) for _ in images]
+        with pytest.raises(ValueError):
+            make_context(images, opt.params[0].u, opt.priors,
+                         backgrounds=bad, bounds_list=opt._bounds[0])
+
+    def test_frozen_entries_enter_model_images(self):
+        truth, images = two_star_scene()
+        frozen = [CatalogEntry([20.0, 24.0], False, 60.0,
+                               [1.0, 0.8, 0.3, 0.1])]
+        plain = RegionOptimizer(images, truth, default_priors(), FAST)
+        with_halo = RegionOptimizer(images, truth, default_priors(), FAST,
+                                    frozen_entries=frozen)
+        # The halo source adds flux to the model but is not optimizable.
+        assert with_halo.n_sources == plain.n_sources
+        assert with_halo.model[1].sum() > plain.model[1].sum()
+        px, py = images[1].meta.wcs.sky_to_pix(frozen[0].position)
+        assert (with_halo.model[1][int(py), int(px)]
+                > plain.model[1][int(py), int(px)])
 
     def test_update_source_changes_model_consistently(self):
         truth, images = two_star_scene()

@@ -49,11 +49,30 @@ class TestConflictGraph:
         assert g.n_edges == 1
 
     def test_heterogeneous_radii(self):
-        pos = np.array([[0.0, 0.0], [12.0, 0.0]])
+        pos = np.array([[0.0, 0.0], [16.0, 0.0]])
         g_small = build_conflict_graph(pos, radii=np.array([5.0, 5.0]))
         g_big = build_conflict_graph(pos, radii=np.array([10.0, 5.0]))
         assert not g_small.conflicts(0, 1)
         assert g_big.conflicts(0, 1)
+
+    def test_diagonal_boxes_conflict(self):
+        # Euclidean circles are disjoint (distance 15.6 > 5 + 5) but the
+        # axis-aligned patch boxes overlap on the diagonal (Chebyshev
+        # distance 11 < 5 + 5 + 2): concurrent updates would race.
+        pos = np.array([[0.0, 0.0], [11.0, 11.0]])
+        g = build_conflict_graph(pos, radii=5.0)
+        assert g.conflicts(0, 1)
+
+    def test_rounding_pad_respected(self):
+        # floor/ceil rounding lets boxes share a pixel up to per-axis
+        # distance just under r_i + r_j + 2 (e.g. centers 0.01 and 11.91
+        # with r=5 both cover pixel 11); at r_i + r_j + 2 they are
+        # guaranteed disjoint.
+        pos = np.array([[0.0, 0.0], [11.9, 0.0]])
+        g = build_conflict_graph(pos, radii=5.0)
+        assert g.conflicts(0, 1)
+        far = np.array([[0.0, 0.0], [12.0, 0.0]])
+        assert not build_conflict_graph(far, radii=5.0).conflicts(0, 1)
 
     def test_connected_components_chain(self):
         pos = np.array([[0.0, 0.0], [8.0, 0.0], [16.0, 0.0], [100.0, 0.0]])
@@ -127,6 +146,150 @@ class TestCyclades:
     def test_invalid_threads(self):
         with pytest.raises(ValueError):
             cyclades_batches(self._graph(), n_threads=0)
+
+
+class TestConflictRadiiMatchOptimizer:
+    """Regression: the executor must derive conflict radii from the same
+    rule (including the ``patch_radius`` override) the optimizer uses for
+    its patch bounds.  The seed code derived them independently, so a custom
+    ``patch_radius`` larger than the PSF-derived radius produced
+    "conflict-free" batches whose patches overlapped."""
+
+    def _scene(self):
+        from repro.core.catalog import CatalogEntry
+        from repro.psf import default_psf
+        from repro.survey import AffineWCS, ImageMeta, render_image
+
+        # 24 px apart: PSF-derived radii (~5-9 px) say no conflict, but a
+        # 15 px patch_radius makes the patches overlap by 6 px.
+        entries = [
+            CatalogEntry([12.0, 12.0], False, 40.0, [1.5, 1.1, 0.25, 0.05]),
+            CatalogEntry([36.0, 12.0], False, 30.0, [1.2, 0.9, 0.2, 0.0]),
+        ]
+        rng = np.random.default_rng(7)
+        images = [render_image(entries, ImageMeta(
+            band=2, wcs=AffineWCS.translation(0, 0), psf=default_psf(3.0),
+            sky_level=100.0, calibration=100.0), (24, 48), rng=rng)]
+        return entries, images
+
+    def test_custom_patch_radius_creates_conflict(self, monkeypatch):
+        from repro.core import default_priors, JointConfig
+        from repro.core.single import OptimizeConfig
+        from repro.parallel import executor as executor_mod
+
+        entries, images = self._scene()
+        captured = {}
+        real_build = executor_mod.build_conflict_graph
+
+        def capture(positions, radii):
+            graph = real_build(positions, radii)
+            captured["radii"] = np.broadcast_to(
+                np.asarray(radii, dtype=float), (len(positions),)
+            ).copy()
+            captured["graph"] = graph
+            return graph
+
+        monkeypatch.setattr(executor_mod, "build_conflict_graph", capture)
+        joint = JointConfig(
+            n_passes=1, patch_radius=15.0,
+            single=OptimizeConfig(max_iter=2, grad_tol=1e-2),
+        )
+        optimize_region_parallel(
+            images, entries, default_priors(),
+            ParallelRegionConfig(n_threads=2, n_passes=1, joint=joint),
+        )
+        # The executor must schedule with the radius the optimizer uses.
+        np.testing.assert_allclose(captured["radii"], 15.0)
+        assert captured["graph"].conflicts(0, 1)
+
+    def test_conflict_radii_helper_derived_rule(self):
+        from repro.core import JointConfig
+        from repro.core.joint import patch_radius_for
+        from repro.parallel.executor import conflict_radii
+
+        entries, images = self._scene()
+        radii = conflict_radii(images, entries, JointConfig())
+        expected = [
+            max(patch_radius_for(e, im.meta.psf) for im in images)
+            for e in entries
+        ]
+        np.testing.assert_allclose(radii, expected)
+
+    def test_parallel_matches_serial_with_patch_radius(self):
+        """Equivalence with overlapping custom-radius patches: every pair
+        conflicts, so Cyclades must serialize everything onto one thread and
+        parallel results must track serial quality."""
+        from repro.core import default_priors, optimize_region, JointConfig
+        from repro.core.single import OptimizeConfig
+        from repro.core.catalog import Catalog
+        from repro.validation import score_catalog
+
+        entries, images = self._scene()
+        priors = default_priors()
+        joint = JointConfig(
+            n_passes=1, patch_radius=15.0,
+            single=OptimizeConfig(max_iter=15, grad_tol=5e-4),
+        )
+        serial = optimize_region(images, entries, priors, joint)
+        parallel = optimize_region_parallel(
+            images, entries, priors,
+            ParallelRegionConfig(n_threads=2, n_passes=1, joint=joint),
+        )
+        truth = Catalog(entries)
+        m_serial = score_catalog(truth, serial.catalog)
+        m_parallel = score_catalog(truth, parallel.catalog)
+        assert m_parallel.n_matched == len(entries)
+        assert m_parallel.position < m_serial.position + 0.1
+        assert abs(m_parallel.brightness - m_serial.brightness) < 0.1
+
+
+class TestScheduledPatchesPixelDisjoint:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_concurrent_sources_never_share_pixels(self, seed):
+        """The invariant behind serial equivalence: sources scheduled on
+        different threads in the same batch must have pixel-disjoint patch
+        boxes in every image (box overlap = lost-update race on the shared
+        model images)."""
+        from repro.core import default_priors, JointConfig
+        from repro.core.catalog import CatalogEntry
+        from repro.core.joint import RegionOptimizer
+        from repro.parallel.executor import conflict_radii
+        from repro.psf import default_psf
+        from repro.survey import AffineWCS, ImageMeta, render_image
+
+        rng = np.random.default_rng(seed)
+        entries = [
+            CatalogEntry(pos, False, 30.0, [1.2, 0.9, 0.2, 0.0])
+            for pos in rng.uniform(4, 56, size=(14, 2))
+        ]
+        images = [render_image(entries, ImageMeta(
+            band=2, wcs=AffineWCS.translation(0, 0), psf=default_psf(3.0),
+            sky_level=100.0, calibration=100.0), (60, 60), rng=rng)]
+        config = JointConfig(n_passes=1)
+        opt = RegionOptimizer(images, entries, default_priors(), config)
+        radii = conflict_radii(images, entries, config)
+        graph = build_conflict_graph(
+            np.stack([e.position for e in entries]), radii
+        )
+
+        def boxes_overlap(a, b):
+            if a is None or b is None:
+                return False
+            ax0, ax1, ay0, ay1 = a
+            bx0, bx1, by0, by1 = b
+            return ax0 < bx1 and bx0 < ax1 and ay0 < by1 and by0 < ay1
+
+        for batch in cyclades_batches(graph, n_threads=4, rng=rng):
+            lanes = batch.thread_assignments
+            for t1 in range(len(lanes)):
+                for t2 in range(t1 + 1, len(lanes)):
+                    for i in lanes[t1]:
+                        for j in lanes[t2]:
+                            for im_idx in range(len(images)):
+                                assert not boxes_overlap(
+                                    opt._bounds[i][im_idx],
+                                    opt._bounds[j][im_idx],
+                                )
 
 
 class TestParallelExecutor:

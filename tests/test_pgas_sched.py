@@ -195,3 +195,41 @@ def test_property_dtree_conservation(n_workers, n_tasks, fanout):
         active = still
     assert sorted(seen) == list(range(n_tasks))
     assert len(set(seen)) == len(seen)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n_workers=st.integers(min_value=1, max_value=24),
+    n_tasks=st.integers(min_value=0, max_value=200),
+    fanout=st.integers(min_value=2, max_value=8),
+    initial_fraction=st.sampled_from([0.0, 0.1, 0.25, 0.6, 0.9, 1.0]),
+    drain_fraction=st.sampled_from([0.05, 0.3, 0.5, 0.95]),
+    min_batch=st.integers(min_value=1, max_value=4),
+    max_batch=st.integers(min_value=1, max_value=5),
+)
+def test_property_dtree_delivery_exactly_once(
+    n_workers, n_tasks, fanout, initial_fraction, drain_fraction,
+    min_batch, max_batch,
+):
+    """Every task id in [0, n_tasks) is delivered exactly once across all
+    workers, whatever the static allotment and drain configuration — the
+    invariant the multi-field driver depends on (a lost task id is a region
+    that is never optimized; a duplicate is optimized twice concurrently)."""
+    sched = Dtree(n_workers, n_tasks, DtreeConfig(
+        fanout=fanout,
+        initial_fraction=initial_fraction,
+        drain_fraction=drain_fraction,
+        min_batch=min_batch,
+    ))
+    per_worker = [[] for _ in range(n_workers)]
+    active = list(range(n_workers))
+    while active:
+        still = []
+        for w in active:
+            b = sched.request(w, max_batch=max_batch)
+            per_worker[w].extend(b)
+            if b:
+                still.append(w)
+        active = still
+    delivered = [t for batch in per_worker for t in batch]
+    assert sorted(delivered) == list(range(n_tasks))
