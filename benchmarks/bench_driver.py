@@ -76,6 +76,49 @@ def test_driver_throughput(benchmark, rng):
     assert report.messages_per_task < 20
 
 
+def test_driver_executor_modes(benchmark, rng):
+    """Thread vs process node-workers: identical catalogs, and the process
+    executor's queue/shared-memory plumbing must cost little — single-worker
+    throughput within 10% of the thread executor."""
+    import dataclasses
+
+    truth, fields = _survey(rng)
+
+    def run():
+        out = {}
+        for executor in ("thread", "process"):
+            config = dataclasses.replace(
+                _config(), n_nodes=1, executor=executor
+            )
+            out[executor] = run_pipeline(fields, config)
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_header("Driver executor modes (1 node-worker)")
+    for executor, res in results.items():
+        line = "  %-8s %.2f s wall, %8.2f sources/s" % (
+            executor, res.report.wall_seconds,
+            res.report.sources_per_second)
+        if executor == "process":
+            line += ", %d RMA gets / %d puts (%.1f KB)" % (
+                res.report.rma_gets, res.report.rma_puts,
+                res.report.rma_bytes / 1024.0)
+        print(line)
+
+    thread_res = results["thread"]
+    process_res = results["process"]
+    # The executors must agree exactly — same tasks, same seeds, same rows.
+    assert len(thread_res.catalog) == len(process_res.catalog)
+    for a, b in zip(thread_res.catalog, process_res.catalog):
+        assert np.array_equal(a.position, b.position)
+        assert a.flux_r == b.flux_r
+    # Acceptance: process mode within 10% of thread throughput at 1 worker.
+    assert (
+        process_res.report.sources_per_second
+        >= 0.9 * thread_res.report.sources_per_second
+    )
+
+
 def test_driver_node_scaling(benchmark, rng):
     """Wall time should not degrade when node-workers are added."""
     truth, fields = _survey(rng)

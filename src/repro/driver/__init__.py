@@ -4,9 +4,29 @@ Runs the paper's complete three-level scheme as one pipeline: Photo seeding
 per field, two-stage shifted sky partitioning, Dtree dynamic scheduling of
 tasks across node-workers, Cyclades conflict-free threading within each
 task, and deduplicated merging into a global catalog — with per-stage ELBO
-totals, FLOP accounting, and JSON checkpoint/resume.  This is the
-architectural spine future scaling work (sharding, async I/O, multiple
-backends) plugs into.
+totals, FLOP/communication accounting, and JSON checkpoint/resume.
+
+Node-workers run under one of two **executors** (``DriverConfig.executor``
+or the ``REPRO_DRIVER_EXECUTOR`` environment variable):
+
+``"thread"``
+    Workers are threads sharing this address space.  Cheap to start;
+    speedups are capped by what NumPy releases of the GIL.
+``"process"``
+    Workers are spawn-safe ``multiprocessing`` processes — the paper's
+    distributed-memory node layout.  The working catalog is sharded across
+    ranks as 44-wide rows of a PGAS :class:`~repro.pgas.GlobalArray`
+    backed by POSIX shared memory, and workers do one-sided
+    ``get_row``/``put_row`` for exactly the rows their tasks touch
+    (:mod:`repro.driver.shards`).
+
+Both executors share one task-execution path reading from a stage-start
+snapshot of the sharded catalog, so they produce bit-for-bit identical
+catalogs.  Fields given as file paths are loaded by a prefetch thread keyed
+to the Dtree look-ahead (the paper's Burst Buffer pipeline), and the
+working catalog checkpoints as per-rank shard files.  This is the
+architectural spine future scaling work (elastic workers, task-granular
+checkpointing, multiple backends) plugs into.
 """
 
 from repro.driver.checkpoint import (
@@ -14,6 +34,7 @@ from repro.driver.checkpoint import (
     Checkpoint,
     load_checkpoint,
     save_checkpoint,
+    shard_path,
 )
 from repro.driver.merge import dedup_catalog, merge_catalogs
 from repro.driver.pipeline import (
@@ -25,12 +46,19 @@ from repro.driver.pipeline import (
     seed_catalog_from_fields,
     survey_bounds,
 )
+from repro.driver.shards import (
+    ROW_WIDTH,
+    ShardedCatalog,
+    entry_from_row,
+    entry_to_row,
+)
 
 __all__ = [
     "STAGES",
     "Checkpoint",
     "load_checkpoint",
     "save_checkpoint",
+    "shard_path",
     "dedup_catalog",
     "merge_catalogs",
     "DriverConfig",
@@ -40,4 +68,8 @@ __all__ = [
     "run_pipeline",
     "seed_catalog_from_fields",
     "survey_bounds",
+    "ROW_WIDTH",
+    "ShardedCatalog",
+    "entry_from_row",
+    "entry_to_row",
 ]

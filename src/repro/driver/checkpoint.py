@@ -14,6 +14,14 @@ The file is plain JSON, written atomically (temp file + rename) so a crash
 mid-write never corrupts an existing checkpoint.  A fingerprint of the run
 configuration guards against resuming with incompatible inputs: on mismatch
 the checkpoint is ignored rather than misapplied.
+
+The *working* catalog — the one that grows with the survey — can be written
+as per-rank **shard files** (``save_checkpoint(..., shards=k)``) mirroring
+the PGAS block partition, so each node-worker's slice of the catalog is an
+independent file, the way the paper's node-local state would checkpoint.
+The main JSON then records a manifest instead of the inline catalog; a
+missing or corrupt shard invalidates the whole checkpoint (load returns
+``None`` and the run restarts, which is always correct, just slower).
 """
 
 from __future__ import annotations
@@ -21,6 +29,7 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import uuid
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -34,6 +43,7 @@ __all__ = [
     "entry_from_dict",
     "load_checkpoint",
     "save_checkpoint",
+    "shard_path",
 ]
 
 #: Pipeline stages in execution order.  ``seed`` covers per-field detection
@@ -140,13 +150,12 @@ class Checkpoint:
         )
 
 
-def save_checkpoint(path: str, ckpt: Checkpoint) -> None:
-    """Atomically write a checkpoint (temp file + rename)."""
+def _atomic_json_write(path: str, data: dict) -> None:
     directory = os.path.dirname(os.path.abspath(path)) or "."
     fd, tmp = tempfile.mkstemp(dir=directory, suffix=".ckpt.tmp")
     try:
         with os.fdopen(fd, "w") as f:
-            json.dump(ckpt.to_json(), f)
+            json.dump(data, f)
         os.replace(tmp, path)
     except BaseException:
         if os.path.exists(tmp):
@@ -154,13 +163,98 @@ def save_checkpoint(path: str, ckpt: Checkpoint) -> None:
         raise
 
 
+def shard_path(path: str, rank: int, n_shards: int, generation: str) -> str:
+    """Filename of one working-catalog shard next to the main checkpoint.
+
+    The generation nonce makes each save's shard set distinct: a crash
+    between shard writes and the main-JSON rename leaves the *previous*
+    generation (the one the surviving main JSON references) untouched, so
+    mixed-generation state can never pass for a valid checkpoint.
+    """
+    return "%s.shard%d-of-%d.%s" % (path, rank, n_shards, generation)
+
+
+def _cleanup_stale_shards(path: str, keep_generation: str | None) -> None:
+    """Best-effort removal of shard files from superseded generations."""
+    directory = os.path.dirname(os.path.abspath(path)) or "."
+    prefix = os.path.basename(path) + ".shard"
+    keep = "." + keep_generation if keep_generation is not None else None
+    try:
+        names = os.listdir(directory)
+    except OSError:  # pragma: no cover - directory vanished
+        return
+    for name in names:
+        if name.startswith(prefix) and (keep is None or not name.endswith(keep)):
+            try:
+                os.unlink(os.path.join(directory, name))
+            except OSError:  # pragma: no cover - already gone
+                pass
+
+
+def save_checkpoint(path: str, ckpt: Checkpoint, shards: int = 0) -> None:
+    """Atomically write a checkpoint (temp file + rename).
+
+    With ``shards > 0`` the working catalog is block-partitioned into that
+    many per-rank shard files under a fresh generation nonce, written
+    before the main JSON (whose manifest names the generation); stale
+    generations are deleted only after the main JSON landed.  A crash at
+    any point leaves the previously-written checkpoint fully loadable.
+    """
+    data = ckpt.to_json()
+    if shards > 0 and ckpt.working_catalog is not None:
+        generation = uuid.uuid4().hex[:12]
+        entries = data["working_catalog"]  # already serialized by to_json
+        n = len(entries)
+        block = -(-n // shards) if n else 1
+        for rank in range(shards):
+            lo = min(rank * block, n)
+            hi = min(lo + block, n)
+            _atomic_json_write(shard_path(path, rank, shards, generation), {
+                "version": _CHECKPOINT_VERSION,
+                "shard": rank,
+                "n_shards": shards,
+                "generation": generation,
+                "rows": entries[lo:hi],
+            })
+        data["working_catalog"] = None
+        data["working_manifest"] = {
+            "n_entries": n, "n_shards": shards, "generation": generation,
+        }
+        _atomic_json_write(path, data)
+        _cleanup_stale_shards(path, generation)
+        return
+    _atomic_json_write(path, data)
+
+
+def _load_shards(path: str, manifest: dict) -> Catalog | None:
+    n_shards = int(manifest["n_shards"])
+    generation = str(manifest.get("generation", ""))
+    entries: list[CatalogEntry] = []
+    for rank in range(n_shards):
+        try:
+            with open(shard_path(path, rank, n_shards, generation)) as f:
+                shard = json.load(f)
+        except (FileNotFoundError, json.JSONDecodeError, OSError):
+            return None
+        if (shard.get("version") != _CHECKPOINT_VERSION
+                or shard.get("shard") != rank
+                or shard.get("n_shards") != n_shards
+                or shard.get("generation") != generation):
+            return None
+        entries.extend(entry_from_dict(r) for r in shard["rows"])
+    if len(entries) != int(manifest["n_entries"]):
+        return None
+    return Catalog(entries)
+
+
 def load_checkpoint(path: str, fingerprint: dict) -> Checkpoint | None:
     """Load a checkpoint, or ``None`` when absent/incompatible/corrupt.
 
     A truncated or unparseable file (killed mid-write before the atomic
-    rename existed, disk trouble, ...) and a fingerprint mismatch both
-    return ``None``: the driver then restarts from scratch, which is always
-    correct, just slower.
+    rename existed, disk trouble, ...), a fingerprint mismatch, and a
+    missing or corrupt working-catalog shard all return ``None``: the
+    driver then restarts from scratch, which is always correct, just
+    slower.
     """
     if not os.path.exists(path):
         return None
@@ -173,4 +267,11 @@ def load_checkpoint(path: str, fingerprint: dict) -> Checkpoint | None:
         return None
     if data.get("fingerprint") != fingerprint:
         return None
-    return Checkpoint.from_json(data)
+    ckpt = Checkpoint.from_json(data)
+    manifest = data.get("working_manifest")
+    if manifest is not None:
+        working = _load_shards(path, manifest)
+        if working is None:
+            return None
+        ckpt.working_catalog = working
+    return ckpt

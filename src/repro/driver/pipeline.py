@@ -11,31 +11,64 @@ IV-A through IV-D), over many fields:
    re-covered by a half-size-shifted second partition, yielding two stages
    of tasks (:mod:`repro.partition`).
 3. **Schedule** — a :class:`~repro.sched.dtree.Dtree` instance hands task
-   batches to node-workers (threads standing in for cluster nodes); stage-1
-   tasks only start after every stage-0 task completed, the two-stage
-   barrier of Section IV-A.
+   batches to node-workers; stage-1 tasks only start after every stage-0
+   task completed, the two-stage barrier of Section IV-A.
 4. **Optimize** — each task jointly optimizes its region's sources with
    Cyclades-scheduled threads (:func:`repro.parallel.optimize_region_parallel`),
    reading every image whose footprint covers the region — multi-field
    fusion, the capability the heuristic baseline lacks.
-5. **Merge** — optimized parameters flow back into the global catalog by
-   source index; a final deduplication produces the result.
+5. **Merge** — optimized parameters flow back into the global catalog;
+   a final deduplication produces the result.
 
-Progress is checkpointed to JSON after every stage
-(:mod:`repro.driver.checkpoint`), so a killed run resumes at the last
-completed stage and reproduces the same final catalog.  FLOP and throughput
-accounting accumulate in a :class:`~repro.perf.counters.Counters` bag and a
+**Node-worker executors.**  Node-workers run in one of two modes, selected
+by ``DriverConfig.executor`` (or the ``REPRO_DRIVER_EXECUTOR`` environment
+variable): ``"thread"`` workers are threads in this process, ``"process"``
+workers are spawn-safe ``multiprocessing`` processes — the paper's
+distributed-memory layout, which the GIL cannot cap.  Both modes drive the
+same task-execution path and produce bit-for-bit identical catalogs: tasks
+are seeded per task id, and every worker reads its sources and frozen halo
+from a stage-start snapshot of the catalog, so results never depend on the
+executor, the worker count, or task completion order.
+
+**The sharded catalog.**  The working catalog lives in a
+:class:`~repro.driver.shards.ShardedCatalog` — light sources as 44-wide
+rows of a :class:`~repro.pgas.GlobalArray` block-partitioned across
+node-worker ranks.  Thread workers reach it through the in-process PGAS
+transport; process workers attach to POSIX shared-memory windows
+(:class:`~repro.pgas.SharedMemoryTransport`) and do real one-sided
+``get_row``/``put_row`` for exactly the rows a task touches, never pickling
+the catalog.  Per-worker RMA traffic lands in the driver report.
+
+**Field prefetch.**  Fields may be given as in-memory image lists or as
+paths to ``.npz`` field files (:mod:`repro.survey.io`).  Path fields are
+loaded by a :class:`~repro.survey.io.FieldPrefetcher` thread keyed to the
+Dtree's look-ahead (:meth:`~repro.sched.dtree.Dtree.peek`) — the
+single-node analogue of the paper's Burst Buffer pipeline.
+
+Progress is checkpointed to JSON after every stage, with the working
+catalog written as per-rank shard files (:mod:`repro.driver.checkpoint`),
+so a killed run resumes at the last completed stage and reproduces the same
+final catalog.  FLOP and throughput accounting accumulate in a
+:class:`~repro.perf.counters.Counters` bag and a
 :class:`~repro.perf.driver.DriverReport`.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import multiprocessing
+import os
+import queue as queue_mod
+import shutil
+import tempfile
 import threading
 import time
+import traceback
 from dataclasses import dataclass, field, replace
 
-from repro.core.catalog import Catalog, CatalogEntry
+import numpy as np
+
+from repro.core.catalog import Catalog
 from repro.core.priors import Priors, default_priors
 from repro.driver.checkpoint import (
     STAGES,
@@ -44,13 +77,16 @@ from repro.driver.checkpoint import (
     save_checkpoint,
 )
 from repro.driver.merge import dedup_catalog, merge_catalogs
+from repro.driver.shards import ShardedCatalog
 from repro.parallel import ParallelRegionConfig, optimize_region_parallel
 from repro.partition import Region, Task, generate_tasks
 from repro.perf.counters import Counters
 from repro.perf.driver import DriverReport
+from repro.pgas import SharedMemoryTransport
 from repro.photo import PhotoConfig, run_photo
 from repro.sched import Dtree, DtreeConfig
 from repro.survey.image import Image
+from repro.survey.io import FieldPrefetcher, field_metadata, save_field
 
 __all__ = [
     "DriverConfig",
@@ -61,6 +97,12 @@ __all__ = [
     "seed_catalog_from_fields",
     "survey_bounds",
 ]
+
+#: Environment variable consulted when ``DriverConfig.executor`` is None —
+#: lets CI force every driver run onto the process executor.
+EXECUTOR_ENV_VAR = "REPRO_DRIVER_EXECUTOR"
+
+_EXECUTORS = ("thread", "process")
 
 
 @dataclass
@@ -74,6 +116,13 @@ class DriverConfig:
 
     #: Node-workers pulling from the Dtree (the "nodes" of level two).
     n_nodes: int = 2
+    #: Node-worker executor: ``"thread"`` or ``"process"``; ``None`` reads
+    #: :data:`EXECUTOR_ENV_VAR`, defaulting to ``"thread"``.  Results are
+    #: identical either way; only the memory/parallelism model changes.
+    executor: str | None = None
+    #: Start method for process node-workers ("spawn" works everywhere and
+    #: proves nothing leaks through fork; "fork" starts faster on Linux).
+    mp_start_method: str = "spawn"
     #: Target bright-pixel weight per region (task granularity).
     target_weight: float = 40.0
     #: Run the shifted second-stage partition (paper Section IV-A).
@@ -86,19 +135,42 @@ class DriverConfig:
     #: Catalog sources within this many pixels outside a task's region are
     #: rendered into its model images as a frozen halo — without it, a
     #: source near a region border slides toward its unmodeled neighbor's
-    #: flux and the fit corrupts.
+    #: flux and the fit corrupts.  The margin box is closed on both sides.
     halo_margin: float = 16.0
+    #: Re-read the halo from the live working catalog at each optimization
+    #: pass instead of the stage-start snapshot, so boundary sources see
+    #: their neighbors' freshest parameters.  Costs reproducibility:
+    #: results then depend on task completion order, so kill/resume no
+    #: longer reproduces a run bit-for-bit (default keeps snapshot
+    #: semantics).
+    halo_refresh: bool = False
     #: Task ids granted per Dtree request.
     max_batch: int = 2
+    #: Tasks peeked ahead per Dtree request to drive field prefetching.
+    prefetch_lookahead: int = 4
+    #: Loaded on-disk fields kept per worker (LRU).
+    field_cache_capacity: int = 16
     photo: PhotoConfig = field(default_factory=PhotoConfig)
     parallel: ParallelRegionConfig = field(default_factory=ParallelRegionConfig)
     dtree: DtreeConfig = field(default_factory=DtreeConfig)
-    #: JSON checkpoint file; ``None`` disables checkpointing.
+    #: JSON checkpoint file; ``None`` disables checkpointing.  The working
+    #: catalog checkpoints as ``n_nodes`` per-rank shard files.
     checkpoint_path: str | None = None
     #: Stop (return) right after this stage completes and checkpoints —
     #: simulates a killed run for resume testing, and supports staged
     #: operation (e.g. seed on one machine, optimize on another).
     stop_after: str | None = None
+
+
+def _resolve_executor(config: DriverConfig) -> str:
+    mode = config.executor
+    if mode is None:
+        mode = os.environ.get(EXECUTOR_ENV_VAR) or "thread"
+    if mode not in _EXECUTORS:
+        raise ValueError(
+            "executor must be one of %r, got %r" % (_EXECUTORS, mode)
+        )
+    return mode
 
 
 @dataclass
@@ -142,6 +214,10 @@ def survey_bounds(fields: list[list[Image]]) -> Region:
     if not fields or not any(fields):
         raise ValueError("need at least one field with images")
     boxes = [im.sky_bounds() for images in fields for im in images]
+    return _bounds_region(boxes)
+
+
+def _bounds_region(boxes: list[tuple]) -> Region:
     eps = 1e-6  # upper edges are half-open; keep boundary sources inside
     return Region(
         min(b[0] for b in boxes), max(b[1] for b in boxes) + eps,
@@ -149,22 +225,152 @@ def survey_bounds(fields: list[list[Image]]) -> Region:
     )
 
 
+def _box_touches_region(box: tuple, region: Region, margin: float) -> bool:
+    x0, x1, y0, y1 = box
+    return (
+        region.x_min < x1 + margin
+        and region.x_max > x0 - margin
+        and region.y_min < y1 + margin
+        and region.y_max > y0 - margin
+    )
+
+
 def images_for_region(
     fields: list[list[Image]], region: Region, margin: float
 ) -> list[Image]:
     """Every image whose footprint intersects ``region`` (with margin)."""
-    out = []
-    for images in fields:
-        for im in images:
-            x0, x1, y0, y1 = im.sky_bounds()
-            if (
-                region.x_min < x1 + margin
-                and region.x_max > x0 - margin
-                and region.y_min < y1 + margin
-                and region.y_max > y0 - margin
-            ):
-                out.append(im)
-    return out
+    return [
+        im
+        for images in fields
+        for im in images
+        if _box_touches_region(im.sky_bounds(), region, margin)
+    ]
+
+
+def _halo_indices(
+    positions: np.ndarray, own: set, region: Region, margin: float
+) -> list[int]:
+    """Catalog indices inside the task's halo margin box, excluding its own
+    sources.
+
+    The box is closed on *both* sides: a neighbor sitting exactly on the
+    far margin edge contributes its flux to border pixels just like one on
+    the near edge, so a half-open upper bound would asymmetrically drop it.
+    """
+    if len(positions) == 0:
+        return []
+    x, y = positions[:, 0], positions[:, 1]
+    mask = (
+        (x >= region.x_min - margin) & (x <= region.x_max + margin)
+        & (y >= region.y_min - margin) & (y <= region.y_max + margin)
+    )
+    return [int(j) for j in np.nonzero(mask)[0] if int(j) not in own]
+
+
+# ---------------------------------------------------------------------------
+# Field access: in-memory lists or on-disk files behind a prefetch thread
+
+
+class _FieldStore:
+    """Uniform access to a survey's fields, in-memory or on disk.
+
+    Each element of ``fields`` is either a ``list[Image]`` (held as given)
+    or a path to a ``.npz`` field file, loaded on demand through a
+    :class:`FieldPrefetcher` so Dtree look-ahead hints overlap I/O with
+    optimization.  Image footprints and shapes are cached as metadata on
+    first load (and can be injected, so process workers skip the metadata
+    pass the parent already did).
+    """
+
+    def __init__(self, fields: list, capacity: int = 16, metadata=None):
+        if not fields:
+            raise ValueError("need at least one field")
+        self._specs = list(fields)
+        self._paths = [f if isinstance(f, str) else None for f in fields]
+        self._prefetcher = (
+            FieldPrefetcher(capacity=capacity)
+            if any(p is not None for p in self._paths) else None
+        )
+        #: Per field: list of per-image (sky_bounds, (h, w), band) triples.
+        self._meta: list[list[tuple] | None] = [None] * len(fields)
+        if metadata is not None:
+            self._meta = [list(m) if m is not None else None for m in metadata]
+
+    @property
+    def n_fields(self) -> int:
+        return len(self._specs)
+
+    def field(self, i: int) -> list[Image]:
+        spec = self._specs[i]
+        if self._paths[i] is None:
+            images = spec
+        else:
+            images = self._prefetcher.get(self._paths[i])
+        if self._meta[i] is None:
+            self._meta[i] = [
+                (im.sky_bounds(), (im.height, im.width), im.band)
+                for im in images
+            ]
+        return images
+
+    def ensure_metadata(self) -> None:
+        for i in range(self.n_fields):
+            if self._meta[i] is None:
+                if self._paths[i] is not None:
+                    # Header-only peek: footprints and shapes without
+                    # reading pixel data (the fingerprint/partition pass
+                    # must not cost a full survey read).
+                    self._meta[i] = field_metadata(self._paths[i])
+                else:
+                    self.field(i)
+
+    def metadata(self) -> list:
+        self.ensure_metadata()
+        return [list(m) for m in self._meta]
+
+    def field_shapes(self) -> list[list[int]]:
+        self.ensure_metadata()
+        return [[h, w] for m in self._meta for (_, (h, w), _) in m]
+
+    def bounds(self) -> Region:
+        self.ensure_metadata()
+        return _bounds_region([b for m in self._meta for (b, _, _) in m])
+
+    def field_indices_for_region(self, region: Region, margin: float) -> list[int]:
+        """Fields with at least one image touching the region (metadata
+        only — never triggers a load; used to build prefetch hints)."""
+        self.ensure_metadata()
+        return [
+            i for i, m in enumerate(self._meta)
+            if any(_box_touches_region(b, region, margin) for (b, _, _) in m)
+        ]
+
+    def images_for_region(self, region: Region, margin: float) -> list[Image]:
+        self.ensure_metadata()
+        out: list[Image] = []
+        for i in self.field_indices_for_region(region, margin):
+            out.extend(
+                im for im in self.field(i)
+                if _box_touches_region(im.sky_bounds(), region, margin)
+            )
+        return out
+
+    def hint_fields(self, indices) -> None:
+        if self._prefetcher is None:
+            return
+        paths = [self._paths[i] for i in indices if self._paths[i] is not None]
+        if paths:
+            self._prefetcher.hint(paths)
+
+    def prefetch_stats(self) -> dict:
+        if self._prefetcher is None:
+            return {"prefetch_hits": 0, "prefetch_misses": 0,
+                    "prefetched": 0, "prefetch_seconds": 0.0}
+        return self._prefetcher.stats()
+
+    def close(self) -> None:
+        if self._prefetcher is not None:
+            self._prefetcher.close()
 
 
 # ---------------------------------------------------------------------------
@@ -172,15 +378,28 @@ def images_for_region(
 
 
 def seed_catalog_from_fields(
-    fields: list[list[Image]], config: DriverConfig
+    fields: list, config: DriverConfig
 ) -> Catalog:
     """Run Photo per field and merge the per-field catalogs.
 
     Photo already reports sky coordinates (``detect_sources`` maps through
     the field WCS), so the per-field catalogs concatenate directly; the
-    merge deduplicates sources detected by two overlapping fields.
+    merge deduplicates sources detected by two overlapping fields.  Fields
+    given as paths are loaded from disk one at a time — peak memory is one
+    field, not the survey.
     """
-    per_field = [run_photo(images, config.photo) for images in fields]
+    from repro.survey.io import load_field
+
+    per_field = [
+        run_photo(load_field(f) if isinstance(f, str) else f, config.photo)
+        for f in fields
+    ]
+    return merge_catalogs(per_field, config.dedup_radius)
+
+
+def _seed_catalog_from_store(store: _FieldStore, config: DriverConfig) -> Catalog:
+    per_field = [run_photo(store.field(i), config.photo)
+                 for i in range(store.n_fields)]
     return merge_catalogs(per_field, config.dedup_radius)
 
 
@@ -188,49 +407,151 @@ def seed_catalog_from_fields(
 # Stages 2+3+4: Dtree-scheduled two-stage optimization
 
 
-def _fingerprint(fields: list[list[Image]], config: DriverConfig) -> dict:
+def _fingerprint(store: _FieldStore, config: DriverConfig) -> dict:
     """Identity of a run for checkpoint compatibility checks.
 
     Covers every knob that affects *results*: the inputs, the partition and
-    merge parameters, the halo/image margins, the Photo thresholds, and the
-    full parallel/joint/single optimizer configuration (``asdict`` recurses
-    into nested dataclasses).  Purely scheduling-side knobs (``n_nodes``,
-    ``dtree``, ``max_batch``) are deliberately excluded: task results are
-    independent of completion order, so a run may legitimately resume with
-    a different worker layout.
+    merge parameters, the halo/image margins and refresh policy, the Photo
+    thresholds, and the full parallel/joint/single optimizer configuration
+    (``asdict`` recurses into nested dataclasses).  Purely scheduling-side
+    knobs (``n_nodes``, ``executor``, ``dtree``, ``max_batch``, prefetch
+    depth) are deliberately excluded: task results are independent of
+    completion order and of the memory model, so a run may legitimately
+    resume with a different worker layout or executor.
     """
     return {
-        "n_fields": len(fields),
-        "field_shapes": [
-            [im.height, im.width] for images in fields for im in images
-        ],
+        "n_fields": store.n_fields,
+        "field_shapes": store.field_shapes(),
         "target_weight": config.target_weight,
         "two_stage": config.two_stage,
         "dedup_radius": config.dedup_radius,
         "image_margin": config.image_margin,
         "halo_margin": config.halo_margin,
+        "halo_refresh": config.halo_refresh,
         "photo": dataclasses.asdict(config.photo),
         "parallel": dataclasses.asdict(config.parallel),
     }
 
 
-class _StageRunner:
-    """Executes one stage's tasks across Dtree-fed node-workers."""
+def _task_seed_config(config: DriverConfig, task: Task) -> ParallelRegionConfig:
+    # Per-task deterministic seed: results must not depend on which worker
+    # runs the task or in what order tasks complete.
+    return replace(
+        config.parallel,
+        seed=config.parallel.seed + 7919 * task.task_id + task.stage,
+    )
 
-    def __init__(
-        self,
-        fields: list[list[Image]],
-        working: list[CatalogEntry],
-        priors: Priors,
-        config: DriverConfig,
-        counters: Counters,
-    ):
-        self.fields = fields
-        self.working = working
+
+def _execute_task(
+    task: Task,
+    halo_idx: list[int],
+    base: ShardedCatalog,
+    working: ShardedCatalog,
+    store: _FieldStore,
+    priors: Priors,
+    config: DriverConfig,
+    counters: Counters,
+):
+    """Run one task against the sharded catalog; returns the region result,
+    or ``None`` when the task had nothing to optimize.
+
+    This is the single execution path both executors share: read own
+    sources and halo rows one-sidedly from the stage-start snapshot
+    (``base``), optimize, put result rows into the live ``working`` array.
+    With ``halo_refresh`` the halo is instead re-read from ``working`` at
+    every pass, and each pass's results are published immediately so
+    neighboring tasks see them.
+    """
+    images = store.images_for_region(task.region, config.image_margin)
+    entries = base.get_entries(task.source_indices)
+    if not images or not entries:
+        return None
+    pconfig = _task_seed_config(config, task)
+    if config.halo_refresh:
+        result = None
+        current = entries
+        for p in range(pconfig.n_passes):
+            halo = working.get_entries(halo_idx)
+            sub = replace(pconfig, n_passes=1, seed=pconfig.seed + 104729 * p)
+            result = optimize_region_parallel(
+                images, current, priors, sub, counters, frozen_entries=halo,
+            )
+            current = list(result.catalog)
+            working.put_entries(task.source_indices, current)
+        return result
+    halo = base.get_entries(halo_idx)
+    result = optimize_region_parallel(
+        images, entries, priors, pconfig, counters, frozen_entries=halo,
+    )
+    working.put_entries(task.source_indices, list(result.catalog))
+    return result
+
+
+def _comm_totals(*recorders) -> dict:
+    return {
+        "rma_gets": sum(r.stats.n_get for r in recorders),
+        "rma_puts": sum(r.stats.n_put for r in recorders),
+        "rma_bytes": sum(r.stats.total_bytes for r in recorders),
+        "rma_remote": sum(r.stats.remote_fraction_ops for r in recorders),
+    }
+
+
+def _dict_delta(current: dict, previous: dict) -> dict:
+    return {k: v - previous.get(k, 0) for k, v in current.items()}
+
+
+class _StageRunnerBase:
+    """Shared bookkeeping of the two executors."""
+
+    def __init__(self, store, working, priors, config, counters):
+        self.store: _FieldStore = store
+        self.working: ShardedCatalog = working
         self.priors = priors
-        self.config = config
-        self.counters = counters
+        self.config: DriverConfig = config
+        self.counters: Counters = counters
         self.outcomes: list[TaskOutcome] = []
+        # Baseline at runner creation (i.e. after seeding): the report's
+        # prefetch hit/miss numbers cover the optimization stages only, so
+        # the thread executor (parent store) and the process executor
+        # (per-worker stores) measure the same thing.
+        self._prefetch_applied: dict = dict(store.prefetch_stats())
+
+    def _lookahead_hint(self, dtree: Dtree, worker: int, batch: list[int],
+                        tasks: list[Task]) -> list[int]:
+        """Field indices the current batch plus the Dtree look-ahead will
+        need — the prefetch hint."""
+        config = self.config
+        tids = list(batch) + dtree.peek(worker, config.prefetch_lookahead)
+        out: list[int] = []
+        for tid in tids:
+            for i in self.store.field_indices_for_region(
+                tasks[tid].region, config.image_margin
+            ):
+                if i not in out:
+                    out.append(i)
+        return out
+
+    def _apply_prefetch_stats(self, report: DriverReport, stats: dict) -> None:
+        delta = _dict_delta(stats, self._prefetch_applied)
+        self._prefetch_applied = dict(stats)
+        report.prefetch_hits += int(delta.get("prefetch_hits", 0))
+        report.prefetch_misses += int(delta.get("prefetch_misses", 0))
+        report.prefetch_seconds += float(delta.get("prefetch_seconds", 0.0))
+
+    def close(self) -> None:  # pragma: no cover - overridden where needed
+        pass
+
+
+class _ThreadStageRunner(_StageRunnerBase):
+    """Node-workers as threads in this address space (the PR-1 layout).
+
+    Cheap to start and fine when the NumPy kernels release the GIL, but
+    Python-level work serializes — the limitation the process executor
+    removes.
+    """
+
+    def __init__(self, store, working, priors, config, counters):
+        super().__init__(store, working, priors, config, counters)
         self._lock = threading.Lock()
 
     def run(self, tasks: list[Task], report: DriverReport) -> float:
@@ -241,8 +562,9 @@ class _StageRunner:
         # Tasks read entries and halos from the stage-start snapshot, never
         # from live results of concurrent tasks: results must not depend on
         # task completion order (and a resumed run must reproduce them).
-        with self._lock:
-            base = list(self.working)
+        base = ShardedCatalog(self.working.n_rows, self.working.n_ranks)
+        base.copy_rows_from(self.working)
+        positions = base.positions()
         dtree = Dtree(config.n_nodes, len(tasks), config.dtree)
         stage_elbo = [0.0]
         sched_s = [0.0] * config.n_nodes
@@ -251,16 +573,48 @@ class _StageRunner:
 
         def node_worker(w: int) -> None:
             try:
+                base_view, base_rec = base.recording_view(w)
+                work_view, work_rec = self.working.recording_view(w)
                 while True:
                     t0 = time.perf_counter()
                     batch = dtree.request(w, max_batch=config.max_batch)
                     sched_s[w] += time.perf_counter() - t0
                     if not batch:
-                        return
+                        break
+                    self.store.hint_fields(
+                        self._lookahead_hint(dtree, w, batch, tasks)
+                    )
                     for tid in batch:
                         t1 = time.perf_counter()
-                        self._run_task(tasks[tid], base, w, stage_elbo, report)
-                        task_s[w] += time.perf_counter() - t1
+                        task = tasks[tid]
+                        halo_idx = _halo_indices(
+                            positions, set(task.source_indices),
+                            task.region, config.halo_margin,
+                        )
+                        result = _execute_task(
+                            task, halo_idx, base_view, work_view, self.store,
+                            self.priors, config, self.counters,
+                        )
+                        seconds = time.perf_counter() - t1
+                        task_s[w] += seconds
+                        if result is None:
+                            continue
+                        with self._lock:
+                            stage_elbo[0] += result.elbo_total
+                            report.n_source_updates += (
+                                task.n_sources * config.parallel.n_passes
+                            )
+                            self.outcomes.append(TaskOutcome(
+                                task_id=task.task_id,
+                                stage=task.stage,
+                                worker=w,
+                                n_sources=task.n_sources,
+                                elbo=result.elbo_total,
+                                seconds=seconds,
+                            ))
+                with self._lock:
+                    comm = _comm_totals(base_rec, work_rec)
+                    report.add_worker_comm(w, **comm)
             except BaseException as exc:  # noqa: BLE001 - reraised below
                 with self._lock:
                     errors.append(exc)
@@ -282,56 +636,275 @@ class _StageRunner:
         report.messages += dtree.stats["messages"]
         report.hops += dtree.stats["hops"]
         report.n_tasks += len(tasks)
+        self._apply_prefetch_stats(report, self.store.prefetch_stats())
         return stage_elbo[0]
 
-    def _run_task(
-        self,
-        task: Task,
-        base: list[CatalogEntry],
-        worker: int,
-        stage_elbo: list,
-        report: DriverReport,
-    ) -> None:
-        config = self.config
-        images = images_for_region(self.fields, task.region, config.image_margin)
-        region, m = task.region, config.halo_margin
-        own = set(task.source_indices)
-        entries = [base[i] for i in task.source_indices]
-        halo = [
-            e for j, e in enumerate(base)
-            if j not in own
-            and region.x_min - m <= e.position[0] < region.x_max + m
-            and region.y_min - m <= e.position[1] < region.y_max + m
-        ]
-        if not images or not entries:
-            return
-        # Per-task deterministic seed: results must not depend on which
-        # worker runs the task or in what order tasks complete.
-        pconfig = replace(
-            config.parallel,
-            seed=config.parallel.seed + 7919 * task.task_id + task.stage,
-        )
-        t0 = time.perf_counter()
-        result = optimize_region_parallel(
-            images, entries, self.priors, pconfig, self.counters,
-            frozen_entries=halo,
-        )
-        seconds = time.perf_counter() - t0
-        with self._lock:
-            # Regions within a stage are disjoint, so no two concurrent
-            # tasks ever write the same source index.
-            for g, e in zip(task.source_indices, result.catalog):
-                self.working[g] = e
-            stage_elbo[0] += result.elbo_total
-            report.n_source_updates += task.n_sources * pconfig.n_passes
-            self.outcomes.append(TaskOutcome(
-                task_id=task.task_id,
-                stage=task.stage,
-                worker=worker,
-                n_sources=task.n_sources,
-                elbo=result.elbo_total,
-                seconds=seconds,
+
+def _process_worker_main(
+    worker_id: int,
+    fields: list,
+    metadata: list,
+    priors: Priors,
+    config: DriverConfig,
+    base: ShardedCatalog,
+    working: ShardedCatalog,
+    task_q,
+    result_q,
+) -> None:
+    """Body of one process node-worker.
+
+    Receives ``(task, halo_indices, field_hint)`` work items, reads the
+    rows it needs one-sidedly from the shared-memory catalog, optimizes,
+    puts results back, and reports the outcome plus counter/comm/prefetch
+    deltas.  A ``None`` item shuts the worker down.
+    """
+    try:
+        store = _FieldStore(fields, config.field_cache_capacity,
+                            metadata=metadata)
+        base_view, base_rec = base.recording_view(worker_id)
+        work_view, work_rec = working.recording_view(worker_id)
+        prev_comm: dict = {}
+        prev_prefetch: dict = {}
+        while True:
+            item = task_q.get()
+            if item is None:
+                return
+            task, halo_idx, hint = item
+            store.hint_fields(hint)
+            counters = Counters()
+            t0 = time.perf_counter()
+            result = _execute_task(
+                task, halo_idx, base_view, work_view, store,
+                priors, config, counters,
+            )
+            seconds = time.perf_counter() - t0
+            comm = _comm_totals(base_rec, work_rec)
+            prefetch = store.prefetch_stats()
+            result_q.put((
+                "done", worker_id, task.task_id, task.stage,
+                result is not None, task.n_sources,
+                result.elbo_total if result is not None else 0.0,
+                seconds, counters.snapshot(),
+                _dict_delta(comm, prev_comm),
+                _dict_delta(prefetch, prev_prefetch),
             ))
+            prev_comm, prev_prefetch = comm, prefetch
+    except BaseException:  # noqa: BLE001 - forwarded to the parent
+        result_q.put(("error", worker_id, traceback.format_exc()))
+
+
+class _ProcessStageRunner(_StageRunnerBase):
+    """Node-workers as spawn-safe processes over shared-memory PGAS windows.
+
+    The parent keeps the Dtree and pumps batches to per-worker queues (one
+    pump thread per worker, so the request/complete cadence matches the
+    thread executor); workers access the catalog one-sidedly through
+    :class:`SharedMemoryTransport` and never see more of it than their
+    tasks touch.  Workers persist across stages — the parent refreshes the
+    stage-start snapshot between stages.
+    """
+
+    def __init__(self, store, working, priors, config, counters,
+                 fields_spec: list):
+        super().__init__(store, working, priors, config, counters)
+        self._spill_dir: str | None = None
+        self.procs: list = []
+        self._closed = False
+        ctx = multiprocessing.get_context(config.mp_start_method)
+        # The snapshot is only written between stages (no tasks in flight),
+        # so it needs no rank locking even in halo_refresh mode.
+        self.base = ShardedCatalog(
+            working.n_rows, working.n_ranks,
+            transport=SharedMemoryTransport(),
+        )
+        try:
+            # Workers must never hold the whole survey: spill in-memory
+            # fields to temp field files once and ship paths, so each
+            # worker's prefetcher loads only the fields its tasks touch
+            # (on-disk fields ship as the paths they already are).
+            if any(not isinstance(f, str) for f in fields_spec):
+                self._spill_dir = tempfile.mkdtemp(prefix="repro-fields-")
+                spilled = []
+                for i, spec in enumerate(fields_spec):
+                    if isinstance(spec, str):
+                        spilled.append(spec)
+                    else:
+                        path = os.path.join(
+                            self._spill_dir, "field%d.npz" % i
+                        )
+                        save_field(path, spec)
+                        spilled.append(path)
+                fields_spec = spilled
+            self.result_q = ctx.Queue()
+            self.task_qs = [ctx.Queue() for _ in range(config.n_nodes)]
+            for w in range(config.n_nodes):
+                p = ctx.Process(
+                    target=_process_worker_main,
+                    args=(w, fields_spec, store.metadata(), priors, config,
+                          self.base, working, self.task_qs[w],
+                          self.result_q),
+                    daemon=True,
+                )
+                p.start()
+                self.procs.append(p)
+        except BaseException:
+            # Partial construction must not leak shm segments, spilled
+            # files, or blocked worker processes.
+            self.close()
+            raise
+
+    def run(self, tasks: list[Task], report: DriverReport) -> float:
+        if not tasks:
+            return 0.0
+        config = self.config
+        self.base.copy_rows_from(self.working)
+        positions = self.base.positions()
+        dtree = Dtree(config.n_nodes, len(tasks), config.dtree)
+        n = config.n_nodes
+        pending = [0] * n
+        conds = [threading.Condition() for _ in range(n)]
+        stage_elbo = [0.0]
+        sched_s = [0.0] * n
+        task_s = [0.0] * n
+        errors: list[BaseException] = []
+        failed = threading.Event()
+        drained = threading.Event()
+
+        def fail(exc: BaseException) -> None:
+            errors.append(exc)
+            failed.set()
+            for w in range(n):
+                with conds[w]:
+                    pending[w] = 0
+                    conds[w].notify_all()
+
+        def collect() -> None:
+            while not (drained.is_set() and sum(pending) == 0):
+                try:
+                    msg = self.result_q.get(timeout=0.2)
+                except queue_mod.Empty:
+                    if failed.is_set():
+                        return
+                    for w in range(n):
+                        if pending[w] > 0 and not self.procs[w].is_alive():
+                            fail(RuntimeError(
+                                "process node-worker %d died with %d tasks "
+                                "in flight" % (w, pending[w])
+                            ))
+                            return
+                    continue
+                if msg[0] == "error":
+                    _, w, tb = msg
+                    fail(RuntimeError(
+                        "process node-worker %d failed:\n%s" % (w, tb)
+                    ))
+                    return
+                (_, w, task_id, stage, executed, n_sources, elbo,
+                 seconds, counter_delta, comm_delta, prefetch_delta) = msg
+                for name, value in counter_delta.items():
+                    self.counters.add(name, value)
+                report.add_worker_comm(w, **comm_delta)
+                report.prefetch_hits += int(
+                    prefetch_delta.get("prefetch_hits", 0))
+                report.prefetch_misses += int(
+                    prefetch_delta.get("prefetch_misses", 0))
+                report.prefetch_seconds += float(
+                    prefetch_delta.get("prefetch_seconds", 0.0))
+                task_s[w] += seconds
+                if executed:
+                    stage_elbo[0] += elbo
+                    report.n_source_updates += (
+                        n_sources * config.parallel.n_passes
+                    )
+                    self.outcomes.append(TaskOutcome(
+                        task_id=task_id, stage=stage, worker=w,
+                        n_sources=n_sources, elbo=elbo, seconds=seconds,
+                    ))
+                with conds[w]:
+                    pending[w] -= 1
+                    conds[w].notify_all()
+
+        def pump(w: int) -> None:
+            try:
+                while not failed.is_set():
+                    t0 = time.perf_counter()
+                    batch = dtree.request(w, max_batch=config.max_batch)
+                    sched_s[w] += time.perf_counter() - t0
+                    if not batch:
+                        return
+                    hint = self._lookahead_hint(dtree, w, batch, tasks)
+                    for tid in batch:
+                        task = tasks[tid]
+                        halo_idx = _halo_indices(
+                            positions, set(task.source_indices),
+                            task.region, config.halo_margin,
+                        )
+                        with conds[w]:
+                            pending[w] += 1
+                        self.task_qs[w].put((task, halo_idx, hint))
+                    # Match the thread executor's cadence: request the next
+                    # batch only after this one completed, so the Dtree's
+                    # dynamic load balancing still sees completion times.
+                    with conds[w]:
+                        while pending[w] > 0 and not failed.is_set():
+                            conds[w].wait(timeout=0.5)
+            except BaseException as exc:  # noqa: BLE001
+                fail(exc)
+
+        collector = threading.Thread(target=collect, daemon=True)
+        pumps = [
+            threading.Thread(target=pump, args=(w,), daemon=True)
+            for w in range(n)
+        ]
+        t_start = time.perf_counter()
+        collector.start()
+        for t in pumps:
+            t.start()
+        for t in pumps:
+            t.join()
+        drained.set()
+        collector.join()
+        if errors:
+            raise errors[0]
+        report.wall_seconds += time.perf_counter() - t_start
+        report.sched_seconds += sum(sched_s)
+        report.task_seconds += sum(task_s)
+        report.messages += dtree.stats["messages"]
+        report.hops += dtree.stats["hops"]
+        report.n_tasks += len(tasks)
+        return stage_elbo[0]
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for q in getattr(self, "task_qs", []):
+            try:
+                q.put(None)
+            except (OSError, ValueError):  # pragma: no cover - queue gone
+                pass
+        for p in self.procs:
+            p.join(timeout=30.0)
+            if p.is_alive():  # pragma: no cover - hung worker
+                p.terminate()
+                p.join(timeout=5.0)
+        queues = list(getattr(self, "task_qs", []))
+        if getattr(self, "result_q", None) is not None:
+            queues.append(self.result_q)
+        for q in queues:
+            q.close()
+        self.base.array.transport.unlink()
+        if self._spill_dir is not None:
+            shutil.rmtree(self._spill_dir, ignore_errors=True)
+
+
+def _make_stage_runner(executor: str, store, working, priors, config,
+                       counters, fields_spec):
+    if executor == "process":
+        return _ProcessStageRunner(
+            store, working, priors, config, counters, fields_spec
+        )
+    return _ThreadStageRunner(store, working, priors, config, counters)
 
 
 # ---------------------------------------------------------------------------
@@ -339,7 +912,7 @@ class _StageRunner:
 
 
 def run_pipeline(
-    fields: list[list[Image]],
+    fields: list,
     config: DriverConfig | None = None,
     priors: Priors | None = None,
 ) -> DriverResult:
@@ -349,7 +922,9 @@ def run_pipeline(
     ----------
     fields:
         Per-field image lists (e.g. from
-        :func:`repro.survey.generate_survey_fields`).
+        :func:`repro.survey.generate_survey_fields`) and/or paths to field
+        files written by :func:`repro.survey.io.save_field`; on-disk fields
+        are loaded through the look-ahead prefetcher.
     config:
         Driver knobs; when ``config.checkpoint_path`` is set, progress is
         saved after every stage and an existing compatible checkpoint is
@@ -361,6 +936,7 @@ def run_pipeline(
         config = DriverConfig()
     if priors is None:
         priors = default_priors()
+    executor = _resolve_executor(config)
     if config.stop_after is not None and config.stop_after not in STAGES:
         raise ValueError(
             "stop_after must be one of %r, got %r"
@@ -369,87 +945,119 @@ def run_pipeline(
     if config.stop_after == "stage1" and not config.two_stage:
         raise ValueError("stop_after='stage1' requires two_stage=True")
 
-    fingerprint = _fingerprint(fields, config)
-    ckpt = None
-    if config.checkpoint_path is not None:
-        ckpt = load_checkpoint(config.checkpoint_path, fingerprint)
-    resumed = list(ckpt.completed) if ckpt is not None else []
-    if ckpt is None:
-        ckpt = Checkpoint(fingerprint=fingerprint)
-
-    counters = Counters()
-    for name, value in ckpt.counters.items():
-        counters.add(name, value)
-    report = DriverReport.from_dict(ckpt.report) if ckpt.report else DriverReport()
-    report.n_fields = sum(1 for images in fields if images)
-
-    def save() -> None:
-        report.active_pixel_visits = counters.get("active_pixel_visits")
-        ckpt.counters = counters.snapshot()
-        ckpt.report = report.as_dict()
+    store = _FieldStore(fields, config.field_cache_capacity)
+    runner = None
+    try:
+        fingerprint = _fingerprint(store, config)
+        ckpt = None
         if config.checkpoint_path is not None:
-            save_checkpoint(config.checkpoint_path, ckpt)
+            ckpt = load_checkpoint(config.checkpoint_path, fingerprint)
+        resumed = list(ckpt.completed) if ckpt is not None else []
+        if ckpt is None:
+            ckpt = Checkpoint(fingerprint=fingerprint)
 
-    def result(catalog: Catalog, outcomes: list, early: bool) -> DriverResult:
-        report.stage_elbo.update(ckpt.stage_elbo)
-        report.active_pixel_visits = counters.get("active_pixel_visits")
-        return DriverResult(
-            catalog=catalog,
-            seed_catalog=seed,
-            stage_elbo=dict(ckpt.stage_elbo),
-            report=report,
-            counters=counters.snapshot(),
-            outcomes=outcomes,
-            resumed_stages=resumed,
-            stopped_early=early,
+        counters = Counters()
+        for name, value in ckpt.counters.items():
+            counters.add(name, value)
+        report = (DriverReport.from_dict(ckpt.report) if ckpt.report
+                  else DriverReport())
+        report.n_fields = sum(1 for m in store.metadata() if m)
+
+        def save() -> None:
+            report.active_pixel_visits = counters.get("active_pixel_visits")
+            ckpt.counters = counters.snapshot()
+            ckpt.report = report.as_dict()
+            if config.checkpoint_path is not None:
+                save_checkpoint(config.checkpoint_path, ckpt,
+                                shards=config.n_nodes)
+
+        def result(catalog: Catalog, outcomes: list, early: bool) -> DriverResult:
+            report.stage_elbo.update(ckpt.stage_elbo)
+            report.active_pixel_visits = counters.get("active_pixel_visits")
+            return DriverResult(
+                catalog=catalog,
+                seed_catalog=seed,
+                stage_elbo=dict(ckpt.stage_elbo),
+                report=report,
+                counters=counters.snapshot(),
+                outcomes=outcomes,
+                resumed_stages=resumed,
+                stopped_early=early,
+            )
+
+        # -- Stage "seed": detect per field, merge across fields ----------------
+        if ckpt.done("seed"):
+            seed = ckpt.seed_catalog
+        else:
+            t0 = time.perf_counter()
+            seed = _seed_catalog_from_store(store, config)
+            report.wall_seconds += time.perf_counter() - t0
+            ckpt.seed_catalog = seed
+            ckpt.working_catalog = seed
+            ckpt.mark_done("seed")
+            save()
+        if config.stop_after == "seed":
+            return result(Catalog(list(seed)), [], early=True)
+
+        # -- Partition: regenerated deterministically from the seed catalog -----
+        bounds = store.bounds()
+        tasks = generate_tasks(
+            seed, bounds, config.target_weight, two_stage=config.two_stage
+        )
+        by_stage: dict[int, list[Task]] = {0: [], 1: []}
+        for t in tasks:
+            by_stage[t.stage].append(t)
+
+        # The working catalog, sharded across node-worker ranks.  Process
+        # workers need shared-memory windows; thread workers use the
+        # in-process transport.
+        start_entries = (list(ckpt.working_catalog)
+                         if ckpt.working_catalog else list(seed))
+        # halo_refresh makes workers read rows other workers are writing;
+        # across processes that needs the transport's rank locks (snapshot
+        # mode's disjoint access does not, so skip the syscall cost).
+        working = ShardedCatalog.from_entries(
+            start_entries, n_ranks=config.n_nodes,
+            transport=(
+                SharedMemoryTransport(locking=config.halo_refresh)
+                if executor == "process" else None
+            ),
         )
 
-    # -- Stage "seed": detect per field, merge across fields ------------------
-    if ckpt.done("seed"):
-        seed = ckpt.seed_catalog
-    else:
-        t0 = time.perf_counter()
-        seed = seed_catalog_from_fields(fields, config)
-        report.wall_seconds += time.perf_counter() - t0
-        ckpt.seed_catalog = seed
-        ckpt.working_catalog = seed
-        ckpt.mark_done("seed")
-        save()
-    if config.stop_after == "seed":
-        return result(Catalog(list(seed)), [], early=True)
+        # -- Stages "stage0"/"stage1": Dtree-scheduled joint optimization -------
+        stage_names = ["stage0"] + (["stage1"] if config.two_stage else [])
+        for stage_idx, stage_name in enumerate(stage_names):
+            if not ckpt.done(stage_name):
+                if runner is None:
+                    runner = _make_stage_runner(
+                        executor, store, working, priors, config, counters,
+                        fields,
+                    )
+                elbo = runner.run(by_stage[stage_idx], report)
+                ckpt.stage_elbo[stage_name] = elbo
+                ckpt.working_catalog = working.to_catalog()
+                ckpt.mark_done(stage_name)
+                save()
+            if config.stop_after == stage_name:
+                outcomes = list(runner.outcomes) if runner else []
+                return result(working.to_catalog(), outcomes, early=True)
 
-    # -- Partition: regenerated deterministically from the seed catalog -------
-    bounds = survey_bounds(fields)
-    tasks = generate_tasks(
-        seed, bounds, config.target_weight, two_stage=config.two_stage
-    )
-    by_stage: dict[int, list[Task]] = {0: [], 1: []}
-    for t in tasks:
-        by_stage[t.stage].append(t)
-
-    working = list(ckpt.working_catalog) if ckpt.working_catalog else list(seed)
-    runner = _StageRunner(fields, working, priors, config, counters)
-
-    # -- Stages "stage0"/"stage1": Dtree-scheduled joint optimization ---------
-    stage_names = ["stage0"] + (["stage1"] if config.two_stage else [])
-    for stage_idx, stage_name in enumerate(stage_names):
-        if not ckpt.done(stage_name):
-            elbo = runner.run(by_stage[stage_idx], report)
-            ckpt.stage_elbo[stage_name] = elbo
-            ckpt.working_catalog = Catalog(list(working))
-            ckpt.mark_done(stage_name)
+        # -- Stage "final": merge into the deduplicated global catalog ----------
+        if ckpt.done("final"):
+            final = ckpt.final_catalog
+        else:
+            final = dedup_catalog(working.to_catalog(), config.dedup_radius)
+            ckpt.final_catalog = final
+            ckpt.mark_done("final")
             save()
-        if config.stop_after == stage_name:
-            return result(Catalog(list(working)), list(runner.outcomes),
-                          early=True)
 
-    # -- Stage "final": merge into the deduplicated global catalog ------------
-    if ckpt.done("final"):
-        final = ckpt.final_catalog
-    else:
-        final = dedup_catalog(Catalog(list(working)), config.dedup_radius)
-        ckpt.final_catalog = final
-        ckpt.mark_done("final")
-        save()
-
-    return result(final, list(runner.outcomes), early=False)
+        outcomes = list(runner.outcomes) if runner else []
+        return result(final, outcomes, early=False)
+    finally:
+        if runner is not None:
+            runner.close()
+        if 'working' in locals():
+            transport = working.array.transport
+            if isinstance(transport, SharedMemoryTransport):
+                transport.unlink()
+        store.close()

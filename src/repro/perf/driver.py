@@ -42,6 +42,15 @@ class DriverReport:
         The paper's FLOP-accounting unit, from the driver's counter bag.
     stage_elbo:
         Final ELBO total per optimization stage, ``{"stage0": ..., ...}``.
+    worker_comm:
+        Per-node-worker communication record: one dict per worker with its
+        one-sided catalog traffic (``rma_gets``/``rma_puts``/``rma_bytes``,
+        and ``rma_remote`` ops that crossed a shard boundary) — the numbers
+        the paper reports as PGAS get/put volume.
+    prefetch_hits, prefetch_misses, prefetch_seconds:
+        Field-file prefetcher outcome totals across workers: hits are loads
+        the Burst-Buffer-style look-ahead hid, misses are synchronous
+        stalls, seconds is background-thread load time (overlapped).
     """
 
     wall_seconds: float = 0.0
@@ -54,6 +63,10 @@ class DriverReport:
     hops: int = 0
     active_pixel_visits: float = 0.0
     stage_elbo: dict[str, float] = field(default_factory=dict)
+    worker_comm: list = field(default_factory=list)
+    prefetch_hits: int = 0
+    prefetch_misses: int = 0
+    prefetch_seconds: float = 0.0
 
     @property
     def sources_per_second(self) -> float:
@@ -83,6 +96,36 @@ class DriverReport:
     def messages_per_task(self) -> float:
         return self.messages / self.n_tasks if self.n_tasks else 0.0
 
+    @property
+    def rma_gets(self) -> int:
+        return sum(w.get("rma_gets", 0) for w in self.worker_comm)
+
+    @property
+    def rma_puts(self) -> int:
+        return sum(w.get("rma_puts", 0) for w in self.worker_comm)
+
+    @property
+    def rma_bytes(self) -> int:
+        return sum(w.get("rma_bytes", 0) for w in self.worker_comm)
+
+    def add_worker_comm(self, worker: int, rma_gets: int, rma_puts: int,
+                        rma_bytes: int, rma_remote: int) -> None:
+        """Accumulate one worker's one-sided traffic (summed across stages)."""
+        for rec in self.worker_comm:
+            if rec.get("worker") == worker:
+                rec["rma_gets"] += rma_gets
+                rec["rma_puts"] += rma_puts
+                rec["rma_bytes"] += rma_bytes
+                rec["rma_remote"] += rma_remote
+                return
+        self.worker_comm.append({
+            "worker": worker,
+            "rma_gets": rma_gets,
+            "rma_puts": rma_puts,
+            "rma_bytes": rma_bytes,
+            "rma_remote": rma_remote,
+        })
+
     def as_dict(self) -> dict:
         """JSON-serializable form (stored in driver checkpoints)."""
         return {
@@ -96,13 +139,21 @@ class DriverReport:
             "hops": self.hops,
             "active_pixel_visits": self.active_pixel_visits,
             "stage_elbo": dict(self.stage_elbo),
+            "worker_comm": [dict(w) for w in self.worker_comm],
+            "prefetch_hits": self.prefetch_hits,
+            "prefetch_misses": self.prefetch_misses,
+            "prefetch_seconds": self.prefetch_seconds,
         }
 
     @classmethod
     def from_dict(cls, d: dict) -> "DriverReport":
         out = cls()
         for k, v in d.items():
-            setattr(out, k, dict(v) if k == "stage_elbo" else v)
+            if k == "stage_elbo":
+                v = dict(v)
+            elif k == "worker_comm":
+                v = [dict(w) for w in v]
+            setattr(out, k, v)
         return out
 
     def summary_lines(self) -> list[str]:
@@ -122,6 +173,23 @@ class DriverReport:
             % (self.messages, self.messages_per_task),
             "dtree parent hops     %8d" % self.hops,
         ]
+        if self.worker_comm:
+            lines.append(
+                "catalog RMA           %8d gets / %d puts (%.1f KB)"
+                % (self.rma_gets, self.rma_puts, self.rma_bytes / 1024.0)
+            )
+            for rec in sorted(self.worker_comm, key=lambda r: r["worker"]):
+                lines.append(
+                    "  worker %-4d         %8d gets / %d puts, %d remote"
+                    % (rec["worker"], rec["rma_gets"], rec["rma_puts"],
+                       rec["rma_remote"])
+                )
+        if self.prefetch_hits or self.prefetch_misses:
+            lines.append(
+                "field prefetch        %8d hits / %d misses (%.2f s hidden)"
+                % (self.prefetch_hits, self.prefetch_misses,
+                   self.prefetch_seconds)
+            )
         for stage, elbo in sorted(self.stage_elbo.items()):
             lines.append("ELBO after %-10s %12.1f" % (stage, elbo))
         return lines

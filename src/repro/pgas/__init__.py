@@ -8,12 +8,24 @@ operations" (paper, Section IV-C).
 
 This package reproduces that interface: a :class:`GlobalArray` partitioned
 across ranks with one-sided ``get``/``put`` element operations, over
-pluggable transports — an in-process transport for real runs, and a
+pluggable transports — an in-process transport for threaded runs, a
+POSIX shared-memory transport for process node-workers, and a
 cost-recording transport that feeds the cluster simulator's communication
 model.
 """
 
-from repro.pgas.transport import LocalTransport, RecordingTransport, RMAStats
+from repro.pgas.transport import (
+    LocalTransport,
+    RecordingTransport,
+    RMAStats,
+    SharedMemoryTransport,
+)
 from repro.pgas.global_array import GlobalArray
 
-__all__ = ["GlobalArray", "LocalTransport", "RecordingTransport", "RMAStats"]
+__all__ = [
+    "GlobalArray",
+    "LocalTransport",
+    "RecordingTransport",
+    "RMAStats",
+    "SharedMemoryTransport",
+]

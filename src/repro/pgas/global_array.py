@@ -20,7 +20,11 @@ class GlobalArray:
     """A dense (n_rows, row_width) float array partitioned across ranks."""
 
     def __init__(self, n_rows: int, row_width: int, n_ranks: int,
-                 transport=None):
+                 transport=None, allocate: bool = True):
+        """``allocate=False`` attaches to windows the transport already
+        holds (e.g. a per-worker accounting view over shared storage, or a
+        process worker attaching to the parent's shared-memory segments)
+        instead of creating and zeroing them."""
         if n_rows < 0 or row_width <= 0 or n_ranks <= 0:
             raise ValueError("invalid GlobalArray geometry")
         self.n_rows = n_rows
@@ -30,9 +34,10 @@ class GlobalArray:
 
         # Block row partition: rank r owns rows [r*block, min((r+1)*block, n)).
         self.block = -(-n_rows // n_ranks) if n_rows else 1
-        for rank in range(n_ranks):
-            lo, hi = self.owned_range(rank)
-            self.transport.allocate(rank, max(hi - lo, 0) * row_width)
+        if allocate:
+            for rank in range(n_ranks):
+                lo, hi = self.owned_range(rank)
+                self.transport.allocate(rank, max(hi - lo, 0) * row_width)
 
     # -- partition arithmetic ---------------------------------------------------
 
@@ -78,5 +83,14 @@ class GlobalArray:
             self.put_row(int(r), v)
 
     def to_dense(self) -> np.ndarray:
-        """Gather the whole array (testing / output writing only)."""
-        return self.get_rows(list(range(self.n_rows)))
+        """Gather the whole array with one bulk get per rank (gather
+        points only: snapshots, checkpointing, output writing)."""
+        parts = []
+        for rank in range(self.n_ranks):
+            lo, hi = self.owned_range(rank)
+            if hi > lo:
+                window = self.transport.get(rank, 0, (hi - lo) * self.row_width)
+                parts.append(window.reshape(hi - lo, self.row_width))
+        if not parts:
+            return np.zeros((0, self.row_width))
+        return np.concatenate(parts)

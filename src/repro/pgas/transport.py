@@ -3,19 +3,31 @@
 The real system rides MPI-3 one-sided get/put, supported in hardware on the
 Aries fabric.  Here a transport is anything that can read/write a byte range
 of a remote rank's window.  :class:`LocalTransport` backs every rank with
-in-process memory; :class:`RecordingTransport` wraps another transport and
-accumulates the operation counts / byte volumes / latency model that the
-cluster simulator charges for "other" time.
+in-process memory; :class:`SharedMemoryTransport` backs every rank with a
+POSIX shared-memory segment, so *process* node-workers do true one-sided
+access to the partitioned catalog without pickling it through queues; and
+:class:`RecordingTransport` wraps another transport and accumulates the
+operation counts / byte volumes / latency model that the cluster simulator
+charges for "other" time.
 """
 
 from __future__ import annotations
 
+import os
+import tempfile
 import threading
+from contextlib import contextmanager
 from dataclasses import dataclass, field
+from multiprocessing import shared_memory
 
 import numpy as np
 
-__all__ = ["LocalTransport", "RecordingTransport", "RMAStats"]
+__all__ = [
+    "LocalTransport",
+    "SharedMemoryTransport",
+    "RecordingTransport",
+    "RMAStats",
+]
 
 
 class LocalTransport:
@@ -42,6 +54,187 @@ class LocalTransport:
         values = np.asarray(values, dtype=float)
         with self._locks[rank]:
             self._windows[rank][start:start + len(values)] += values
+
+
+def _untrack_shared_memory(shm: shared_memory.SharedMemory) -> None:
+    """Detach an *attached* segment from this process's resource tracker.
+
+    On Python < 3.13 every attach registers the segment with the resource
+    tracker, so a worker process exiting would unlink segments the parent
+    still owns (bpo-38119).  Only the creating process should track them.
+    """
+    try:  # pragma: no cover - depends on interpreter internals
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(shm._name, "shared_memory")
+    except Exception:
+        pass
+
+
+class SharedMemoryTransport:
+    """Cross-process transport: every rank's window is a POSIX shared-memory
+    segment of float64s.
+
+    The creating process allocates the segments; pickling the transport
+    (e.g. into a spawned worker) carries only the segment *names*, and the
+    receiving process attaches lazily on first access — the moral
+    equivalent of exchanging RMA window handles at ``MPI_Win_create`` time.
+
+    By default, like hardware RMA, individual gets and puts of *disjoint*
+    ranges are safe from any number of processes concurrently, while
+    concurrently accessing overlapping ranges is undefined (MPI-3 calls
+    such access erroneous) — the driver's disjoint-region snapshot
+    discipline rules it out.  ``locking=True`` adds per-rank advisory file
+    locks (shared for gets, exclusive for puts) for access patterns that
+    *do* read rows other processes may be writing, e.g. the driver's
+    ``halo_refresh`` mode — without it a concurrent reader could see a
+    torn row.
+
+    The owner must call :meth:`unlink` when done (segments outlive
+    processes otherwise); non-owners only ever :meth:`close`.
+    """
+
+    def __init__(self, locking: bool = False):
+        #: rank -> (segment name, element count); the picklable core.
+        self._segments: dict[int, tuple[str, int]] = {}
+        self._locking = locking
+        self._lockfiles: dict[int, str] = {}
+        self._owner = True
+        self._attached: dict[int, shared_memory.SharedMemory] = {}
+        self._views: dict[int, np.ndarray] = {}
+        self._lock_fds: dict[int, int] = {}
+        self._lock = threading.Lock()
+
+    def allocate(self, rank: int, n_elements: int) -> None:
+        if not self._owner:
+            raise RuntimeError("only the owning process allocates windows")
+        if rank in self._segments:
+            raise ValueError("rank %d already allocated" % rank)
+        n_alloc = max(n_elements, 1)  # zero-size segments are not portable
+        shm = shared_memory.SharedMemory(create=True, size=n_alloc * 8)
+        view = np.ndarray((n_alloc,), dtype=np.float64, buffer=shm.buf)
+        view[:] = 0.0
+        self._segments[rank] = (shm.name, n_elements)
+        self._attached[rank] = shm
+        self._views[rank] = view
+        if self._locking:
+            fd, path = tempfile.mkstemp(prefix="pgas-win%d-" % rank,
+                                        suffix=".lock")
+            os.close(fd)
+            self._lockfiles[rank] = path
+
+    def _view(self, rank: int) -> np.ndarray:
+        view = self._views.get(rank)
+        if view is None:
+            with self._lock:
+                view = self._views.get(rank)
+                if view is None:
+                    name, n_elements = self._segments[rank]
+                    shm = shared_memory.SharedMemory(name=name)
+                    _untrack_shared_memory(shm)
+                    view = np.ndarray((max(n_elements, 1),),
+                                      dtype=np.float64, buffer=shm.buf)
+                    self._attached[rank] = shm
+                    self._views[rank] = view
+        return view
+
+    @contextmanager
+    def _rank_lock(self, rank: int, exclusive: bool):
+        if not self._locking:
+            yield
+            return
+        import fcntl
+
+        # One fd per rank per process; flock state lives on the open file
+        # description, so intra-process callers also serialize via _lock.
+        with self._lock:
+            fd = self._lock_fds.get(rank)
+            if fd is None:
+                fd = os.open(self._lockfiles[rank], os.O_RDWR)
+                self._lock_fds[rank] = fd
+            fcntl.flock(fd, fcntl.LOCK_EX if exclusive else fcntl.LOCK_SH)
+            try:
+                yield
+            finally:
+                fcntl.flock(fd, fcntl.LOCK_UN)
+
+    def get(self, rank: int, start: int, count: int) -> np.ndarray:
+        view = self._view(rank)  # attach outside _rank_lock (both take _lock)
+        with self._rank_lock(rank, exclusive=False):
+            return view[start:start + count].copy()
+
+    def put(self, rank: int, start: int, values: np.ndarray) -> None:
+        values = np.asarray(values, dtype=float)
+        view = self._view(rank)
+        with self._rank_lock(rank, exclusive=True):
+            view[start:start + len(values)] = values
+
+    def accumulate(self, rank: int, start: int, values: np.ndarray) -> None:
+        values = np.asarray(values, dtype=float)
+        view = self._view(rank)
+        if self._locking:
+            with self._rank_lock(rank, exclusive=True):
+                view[start:start + len(values)] += values
+            return
+        with self._lock:  # read-modify-write; serialize within this process
+            view[start:start + len(values)] += values
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def __getstate__(self) -> dict:
+        return {
+            "segments": dict(self._segments),
+            "locking": self._locking,
+            "lockfiles": dict(self._lockfiles),
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self._segments = dict(state["segments"])
+        self._locking = bool(state.get("locking", False))
+        self._lockfiles = dict(state.get("lockfiles", {}))
+        self._owner = False
+        self._attached = {}
+        self._views = {}
+        self._lock_fds = {}
+        self._lock = threading.Lock()
+
+    def close(self) -> None:
+        """Drop this process's mappings (the segments survive)."""
+        self._views.clear()
+        for shm in self._attached.values():
+            try:
+                shm.close()
+            except BufferError:  # pragma: no cover - view still referenced
+                pass
+        self._attached.clear()
+        for fd in self._lock_fds.values():
+            try:
+                os.close(fd)
+            except OSError:  # pragma: no cover - already closed
+                pass
+        self._lock_fds.clear()
+
+    def unlink(self) -> None:
+        """Destroy the segments (owner only; call exactly once, at the end)."""
+        if not self._owner:
+            raise RuntimeError("only the owning process unlinks windows")
+        self.close()
+        for name, _ in self._segments.values():
+            try:
+                # Attaching re-registers the name with the resource tracker;
+                # unlink() unregisters it, so the net tracker state is clean.
+                shm = shared_memory.SharedMemory(name=name)
+                shm.close()
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+        self._segments.clear()
+        for path in self._lockfiles.values():
+            try:
+                os.unlink(path)
+            except OSError:  # pragma: no cover - already gone
+                pass
+        self._lockfiles.clear()
 
 
 @dataclass

@@ -181,6 +181,28 @@ class Dtree:
             out.extend(range(lo, hi))
         return out
 
+    def peek(self, worker_id: int, n: int) -> list[int]:
+        """Up to ``n`` task ids this worker is likely to be granted next,
+        without removing anything — the look-ahead hook the driver's field
+        prefetcher keys I/O on (the paper's Burst Buffer pipeline).
+
+        Walks the worker's leaf-to-root path, reading each pool in grant
+        order.  Best-effort: a sibling may win a peeked task in the
+        meantime, which costs a wasted prefetch, never correctness.
+        """
+        if not 0 <= worker_id < self.n_workers:
+            raise IndexError("bad worker id")
+        out: list[int] = []
+        node = self.leaves[worker_id]
+        while node is not None and len(out) < n:
+            with node.lock:
+                for lo, hi in node.pool:
+                    out.extend(range(lo, min(hi, lo + n - len(out))))
+                    if len(out) >= n:
+                        break
+            node = node.parent
+        return out
+
     # -- introspection ---------------------------------------------------------------
 
     @property

@@ -22,7 +22,13 @@ from repro.survey.synth import (
     generate_survey_fields,
 )
 from repro.survey.sdss import SurveyConfig, SurveyLayout, FieldSpec, build_survey, stripe82
-from repro.survey.io import save_field, load_field, field_file_size
+from repro.survey.io import (
+    save_field,
+    load_field,
+    field_metadata,
+    field_file_size,
+    FieldPrefetcher,
+)
 from repro.survey.coadd import coadd_images
 
 __all__ = [
@@ -44,6 +50,8 @@ __all__ = [
     "stripe82",
     "save_field",
     "load_field",
+    "field_metadata",
     "field_file_size",
+    "FieldPrefetcher",
     "coadd_images",
 ]

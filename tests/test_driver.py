@@ -1,6 +1,8 @@
-"""Tests for the end-to-end multi-field driver: merging, checkpointing,
-geometry, the survey synthesis helper, the driver report, and the full
-pipeline (smoke + kill/resume)."""
+"""Tests for the end-to-end multi-field driver: merging, checkpointing
+(including working-catalog shards), geometry, the survey synthesis helper,
+the driver report, the sharded catalog row codec, halo selection and
+refresh, the thread/process executors, on-disk fields with prefetch, and
+the full pipeline (smoke + kill/resume)."""
 
 import dataclasses
 import json
@@ -13,22 +15,32 @@ from repro.core.catalog import Catalog, CatalogEntry
 from repro.core.joint import JointConfig
 from repro.core.single import OptimizeConfig
 from repro.driver import (
+    ROW_WIDTH,
     Checkpoint,
     DriverConfig,
+    ShardedCatalog,
     dedup_catalog,
+    entry_from_row,
+    entry_to_row,
     images_for_region,
     load_checkpoint,
     merge_catalogs,
     run_pipeline,
     save_checkpoint,
     seed_catalog_from_fields,
+    shard_path,
     survey_bounds,
 )
 from repro.driver.checkpoint import entry_from_dict, entry_to_dict
+from repro.driver.pipeline import _halo_indices, _resolve_executor
 from repro.parallel import ParallelRegionConfig
 from repro.partition import Region
 from repro.perf.driver import DriverReport
-from repro.survey import SyntheticSkyConfig, generate_survey_fields
+from repro.survey import (
+    SyntheticSkyConfig,
+    generate_survey_fields,
+    save_field,
+)
 
 COLORS = [1.0, 0.8, 0.3, 0.1]
 
@@ -403,3 +415,323 @@ class TestPipelineEndToEnd:
         # field-0 pixel coordinates.
         if len(seed) > 1:
             assert seed.positions()[:, 0].max() > 24.0
+
+
+class TestRowCodec:
+    def test_roundtrip_exact(self):
+        e = CatalogEntry([3.25, 4.125], True, 12.5, COLORS,
+                         gal_frac_dev=0.3, gal_axis_ratio=0.6,
+                         gal_angle=1.1, gal_radius_px=2.2,
+                         prob_galaxy=0.9, flux_r_sd=0.5,
+                         color_sd=np.array([0.1, 0.2, 0.3, 0.4]))
+        row = entry_to_row(e)
+        assert row.shape == (ROW_WIDTH,)
+        back = entry_from_row(row)
+        # Bit-for-bit: float64 in, float64 out, no text roundtrip.
+        assert np.array_equal(back.position, e.position)
+        assert back.flux_r == e.flux_r
+        assert np.array_equal(back.colors, e.colors)
+        assert back.is_galaxy == e.is_galaxy
+        assert back.prob_galaxy == e.prob_galaxy
+        assert back.flux_r_sd == e.flux_r_sd
+        assert np.array_equal(back.color_sd, e.color_sd)
+        assert back.gal_radius_px == e.gal_radius_px
+
+    def test_none_fields_roundtrip_as_nan(self):
+        back = entry_from_row(entry_to_row(entry(1, 2)))
+        assert back.prob_galaxy is None
+        assert back.flux_r_sd is None
+        assert back.color_sd is None
+
+    def test_bad_row_width_rejected(self):
+        with pytest.raises(ValueError):
+            entry_from_row(np.zeros(ROW_WIDTH - 1))
+
+    def test_sharded_catalog_roundtrip(self):
+        entries = [entry(float(i), 2.0 * i, 10.0 + i) for i in range(7)]
+        cat = ShardedCatalog.from_entries(entries, n_ranks=3)
+        back = cat.to_catalog()
+        assert len(back) == 7
+        for a, b in zip(entries, back):
+            assert np.array_equal(a.position, b.position)
+            assert a.flux_r == b.flux_r
+        np.testing.assert_allclose(
+            cat.positions(), np.stack([e.position for e in entries])
+        )
+
+    def test_sharded_catalog_snapshot_copy(self):
+        entries = [entry(float(i), 0.0) for i in range(4)]
+        a = ShardedCatalog.from_entries(entries, n_ranks=2)
+        b = ShardedCatalog(4, 2)
+        b.copy_rows_from(a)
+        a.put_entry(0, entry(99.0, 99.0))
+        # The snapshot is decoupled from later writes.
+        assert b.get_entry(0).position[0] == 0.0
+
+
+class TestHaloSelection:
+    """Regression tests for the halo margin box (closed on both sides)."""
+
+    def _positions(self):
+        # Region [10, 20) x [10, 20), margin 4: candidates on and around
+        # every edge of the [6, 24] x [6, 24] margin box.
+        return np.array([
+            [24.0, 15.0],   # exactly on the far x edge -> in
+            [6.0, 15.0],    # exactly on the near x edge -> in
+            [15.0, 24.0],   # exactly on the far y edge -> in
+            [24.001, 15.0],  # just past the far x edge -> out
+            [15.0, 5.999],   # just past the near y edge -> out
+            [15.0, 15.0],   # inside the region but owned -> out
+        ])
+
+    def test_margin_box_closed_on_both_sides(self):
+        region = Region(10.0, 20.0, 10.0, 20.0)
+        idx = _halo_indices(self._positions(), {5}, region, margin=4.0)
+        # The old half-open upper bound (< x_max + m) dropped index 0 and 2
+        # while keeping index 1 — asymmetric treatment of the same geometry.
+        assert idx == [0, 1, 2]
+
+    def test_empty_positions(self):
+        assert _halo_indices(np.zeros((0, 2)), set(), Region(0, 1, 0, 1), 1.0) == []
+
+
+class TestExecutorResolution:
+    def test_default_is_thread(self, monkeypatch):
+        monkeypatch.delenv("REPRO_DRIVER_EXECUTOR", raising=False)
+        assert _resolve_executor(DriverConfig()) == "thread"
+
+    def test_env_var_forces_mode(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DRIVER_EXECUTOR", "process")
+        assert _resolve_executor(DriverConfig()) == "process"
+        # An explicit config value beats the environment.
+        assert _resolve_executor(DriverConfig(executor="thread")) == "thread"
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ValueError):
+            _resolve_executor(DriverConfig(executor="mpi"))
+
+
+def _identical_catalogs(a, b):
+    """Bit-for-bit equality — the thread/process equivalence guarantee."""
+    if len(a) != len(b):
+        return False
+    return all(
+        np.array_equal(x.position, y.position)
+        and x.flux_r == y.flux_r
+        and x.is_galaxy == y.is_galaxy
+        and np.array_equal(x.colors, y.colors)
+        and x.gal_radius_px == y.gal_radius_px
+        and x.prob_galaxy == y.prob_galaxy
+        and x.flux_r_sd == y.flux_r_sd
+        for x, y in zip(a, b)
+    )
+
+
+class TestProcessExecutor:
+    def test_identical_catalog_and_comm_counters(self, tiny_survey):
+        """The process executor must reproduce the thread executor's
+        catalog bit-for-bit, and both must account their one-sided catalog
+        traffic."""
+        _, fields = tiny_survey
+        threaded = run_pipeline(fields, _driver_config(executor="thread"))
+        processed = run_pipeline(fields, _driver_config(executor="process"))
+        assert _identical_catalogs(threaded.catalog, processed.catalog)
+        assert processed.stage_elbo["stage0"] == pytest.approx(
+            threaded.stage_elbo["stage0"]
+        )
+        for result in (threaded, processed):
+            assert result.report.rma_puts > 0
+            assert result.report.rma_bytes > 0
+            workers = {rec["worker"] for rec in result.report.worker_comm}
+            assert workers <= {0, 1} and workers
+        # Process workers really read rows one-sidedly (thread workers get
+        # their snapshot rows the same way).
+        assert processed.report.rma_gets > 0
+        # Counters crossed the process boundary.
+        assert processed.report.active_pixel_visits > 0
+        assert processed.counters == pytest.approx(threaded.counters)
+
+
+class TestDiskFields:
+    def test_prefetched_disk_fields_match_memory(self, tiny_survey, tmp_path):
+        _, fields = tiny_survey
+        paths = []
+        for i, images in enumerate(fields):
+            p = str(tmp_path / ("field%d.npz" % i))
+            save_field(p, images)
+            paths.append(p)
+        mem = run_pipeline(fields, _driver_config())
+        disk = run_pipeline(paths, _driver_config())
+        assert _identical_catalogs(mem.catalog, disk.catalog)
+        # The look-ahead prefetcher saw traffic.
+        assert disk.report.prefetch_hits + disk.report.prefetch_misses > 0
+
+    def test_mixed_memory_and_disk_fields(self, tiny_survey, tmp_path):
+        _, fields = tiny_survey
+        p = str(tmp_path / "field1.npz")
+        save_field(p, fields[1])
+        mixed = run_pipeline([fields[0], p], _driver_config())
+        mem = run_pipeline(fields, _driver_config())
+        assert _identical_catalogs(mem.catalog, mixed.catalog)
+
+
+def _shard_files(path):
+    """(generation, per-rank shard paths) of the checkpoint at ``path``."""
+    with open(path) as f:
+        manifest = json.load(f)["working_manifest"]
+    return manifest, [
+        shard_path(path, rank, manifest["n_shards"], manifest["generation"])
+        for rank in range(manifest["n_shards"])
+    ]
+
+
+class TestShardCheckpoint:
+    def test_working_catalog_saved_as_shards(self, tiny_survey, tmp_path):
+        _, fields = tiny_survey
+        path = str(tmp_path / "ckpt.json")
+        run_pipeline(fields, _driver_config(path, stop_after="stage0"))
+        manifest, paths = _shard_files(path)
+        assert manifest["n_shards"] == 2  # n_nodes=2 in _driver_config
+        for p in paths:
+            assert os.path.exists(p)
+        # The main JSON carries the manifest, not the inline working catalog.
+        with open(path) as f:
+            assert json.load(f)["working_catalog"] is None
+
+    def test_stale_generations_cleaned_up(self, tiny_survey, tmp_path):
+        # Each save writes a fresh generation and removes superseded shard
+        # files once its main JSON landed — no unbounded accumulation, and
+        # a crash mid-save can never mix generations (the manifest names
+        # exactly one).
+        _, fields = tiny_survey
+        path = str(tmp_path / "ckpt.json")
+        run_pipeline(fields, _driver_config(path))  # saves after every stage
+        _, paths = _shard_files(path)
+        on_disk = sorted(f for f in os.listdir(str(tmp_path)) if "shard" in f)
+        assert on_disk == sorted(os.path.basename(p) for p in paths)
+
+    def test_resume_from_shards_reproduces_catalog(self, tiny_survey, tmp_path):
+        _, fields = tiny_survey
+        path = str(tmp_path / "ckpt.json")
+        uninterrupted = run_pipeline(fields, _driver_config())
+        run_pipeline(fields, _driver_config(path, stop_after="stage0"))
+        resumed = run_pipeline(fields, _driver_config(path))
+        assert "stage0" in resumed.resumed_stages
+        assert _identical_catalogs(uninterrupted.catalog, resumed.catalog)
+
+    def test_missing_shard_invalidates_checkpoint(self, tiny_survey, tmp_path):
+        _, fields = tiny_survey
+        path = str(tmp_path / "ckpt.json")
+        run_pipeline(fields, _driver_config(path, stop_after="stage0"))
+        os.unlink(_shard_files(path)[1][0])
+        result = run_pipeline(fields, _driver_config(path))
+        assert result.resumed_stages == []  # fresh run, not a bad resume
+
+    def test_corrupt_shard_invalidates_checkpoint(self, tiny_survey, tmp_path):
+        _, fields = tiny_survey
+        path = str(tmp_path / "ckpt.json")
+        run_pipeline(fields, _driver_config(path, stop_after="stage0"))
+        with open(_shard_files(path)[1][1], "w") as f:
+            f.write('{"version": 1, "ro')  # killed mid-write
+        assert run_pipeline(fields, _driver_config(path)).resumed_stages == []
+
+    def test_wrong_generation_shards_invalidate_checkpoint(self, tmp_path):
+        # The crash window the generation nonce closes: shard content from
+        # a different save generation than the one the main JSON references
+        # must not be accepted, even though every rank/count check passes.
+        path = str(tmp_path / "ckpt.json")
+        fp = {"n_fields": 1}
+        ckpt = Checkpoint(fingerprint=fp)
+        ckpt.working_catalog = Catalog([entry(i, i) for i in range(4)])
+        ckpt.mark_done("seed")
+        save_checkpoint(path, ckpt, shards=2)
+        _, paths = _shard_files(path)
+        with open(paths[0]) as f:
+            shard = json.load(f)
+        shard["generation"] = "deadbeef0000"
+        with open(paths[0], "w") as f:
+            json.dump(shard, f)
+        assert load_checkpoint(path, fp) is None
+
+    def test_sharded_save_load_direct(self, tmp_path):
+        path = str(tmp_path / "ckpt.json")
+        fp = {"n_fields": 1}
+        ckpt = Checkpoint(fingerprint=fp)
+        ckpt.working_catalog = Catalog([entry(i, i) for i in range(5)])
+        ckpt.mark_done("seed")
+        save_checkpoint(path, ckpt, shards=3)
+        back = load_checkpoint(path, fp)
+        assert back is not None
+        assert len(back.working_catalog) == 5
+        assert [e.position[0] for e in back.working_catalog] == list(range(5))
+
+
+class TestHaloRefresh:
+    """The halo-refresh quality follow-on: with ``halo_refresh=True`` a
+    task re-reads its frozen halo from the live working catalog, so a
+    boundary source fit later in the stage sees its neighbor's freshest
+    parameters instead of the stage-start snapshot."""
+
+    def _run_stage(self, halo_refresh):
+        from repro.core.priors import default_priors
+        from repro.driver.pipeline import _FieldStore, _ThreadStageRunner
+        from repro.partition import Task
+        from repro.perf.counters import Counters
+        from repro.survey.synth import generate_field_images
+
+        rng = np.random.default_rng(3)
+        truth = Catalog([entry(14.0, 16.0, 300.0), entry(18.0, 16.0, 300.0)])
+        images = generate_field_images(
+            truth, (0.0, 0.0), (32, 32), config=SyntheticSkyConfig(),
+            rng=rng, bands=(2,),
+        )
+        # Seeds offset from truth: each source's fit is dragged by its
+        # (also mis-seeded) neighbor across the region boundary at x=16.
+        seed = [entry(13.2, 16.6, 200.0), entry(18.8, 15.4, 200.0)]
+        config = DriverConfig(
+            n_nodes=1, halo_refresh=halo_refresh, halo_margin=16.0,
+            parallel=ParallelRegionConfig(
+                n_threads=1, n_passes=1,
+                joint=JointConfig(
+                    n_passes=1,
+                    single=OptimizeConfig(max_iter=20, grad_tol=1e-3),
+                ),
+            ),
+        )
+        working = ShardedCatalog.from_entries(seed, n_ranks=1)
+        runner = _ThreadStageRunner(
+            _FieldStore([images]), working, default_priors(), config,
+            Counters(),
+        )
+        tasks = [
+            Task(0, 0, Region(0.0, 16.0, 0.0, 32.0), [0], [seed[0]]),
+            Task(1, 0, Region(16.0, 32.0, 0.0, 32.0), [1], [seed[1]]),
+        ]
+        runner.run(tasks, DriverReport())
+        out = working.to_catalog()
+        return [
+            float(np.linalg.norm(out[i].position - truth[i].position))
+            for i in range(2)
+        ]
+
+    def test_boundary_source_improves(self):
+        snapshot_err = self._run_stage(halo_refresh=False)
+        refresh_err = self._run_stage(halo_refresh=True)
+        # Task 0 runs first either way: its halo (the stage-start seed of
+        # source 1) is identical under both policies.
+        assert refresh_err[0] == pytest.approx(snapshot_err[0])
+        # Task 1 runs second: under refresh its halo holds source 0's
+        # *optimized* parameters, and the boundary fit lands closer to
+        # truth.
+        assert refresh_err[1] < snapshot_err[1]
+
+    def test_halo_refresh_in_fingerprint(self, tiny_survey, tmp_path):
+        # A checkpoint written under one halo policy must not resume under
+        # the other — the policies produce different results.
+        _, fields = tiny_survey
+        path = str(tmp_path / "ckpt.json")
+        run_pipeline(fields, _driver_config(path, stop_after="stage0"))
+        result = run_pipeline(
+            fields, _driver_config(path, halo_refresh=True)
+        )
+        assert result.resumed_stages == []

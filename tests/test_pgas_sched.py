@@ -1,12 +1,21 @@
-"""Tests for the PGAS global array and the Dtree / central schedulers."""
+"""Tests for the PGAS global array (including edge geometries and the
+shared-memory transport) and the Dtree / central schedulers."""
 
+import multiprocessing
+import os
+import pickle
 import threading
 
 import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.pgas import GlobalArray, LocalTransport, RecordingTransport
+from repro.pgas import (
+    GlobalArray,
+    LocalTransport,
+    RecordingTransport,
+    SharedMemoryTransport,
+)
 from repro.sched import CentralQueue, Dtree, DtreeConfig
 
 
@@ -79,6 +88,261 @@ class TestGlobalArray:
         for i in range(40):
             row = ga.get_row(i)
             assert row.min() == row.max()
+
+
+class TestGlobalArrayEdgeGeometries:
+    """Block-partition arithmetic at the boundaries the driver produces:
+    more ranks than sources, an empty catalog, and a short last block."""
+
+    def test_fewer_rows_than_ranks(self):
+        ga = GlobalArray(n_rows=3, row_width=2, n_ranks=8)
+        owned = []
+        for rank in range(8):
+            lo, hi = ga.owned_range(rank)
+            assert hi >= lo  # surplus ranks own empty (possibly off-end) ranges
+            owned.extend(range(lo, hi))
+        assert sorted(owned) == [0, 1, 2]
+        for row in range(3):
+            lo, hi = ga.owned_range(ga.owner(row))
+            assert lo <= row < hi
+        ga.put_row(2, np.array([5.0, 6.0]))
+        np.testing.assert_allclose(ga.get_row(2), [5.0, 6.0])
+
+    def test_zero_rows(self):
+        ga = GlobalArray(n_rows=0, row_width=4, n_ranks=3)
+        assert ga.to_dense().shape == (0, 4)
+        for rank in range(3):
+            lo, hi = ga.owned_range(rank)
+            assert lo == hi
+        with pytest.raises(IndexError):
+            ga.get_row(0)
+
+    def test_last_rank_short_block(self):
+        # 10 rows over 4 ranks: block 3, last rank owns just one row.
+        ga = GlobalArray(n_rows=10, row_width=2, n_ranks=4)
+        assert ga.owned_range(3) == (9, 10)
+        assert ga.owner(9) == 3
+        ga.put_row(9, np.array([1.0, 2.0]))
+        np.testing.assert_allclose(ga.get_row(9), [1.0, 2.0])
+        # All rows remain addressable and disjointly owned.
+        owned = [r for k in range(4) for r in range(*ga.owned_range(k))]
+        assert owned == list(range(10))
+
+    def test_single_rank(self):
+        ga = GlobalArray(n_rows=5, row_width=3, n_ranks=1)
+        for i in range(5):
+            ga.put_row(i, np.full(3, float(i)))
+        np.testing.assert_allclose(ga.to_dense()[:, 0], np.arange(5))
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            GlobalArray(n_rows=-1, row_width=2, n_ranks=1)
+        with pytest.raises(ValueError):
+            GlobalArray(n_rows=2, row_width=0, n_ranks=1)
+        with pytest.raises(ValueError):
+            GlobalArray(n_rows=2, row_width=2, n_ranks=0)
+
+
+def _shm_child_put(ga, rows, value):
+    """Child-process body: one-sided puts into the parent's windows."""
+    for r in rows:
+        ga.put_row(r, np.full(ga.row_width, value))
+
+
+class TestSharedMemoryTransport:
+    def _array(self, n_rows=12, row_width=4, n_ranks=3):
+        return GlobalArray(n_rows, row_width, n_ranks,
+                           transport=SharedMemoryTransport())
+
+    def test_put_get_roundtrip(self):
+        ga = self._array()
+        try:
+            ga.put_row(7, np.array([1.0, 2.0, 3.0, 4.0]))
+            np.testing.assert_allclose(ga.get_row(7), [1.0, 2.0, 3.0, 4.0])
+            assert ga.get_row(0).sum() == 0.0  # windows start zeroed
+        finally:
+            ga.transport.unlink()
+
+    def test_accumulate(self):
+        ga = self._array()
+        try:
+            ga.transport.accumulate(0, 0, np.ones(4))
+            ga.transport.accumulate(0, 0, np.ones(4))
+            np.testing.assert_allclose(ga.get_row(0), 2.0)
+        finally:
+            ga.transport.unlink()
+
+    def test_pickled_copy_attaches_to_same_windows(self):
+        # Pickling carries segment names only; the copy sees the owner's
+        # writes and vice versa — the window-handle exchange process
+        # workers rely on.
+        ga = self._array()
+        try:
+            attached = pickle.loads(pickle.dumps(ga))
+            ga.put_row(3, np.array([9.0, 8.0, 7.0, 6.0]))
+            np.testing.assert_allclose(attached.get_row(3), [9.0, 8.0, 7.0, 6.0])
+            attached.put_row(11, np.full(4, 5.0))
+            np.testing.assert_allclose(ga.get_row(11), 5.0)
+            with pytest.raises(RuntimeError):
+                attached.transport.unlink()  # non-owners must not unlink
+            attached.transport.close()
+        finally:
+            ga.transport.unlink()
+
+    def test_concurrent_disjoint_put_get(self):
+        # The driver's access pattern: many workers, disjoint row sets,
+        # concurrent gets of anything.  No torn rows, all writes land.
+        ga = self._array(n_rows=40, row_width=4, n_ranks=4)
+        errors = []
+
+        def worker(base):
+            try:
+                for i in range(base, 40, 4):
+                    ga.put_row(i, np.full(4, float(i)))
+                    ga.get_row((i * 7) % 40)
+            except Exception as e:  # pragma: no cover
+                errors.append(e)
+
+        try:
+            threads = [threading.Thread(target=worker, args=(k,))
+                       for k in range(4)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert not errors
+            for i in range(40):
+                np.testing.assert_allclose(ga.get_row(i), float(i))
+        finally:
+            ga.transport.unlink()
+
+    def test_cross_process_one_sided_put(self):
+        # A real child process (spawn: nothing shared but the pickled
+        # window names) writes rows the parent then reads.
+        ga = self._array(n_rows=6, row_width=3, n_ranks=2)
+        try:
+            ctx = multiprocessing.get_context("spawn")
+            p = ctx.Process(target=_shm_child_put, args=(ga, [1, 5], 42.0))
+            p.start()
+            p.join(timeout=60)
+            assert p.exitcode == 0
+            np.testing.assert_allclose(ga.get_row(1), 42.0)
+            np.testing.assert_allclose(ga.get_row(5), 42.0)
+            np.testing.assert_allclose(ga.get_row(0), 0.0)
+        finally:
+            ga.transport.unlink()
+
+    def test_double_allocate_rejected(self):
+        t = SharedMemoryTransport()
+        try:
+            t.allocate(0, 4)
+            with pytest.raises(ValueError):
+                t.allocate(0, 4)
+        finally:
+            t.unlink()
+
+    def test_locking_mode_roundtrip_and_pickle(self):
+        # locking=True (used for halo_refresh's live cross-process reads)
+        # guards every get/put with per-rank advisory file locks; the lock
+        # files must travel through pickling and die with unlink().
+        t = SharedMemoryTransport(locking=True)
+        ga = GlobalArray(n_rows=6, row_width=3, n_ranks=2, transport=t)
+        lockfiles = list(t._lockfiles.values())
+        try:
+            assert len(lockfiles) == 2
+            ga.put_row(4, np.array([1.0, 2.0, 3.0]))
+            np.testing.assert_allclose(ga.get_row(4), [1.0, 2.0, 3.0])
+            attached = pickle.loads(pickle.dumps(ga))
+            assert attached.transport._locking
+            np.testing.assert_allclose(attached.get_row(4), [1.0, 2.0, 3.0])
+            attached.transport.close()
+        finally:
+            t.unlink()
+        assert not any(os.path.exists(p) for p in lockfiles)
+
+    def test_locking_mode_concurrent_overlapping_rows(self):
+        # With locking, even *overlapping* concurrent put/get of whole rows
+        # must never observe a torn row: every read shows exactly one
+        # writer's value across the full width.
+        t = SharedMemoryTransport(locking=True)
+        ga = GlobalArray(n_rows=4, row_width=8, n_ranks=2, transport=t)
+        torn = []
+
+        def writer(value):
+            for _ in range(50):
+                ga.put_row(1, np.full(8, value))
+
+        def reader():
+            for _ in range(100):
+                row = ga.get_row(1)
+                if row.min() != row.max():
+                    torn.append(row)
+
+        try:
+            threads = ([threading.Thread(target=writer, args=(float(v),))
+                        for v in (1, 2)]
+                       + [threading.Thread(target=reader) for _ in range(2)])
+            for th in threads:
+                th.start()
+            for th in threads:
+                th.join()
+            assert not torn
+        finally:
+            t.unlink()
+
+    def test_recording_wrapper_counts_shared_memory_traffic(self):
+        inner = SharedMemoryTransport()
+        rec = RecordingTransport(inner, local_rank=0)
+        try:
+            ga = GlobalArray(n_rows=4, row_width=2, n_ranks=2, transport=rec)
+            ga.put_row(3, np.array([1.0, 2.0]))  # remote rank
+            ga.get_row(0)                        # local rank
+            assert rec.stats.n_put == 1 and rec.stats.n_get == 1
+            assert rec.stats.remote_fraction_ops == 1
+        finally:
+            inner.unlink()
+
+
+class TestDtreePeek:
+    def test_peek_does_not_consume(self):
+        sched = Dtree(n_workers=4, n_tasks=100)
+        ahead = sched.peek(0, 5)
+        assert len(ahead) == 5
+        delivered = []
+        active = list(range(4))
+        while active:
+            still = []
+            for w in active:
+                batch = sched.request(w, max_batch=4)
+                delivered.extend(batch)
+                if batch:
+                    still.append(w)
+            active = still
+        assert sorted(delivered) == list(range(100))
+
+    def test_peek_returns_upcoming_local_work_first(self):
+        sched = Dtree(n_workers=4, n_tasks=100)
+        # The static allotment pre-places a contiguous slice per leaf; the
+        # peek must surface exactly that slice first.
+        ahead = sched.peek(1, 3)
+        batch = sched.request(1, max_batch=3)
+        assert ahead == batch
+
+    def test_peek_walks_to_ancestors_when_leaf_empty(self):
+        sched = Dtree(n_workers=2, n_tasks=10,
+                      config=DtreeConfig(initial_fraction=0.0))
+        ahead = sched.peek(0, 4)
+        assert len(ahead) == 4  # all work still at the root
+        assert set(ahead) <= set(range(10))
+
+    def test_peek_bounds(self):
+        sched = Dtree(n_workers=2, n_tasks=3)
+        assert sorted(sched.peek(0, 100)) == [0, 1, 2]
+        with pytest.raises(IndexError):
+            sched.peek(9, 1)
+
+    def test_peek_empty(self):
+        assert Dtree(n_workers=2, n_tasks=0).peek(0, 5) == []
 
 
 class TestDtree:

@@ -8,6 +8,7 @@ from repro.core.catalog import Catalog, CatalogEntry
 from repro.psf import default_psf
 from repro.survey import (
     AffineWCS,
+    FieldPrefetcher,
     Image,
     ImageMeta,
     SurveyConfig,
@@ -15,6 +16,7 @@ from repro.survey import (
     build_survey,
     coadd_images,
     expected_image,
+    field_file_size,
     generate_catalog,
     generate_field_images,
     load_field,
@@ -193,6 +195,148 @@ class TestIO:
             assert a.band == b.band
             np.testing.assert_allclose(a.meta.calibration, b.meta.calibration)
             np.testing.assert_allclose(a.meta.psf.weights, b.meta.psf.weights)
+
+    def test_field_metadata_matches_loaded_images_exactly(self, tmp_path):
+        # The header-only peek must agree bit-for-bit with geometry computed
+        # from the loaded images: the driver fingerprints and partitions the
+        # sky from it.
+        from repro.survey import field_metadata
+
+        images = self._render_field((24, 40), (1, 3), masked=True)
+        path = str(tmp_path / "field.npz")
+        save_field(path, images)
+        meta = field_metadata(path)
+        assert len(meta) == len(images)
+        for (bounds, shape, band), im in zip(meta, images):
+            assert bounds == im.sky_bounds()
+            assert shape == (im.height, im.width)
+            assert band == im.band
+
+    def _render_field(self, shape_hw, bands, masked, seed=7):
+        rng = np.random.default_rng(seed)
+        cat = Catalog([star([shape_hw[1] / 2.0, shape_hw[0] / 2.0])])
+        images = generate_field_images(cat, (0.0, 0.0), shape_hw,
+                                       rng=rng, bands=bands)
+        if masked:
+            for im in images:
+                im.mask = np.zeros(shape_hw, dtype=bool)
+        return images
+
+    @pytest.mark.parametrize("shape_hw,bands", [
+        ((16, 16), (2,)),
+        ((32, 32), (0, 1, 2, 3, 4)),
+        ((48, 24), (1, 2, 3)),
+    ])
+    def test_field_file_size_tracks_save_field(self, tmp_path, shape_hw, bands):
+        """The size model must match what save_field really writes — the
+        cluster simulator charges Burst Buffer time per byte."""
+        path = str(tmp_path / "field.npz")
+        for masked in (False, True):
+            images = self._render_field(shape_hw, bands, masked)
+            actual = save_field(path, images)
+            estimate = field_file_size(shape_hw, len(bands), masked=masked)
+            assert estimate == pytest.approx(actual, rel=0.02)
+
+    def test_field_file_size_counts_mask_plane(self):
+        # The old estimate ignored the mask entirely; a masked field is one
+        # byte per pixel per band bigger (plus the array's own overhead).
+        h, w, bands = 64, 64, 5
+        plain = field_file_size((h, w), bands)
+        masked = field_file_size((h, w), bands, masked=True)
+        assert masked - plain >= bands * h * w
+
+    def test_field_file_size_counts_metadata_arrays(self):
+        # Metadata (WCS + PSF + calibration arrays and their container
+        # overhead) must be visible in the estimate: for a tiny field it is
+        # a large fraction of the file, which the old flat "+1024" missed.
+        est = field_file_size((8, 8), 1)
+        assert est > 8 * 8 * 8 + 1024
+
+
+class TestFieldPrefetcher:
+    def _save_fields(self, tmp_path, n=3):
+        paths = []
+        for i in range(n):
+            images = TestIO()._render_field((16, 16), (2,), False, seed=i)
+            path = str(tmp_path / ("f%d.npz" % i))
+            save_field(path, images)
+            paths.append(path)
+        return paths
+
+    def test_hinted_loads_become_hits(self, tmp_path):
+        import time
+
+        paths = self._save_fields(tmp_path)
+        pf = FieldPrefetcher(capacity=4)
+        try:
+            pf.hint(paths)
+            deadline = time.monotonic() + 10.0
+            while (pf.stats()["prefetched"] < 3
+                   and time.monotonic() < deadline):
+                time.sleep(0.01)
+            assert pf.stats()["prefetched"] == 3
+            for p in paths:
+                assert len(pf.get(p)) == 1
+            stats = pf.stats()
+            assert stats["prefetch_hits"] == 3
+            assert stats["prefetch_misses"] == 0
+            assert stats["prefetch_seconds"] > 0.0
+        finally:
+            pf.close()
+
+    def test_queued_but_unstarted_hint_is_a_synchronous_miss(self, tmp_path):
+        # A hint the background thread never got to must not make the
+        # caller queue behind it (nor count as a hidden load): get() claims
+        # it off the queue and loads synchronously.
+        paths = self._save_fields(tmp_path, n=1)
+        pf = FieldPrefetcher()
+        try:
+            # Enqueue without waking a worker thread, pinning the "hinted
+            # but load never started" state the accounting must call a miss.
+            with pf._cv:
+                pf._queue.append(paths[0])
+            assert len(pf.get(paths[0])) == 1
+            stats = pf.stats()
+            assert stats["prefetch_misses"] == 1
+            assert stats["prefetch_hits"] == 0
+        finally:
+            pf.close()
+
+    def test_unhinted_load_is_a_miss(self, tmp_path):
+        paths = self._save_fields(tmp_path, n=1)
+        pf = FieldPrefetcher()
+        try:
+            assert len(pf.get(paths[0])) == 1
+            assert pf.stats()["prefetch_misses"] == 1
+            pf.get(paths[0])  # now cached
+            assert pf.stats()["prefetch_hits"] == 1
+        finally:
+            pf.close()
+
+    def test_capacity_evicts_lru(self, tmp_path):
+        paths = self._save_fields(tmp_path, n=3)
+        pf = FieldPrefetcher(capacity=1)
+        try:
+            for p in paths:
+                pf.get(p)
+            pf.get(paths[0])  # evicted by paths[2] -> miss again
+            assert pf.stats()["prefetch_misses"] == 4
+        finally:
+            pf.close()
+
+    def test_bad_capacity(self):
+        with pytest.raises(ValueError):
+            FieldPrefetcher(capacity=0)
+
+    def test_failed_prefetch_surfaces_on_get(self, tmp_path):
+        pf = FieldPrefetcher()
+        missing = str(tmp_path / "nope.npz")
+        try:
+            pf.hint([missing])
+            with pytest.raises(FileNotFoundError):
+                pf.get(missing)
+        finally:
+            pf.close()
 
 
 class TestCoadd:
