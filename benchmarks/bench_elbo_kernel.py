@@ -1,11 +1,18 @@
-"""Section V/VI-B: the vectorized ELBO kernel.
+"""Section V/VI-B: the vectorized ELBO kernel, per evaluation backend.
 
 The paper's unit of account is the active-pixel visit (32,317 FLOPs each).
-This benchmark measures our per-visit evaluation rate, reports the implied
-single-thread DP FLOP rate under the paper's accounting, and checks the
-ablation that the variance-correction (delta approximation) term is a
+This benchmark measures our per-visit evaluation rate under both ELBO
+backends — the Taylor reference path and the fused analytic kernel —
+reports the implied single-thread DP FLOP rate under the paper's
+accounting, records the numbers in ``BENCH_elbo_backend.json`` (so the
+perf trajectory of the objective layer is tracked across PRs), and checks
+the ablation that the variance-correction (delta approximation) term is a
 material part of the objective.
 """
+
+import json
+import os
+import time
 
 import numpy as np
 
@@ -14,10 +21,21 @@ from repro.core import CatalogEntry, default_priors, elbo, make_context
 from repro.core.params import canonical_to_free
 from repro.core.single import initial_params
 from repro.perf.counters import Counters
+from repro.perf.flops import visit_rate
 from repro.psf import default_psf
 from repro.survey import AffineWCS, ImageMeta, render_image
 
 from conftest import print_header
+
+#: Where the recorded rates land (repo root, committed alongside the code).
+BENCH_JSON = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_elbo_backend.json",
+)
+
+#: The fused backend must beat the Taylor reference by at least this factor
+#: on per-visit rate (ISSUE 3 acceptance criterion).
+REQUIRED_SPEEDUP = 3.0
 
 
 def star_context():
@@ -38,12 +56,26 @@ def star_context():
     return ctx, free, counters
 
 
+def _time_backend(ctx, free, backend, order, min_seconds=0.4, min_iters=3):
+    """Mean seconds per evaluation (after a warm-up that also compiles the
+    fused workspace)."""
+    elbo(ctx, free, order=order, backend=backend)
+    n = 0
+    t0 = time.perf_counter()
+    while True:
+        elbo(ctx, free, order=order, backend=backend)
+        n += 1
+        elapsed = time.perf_counter() - t0
+        if elapsed >= min_seconds and n >= min_iters:
+            return elapsed / n
+
+
 def test_elbo_kernel_rate(benchmark):
     ctx, free, counters = star_context()
-    elbo(ctx, free, order=2)  # warm-up
+    elbo(ctx, free, order=2, backend="fused")  # warm-up compiles workspace
     counters.reset()
 
-    result = benchmark(lambda: elbo(ctx, free, order=2))
+    result = benchmark(lambda: elbo(ctx, free, order=2, backend="fused"))
     assert result.val.shape == ()
 
     visits_per_eval = ctx.n_active_pixels
@@ -51,12 +83,57 @@ def test_elbo_kernel_rate(benchmark):
     rate = visits_per_eval / seconds
     implied = rate * FLOPS_PER_ACTIVE_PIXEL_VISIT * FLOP_OVERHEAD_FACTOR
 
-    print_header("ELBO kernel: active-pixel-visit rate (order 2)")
+    print_header("ELBO kernel: active-pixel-visit rate (fused, order 2)")
     print("active pixels per evaluation: %d" % visits_per_eval)
     print("visit rate: %.0f visits/s/thread" % rate)
     print("implied DP rate under paper accounting: %.2f GFLOP/s" % (implied / 1e9))
     print("(paper's Xeon Phi threads sustained ~26.6k visits/s each)")
     assert rate > 1000  # sanity: vectorization is working at all
+
+
+def test_backend_comparison_records_json():
+    """Measure both backends at both orders, emit BENCH_elbo_backend.json,
+    and enforce the >=3x fused-vs-taylor per-visit-rate criterion."""
+    ctx, free, _ = star_context()
+    visits = ctx.n_active_pixels
+
+    record = {"visits_per_evaluation": visits, "backends": {}}
+    for backend in ("taylor", "fused"):
+        entry = {}
+        for order in (1, 2):
+            sec = _time_backend(ctx, free, backend, order)
+            entry["order%d" % order] = {
+                "seconds_per_evaluation": sec,
+                "visit_rate_per_s": visit_rate(visits, sec),
+                "implied_gflops": visit_rate(visits, sec)
+                * FLOPS_PER_ACTIVE_PIXEL_VISIT * FLOP_OVERHEAD_FACTOR / 1e9,
+            }
+        record["backends"][backend] = entry
+
+    speedup = {
+        "order%d" % order: (
+            record["backends"]["fused"]["order%d" % order]["visit_rate_per_s"]
+            / record["backends"]["taylor"]["order%d" % order]["visit_rate_per_s"]
+        )
+        for order in (1, 2)
+    }
+    record["fused_speedup"] = speedup
+    with open(BENCH_JSON, "w") as fh:
+        json.dump(record, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+    print_header("ELBO backends: per-visit rate, taylor vs fused")
+    for backend in ("taylor", "fused"):
+        for order in (1, 2):
+            e = record["backends"][backend]["order%d" % order]
+            print("%-7s order %d: %8.0f visits/s  (%6.2f ms/eval)"
+                  % (backend, order, e["visit_rate_per_s"],
+                     1e3 * e["seconds_per_evaluation"]))
+    print("fused speedup: %.1fx (order 2), %.1fx (order 1)"
+          % (speedup["order2"], speedup["order1"]))
+    print("recorded to %s" % BENCH_JSON)
+
+    assert speedup["order2"] >= REQUIRED_SPEEDUP
 
 
 def test_variance_correction_ablation(benchmark):

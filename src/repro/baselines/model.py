@@ -14,7 +14,8 @@ import numpy as np
 
 from repro.autodiff import Taylor, constant, lift, texp, tlog, tsum
 from repro.constants import GALAXY, NUM_COLORS, STAR
-from repro.core.elbo import SourceContext, _star_density, _galaxy_density
+from repro.core.elbo import SourceContext
+from repro.core.elbo_taylor import _star_density, _galaxy_density
 from repro.core.fluxes import COLOR_COEFFS
 from repro.core.params import U_BOX_HALFWIDTH, TaylorParams
 from repro.gaussians import rotation_covariance_taylor

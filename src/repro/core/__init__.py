@@ -17,7 +17,16 @@ from repro.core.params import (
 )
 from repro.core.priors import Priors, default_priors, fit_priors
 from repro.core.catalog import CatalogEntry, Catalog
-from repro.core.elbo import SourceContext, elbo, make_context
+from repro.core.elbo import (
+    ElboBackend,
+    ElboEval,
+    SourceContext,
+    available_backends,
+    elbo,
+    get_backend,
+    make_context,
+    resolve_backend_name,
+)
 from repro.core.single import OptimizeConfig, SourceResult, optimize_source
 from repro.core.joint import JointConfig, optimize_region
 from repro.core.uncertainty import posterior_summary
@@ -34,9 +43,14 @@ __all__ = [
     "fit_priors",
     "CatalogEntry",
     "Catalog",
+    "ElboBackend",
+    "ElboEval",
     "SourceContext",
+    "available_backends",
     "elbo",
+    "get_backend",
     "make_context",
+    "resolve_backend_name",
     "OptimizeConfig",
     "SourceResult",
     "optimize_source",

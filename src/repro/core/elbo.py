@@ -1,4 +1,4 @@
-"""The per-source evidence lower bound (ELBO) and its derivatives.
+"""The per-source evidence lower bound (ELBO): backend-neutral front end.
 
 This is the objective function Celeste maximizes (Equation 1 of the paper),
 restricted to one source's 41 free parameters with all other sources held
@@ -19,32 +19,82 @@ source type, Normal (on the log scale) for brightness, and a Gaussian-mixture
 color prior handled with a variational categorical q(k) — contributing the
 k[8,2] block of the canonical parameter vector.
 
-Everything is evaluated in Taylor mode, so one call yields the value,
-gradient, and exact Hessian over the free parameters, vectorized across all
-active pixels.  Each evaluation also increments the ``active_pixel_visits``
-counter, the paper's FLOP-accounting unit.
+**Evaluation backends.**  Derivative evaluation is pluggable behind the
+:class:`ElboBackend` interface, selected per call (or via the
+``REPRO_ELBO_BACKEND`` environment variable):
+
+- ``"taylor"`` (:mod:`repro.core.elbo_taylor`) — the reference path: the
+  whole objective is one sparse-index Taylor expression, rebuilt on every
+  evaluation.  Slower, but derivatives follow mechanically from the model,
+  so this is the correctness oracle (validated against finite differences
+  in :mod:`repro.autodiff.check`).
+- ``"fused"`` (:mod:`repro.core.kernel`) — the production path: pixel-static
+  arrays (PSF/galaxy component products, pixel grids, backgrounds) are
+  compiled once per :class:`SourceContext` into a reusable workspace, and
+  each evaluation computes the Poisson pixel term's value, 41-gradient, and
+  41x41 Hessian from hand-derived closed-form block formulas, fused across
+  patches and mixture components with no per-iteration expression-graph
+  construction.  The (pixel-count-independent) KL terms are shared with the
+  Taylor path.
+
+Both backends see the same :class:`SourceContext` and are accounted
+identically: this front end increments ``active_pixel_visits`` (the paper's
+FLOP-accounting unit) and ``objective_evaluations`` once per call, whichever
+backend ran.
+
+Every evaluation returns an object exposing ``.val`` (a scalar),
+``.gradient(n)``/``.hessian(n)`` (dense derivative extraction over the free
+vector), and ``.hess`` (``None`` in gradient-only mode) — the Taylor backend
+returns the Taylor scalar itself, the fused backend an :class:`ElboEval`.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field as dc_field
 
 import numpy as np
 
-from repro.autodiff import Taylor, constant, expand_dims, lift, tlog, tsum
+from repro.autodiff import Taylor, lift, tlog
 from repro.constants import GALAXY, NUM_COLOR_COMPONENTS, NUM_COLORS, NUM_TYPES, STAR
-from repro.core.fluxes import flux_moments
-from repro.core.params import TaylorParams, seed_params
+from repro.core.params import TaylorParams
 from repro.core.priors import Priors
-from repro.gaussians import gauss2d_taylor, rotation_covariance_taylor
 from repro.perf.counters import Counters, GLOBAL_COUNTERS
 from repro.profiles.mog import dev_mixture, exp_mixture
 from repro.survey.image import Image
 from repro.survey.render import source_patch, source_radius
 
-__all__ = ["PatchData", "SourceContext", "make_context", "elbo"]
+__all__ = [
+    "BACKEND_ENV_VAR",
+    "DEFAULT_BACKEND",
+    "ElboBackend",
+    "ElboEval",
+    "PatchData",
+    "SourceContext",
+    "available_backends",
+    "elbo",
+    "get_backend",
+    "kl_total",
+    "make_context",
+    "register_backend",
+    "release_scratch",
+    "resolve_backend_name",
+]
 
 _LOG_2PI = float(np.log(2.0 * np.pi))
+
+#: Environment variable consulted when no backend is given explicitly — lets
+#: CI (and the driver) force every evaluation onto one backend.
+BACKEND_ENV_VAR = "REPRO_ELBO_BACKEND"
+
+#: Backend used when neither the call site nor the environment picks one.
+DEFAULT_BACKEND = "taylor"
+
+#: Backends the lazy loader knows how to import (module registering it).
+_KNOWN_BACKENDS = {
+    "taylor": "repro.core.elbo_taylor",
+    "fused": "repro.core.kernel",
+}
 
 
 @dataclass
@@ -80,7 +130,7 @@ class PatchData:
     bounds: tuple
     #: Batched constant arrays for the PSF components, shape ``(K, 1)`` each:
     #: ``(w, mux, muy, sxx, sxy, syy)``.  Components live in a value axis so
-    #: a single vectorized Taylor expression evaluates the whole mixture.
+    #: a single vectorized kernel evaluates the whole mixture.
     star_arrays: tuple = None
     #: Batched constant arrays for the galaxy x PSF component products:
     #: ``{"dev": (w, var, mux, muy, pxx, pxy, pyy), "exp": ...}``.
@@ -150,6 +200,11 @@ class SourceContext:
     priors: Priors
     u_center: np.ndarray
     counters: Counters = dc_field(default_factory=lambda: GLOBAL_COUNTERS)
+    #: Per-backend compiled workspaces, keyed by backend name.  A backend
+    #: compiles its pixel-static arrays here on first evaluation and reuses
+    #: them for every later evaluation of this context (a Newton solve
+    #: evaluates the same context tens of times).
+    workspaces: dict = dc_field(default_factory=dict, repr=False, compare=False)
 
     @property
     def n_active_pixels(self) -> int:
@@ -242,83 +297,9 @@ def make_context(
     )
 
 
-def _star_density(patch: PatchData, dx: Taylor, dy: Taylor) -> Taylor:
-    """PSF density at the patch pixels (Taylor in position).
-
-    All PSF components are evaluated in one batched expression: the component
-    axis lives in the value shape, so the Python-level op count is constant
-    regardless of mixture size (the reproduction's analogue of Celeste's
-    vectorized kernels).
-    """
-    w, mux, muy, sxx, sxy, syy = patch.star_arrays
-    dxk = expand_dims(dx, 0)      # (1, M) -> broadcasts against (K, 1)
-    dyk = expand_dims(dy, 0)
-    dens = gauss2d_taylor(dxk - mux, dyk - muy, sxx, sxy, syy)   # (K, M)
-    return tsum(constant(w) * dens, axis=0)
-
-
-def _galaxy_group_density(arrays, dxk: Taylor, dyk: Taylor, shape_cov) -> Taylor:
-    """Batched density of one profile group (dev or exp) convolved with the
-    PSF: covariances are ``var_j * Sigma_shape + Sigma_psf_k``."""
-    w, var, mux, muy, pxx, pxy, pyy = arrays
-    sxx, sxy, syy = shape_cov
-    cxx = constant(var) * sxx + constant(pxx)
-    cxy = constant(var) * sxy + constant(pxy)
-    cyy = constant(var) * syy + constant(pyy)
-    dens = gauss2d_taylor(dxk - mux, dyk - muy, cxx, cxy, cyy)   # (J*K, M)
-    return tsum(constant(w) * dens, axis=0)
-
-
-def _galaxy_density(patch: PatchData, dx: Taylor, dy: Taylor,
-                    params: TaylorParams, shape_cov) -> Taylor:
-    """PSF-convolved galaxy mixture density (Taylor in position + shape)."""
-    dxk = expand_dims(dx, 0)
-    dyk = expand_dims(dy, 0)
-    dev = _galaxy_group_density(patch.gal_arrays["dev"], dxk, dyk, shape_cov)
-    exp = _galaxy_group_density(patch.gal_arrays["exp"], dxk, dyk, shape_cov)
-    return params.e_dev * dev + (1.0 - params.e_dev) * exp
-
-
-def _pixel_term(patch: PatchData, params: TaylorParams, shape_cov,
-                flux_cache: dict, variance_correction: bool) -> Taylor:
-    """Expected Poisson log-likelihood of one patch (up to the x! constant)."""
-    b = patch.band
-    if b not in flux_cache:
-        flux_cache[b] = tuple(
-            flux_moments(params.r1[t], params.r2[t], params.c1[t], params.c2[t], b)
-            for t in range(NUM_TYPES)
-        )
-    (ef_star, ef2_star), (ef_gal, ef2_gal) = flux_cache[b]
-
-    # Pixel offsets from the (Taylor) source position, in image pixel coords.
-    ux_pix, uy_pix = patch.wcs.sky_to_pix_taylor(params.ux, params.uy)
-    dx = constant(patch.px) - ux_pix
-    dy = constant(patch.py) - uy_pix
-
-    g_star = _star_density(patch, dx, dy)
-    g_gal = _galaxy_density(patch, dx, dy, params, shape_cov)
-
-    iota = patch.calibration
-    pg = params.prob_galaxy
-    ps = params.prob_star
-
-    mean_star = ef_star * g_star          # E[f g | star]
-    mean_gal = ef_gal * g_gal
-    e_src = iota * (ps * mean_star + pg * mean_gal)
-    e_f = constant(patch.background) + e_src
-
-    log_ef = tlog(e_f)
-    if variance_correction:
-        e_src2 = (iota * iota) * (
-            ps * (ef2_star * (g_star * g_star))
-            + pg * (ef2_gal * (g_gal * g_gal))
-        )
-        var_f = e_src2 - e_src * e_src
-        e_log_f = log_ef - 0.5 * (var_f / (e_f * e_f))
-    else:
-        e_log_f = log_ef
-
-    return tsum(constant(patch.counts) * e_log_f - e_f)
+# ---------------------------------------------------------------------------
+# KL terms (backend-neutral: pixel-count-independent, evaluated in Taylor
+# mode by both backends)
 
 
 def _kl_bernoulli(params: TaylorParams, priors: Priors) -> Taylor:
@@ -368,12 +349,147 @@ def _color_term(params: TaylorParams, priors: Priors, ty: int) -> Taylor:
     return acc + entropy
 
 
+def kl_total(params: TaylorParams, priors: Priors) -> Taylor:
+    """Sum of every KL term of the single-source ELBO (a Taylor scalar)."""
+    total = _kl_bernoulli(params, priors)
+    for ty, prob in ((STAR, params.prob_star), (GALAXY, params.prob_galaxy)):
+        total = total + prob * _kl_brightness(params, priors, ty)
+        total = total + prob * _color_term(params, priors, ty)
+    return total
+
+
+# ---------------------------------------------------------------------------
+# Backend interface and registry
+
+
+class ElboEval:
+    """Dense evaluation result mirroring the Taylor scalar's extraction API.
+
+    ``val`` is a ``()``-shaped array; ``gradient(n)``/``hessian(n)`` return
+    dense derivative arrays over the free vector (zeros where absent), and
+    ``hess`` is ``None`` in gradient-only mode — exactly the subset of the
+    :class:`~repro.autodiff.Taylor` surface the optimizers consume, so
+    callers never need to know which backend produced a result.
+    """
+
+    __slots__ = ("val", "grad", "hess")
+
+    def __init__(self, val, grad=None, hess=None):
+        self.val = np.asarray(val, dtype=np.float64)
+        self.grad = grad
+        self.hess = hess
+
+    def gradient(self, n_params: int) -> np.ndarray:
+        out = np.zeros(n_params)
+        if self.grad is None:
+            return out
+        if n_params < len(self.grad):
+            raise ValueError(
+                "gradient has %d entries; asked for %d"
+                % (len(self.grad), n_params)
+            )
+        # Zero-pad into wider spaces, matching Taylor's dense scatter (the
+        # stored block always starts at global index 0).
+        out[:len(self.grad)] = self.grad
+        return out
+
+    def hessian(self, n_params: int) -> np.ndarray:
+        out = np.zeros((n_params, n_params))
+        if self.hess is None:
+            return out
+        p = self.hess.shape[0]
+        if n_params < p:
+            raise ValueError(
+                "Hessian has shape %r; asked for %d"
+                % (self.hess.shape, n_params)
+            )
+        out[:p, :p] = self.hess
+        return out
+
+    def __repr__(self):
+        order = 0 if self.grad is None else (2 if self.hess is not None else 1)
+        return "ElboEval(val=%r, order=%d)" % (float(self.val), order)
+
+
+class ElboBackend:
+    """One way of evaluating the single-source ELBO and its derivatives.
+
+    Implementations register themselves with :func:`register_backend` at
+    import time and are resolved lazily by name, so importing the front end
+    never pays for a backend that is not used.
+    """
+
+    #: Registry name (``"taylor"``, ``"fused"``, ...).
+    name: str = "?"
+
+    def evaluate(self, ctx: SourceContext, free: np.ndarray, order: int,
+                 variance_correction: bool):
+        """Return the ELBO at ``free`` as a Taylor scalar or an
+        :class:`ElboEval` (both expose ``val``/``gradient``/``hessian``)."""
+        raise NotImplementedError
+
+    def release_scratch(self) -> None:
+        """Drop any per-thread scratch buffers held for the calling thread
+        (no-op for backends that keep none)."""
+
+
+_BACKENDS: dict[str, ElboBackend] = {}
+
+
+def release_scratch() -> None:
+    """Release every loaded backend's per-thread scratch for this thread.
+
+    The Cyclades executor calls this when a worker finishes its assignment,
+    so long-lived pool threads do not pin evaluation buffers between
+    regions; backends that were never imported cost nothing.
+    """
+    for backend in _BACKENDS.values():
+        backend.release_scratch()
+
+
+def register_backend(backend: ElboBackend) -> None:
+    _BACKENDS[backend.name] = backend
+
+
+def available_backends() -> tuple[str, ...]:
+    return tuple(sorted(set(_KNOWN_BACKENDS) | set(_BACKENDS)))
+
+
+def resolve_backend_name(name: str | None = None) -> str:
+    """The backend a call with ``backend=name`` would use: an explicit name
+    wins, else :data:`BACKEND_ENV_VAR`, else :data:`DEFAULT_BACKEND`."""
+    if name is None:
+        name = os.environ.get(BACKEND_ENV_VAR) or DEFAULT_BACKEND
+    if name not in _KNOWN_BACKENDS and name not in _BACKENDS:
+        raise ValueError(
+            "unknown ELBO backend %r; available: %r"
+            % (name, available_backends())
+        )
+    return name
+
+
+def get_backend(name: str | None = None) -> ElboBackend:
+    """Resolve a backend by name (``None`` follows the env-var/default
+    chain), importing its module on first use."""
+    name = resolve_backend_name(name)
+    if name not in _BACKENDS:
+        import importlib
+
+        importlib.import_module(_KNOWN_BACKENDS[name])
+    return _BACKENDS[name]
+
+
+# ---------------------------------------------------------------------------
+# The objective
+
+
 def elbo(
     ctx: SourceContext,
     free: np.ndarray,
     order: int = 2,
     variance_correction: bool = True,
-) -> Taylor:
+    backend: str | None = None,
+):
     """Evaluate the single-source ELBO at a free parameter vector.
 
     Parameters
@@ -383,28 +499,21 @@ def elbo(
         baseline; roughly 3x cheaper, matching the paper's observation).
     variance_correction:
         Disable to ablate the delta-approximation variance term.
+    backend:
+        Evaluation backend name (``"taylor"`` or ``"fused"``); ``None``
+        reads :data:`BACKEND_ENV_VAR`, defaulting to :data:`DEFAULT_BACKEND`.
 
-    Returns a Taylor scalar; use ``.val``, ``.gradient(41)``, ``.hessian(41)``.
+    Returns an object with ``.val``, ``.gradient(41)``, ``.hessian(41)``
+    and ``.hess`` (``None`` at order 1).  Accounting is backend-neutral:
+    every call counts ``ctx.n_active_pixels`` active-pixel visits — the
+    paper's FLOP unit — and one objective evaluation, so FLOP totals from
+    :mod:`repro.perf.flops` are comparable across backends.
     """
-    params = seed_params(free, ctx.u_center, order=order)
-    shape_cov = rotation_covariance_taylor(
-        params.e_axis, params.e_angle, params.e_scale
-    )
-
-    flux_cache: dict = {}
-    total = lift(0.0)
-    n_pixels = 0
-    for patch in ctx.patches:
-        total = total + _pixel_term(
-            patch, params, shape_cov, flux_cache, variance_correction
-        )
-        n_pixels += patch.n_pixels
-
-    ctx.counters.add("active_pixel_visits", float(n_pixels))
-    ctx.counters.add("objective_evaluations", 1.0)
-
-    total = total + _kl_bernoulli(params, ctx.priors)
-    for ty, prob in ((STAR, params.prob_star), (GALAXY, params.prob_galaxy)):
-        total = total + prob * _kl_brightness(params, ctx.priors, ty)
-        total = total + prob * _color_term(params, ctx.priors, ty)
-    return total
+    bk = get_backend(backend)
+    out = bk.evaluate(ctx, free, order, variance_correction)
+    ctx.counters.add_many({
+        "active_pixel_visits": float(ctx.n_active_pixels),
+        "objective_evaluations": 1.0,
+        "objective_evaluations_" + bk.name: 1.0,
+    })
+    return out

@@ -1,0 +1,147 @@
+"""The Taylor-mode reference ELBO backend.
+
+The whole objective — Poisson pixel term plus KL terms — is built as one
+sparse-index Taylor expression (:mod:`repro.autodiff`) on every evaluation,
+so one call yields the value, gradient, and exact Hessian over the free
+parameters, vectorized across all active pixels.  Derivatives follow
+mechanically from the model with no hand-written formulas, which is what
+makes this path the correctness oracle: it is validated against central
+finite differences (:mod:`repro.autodiff.check`) in the test suite, and the
+fused backend (:mod:`repro.core.kernel`) is in turn validated against it.
+
+The cost is per-iteration expression-graph construction: dozens of NumPy
+temporaries per evaluation, which the fused backend exists to avoid.
+"""
+
+from __future__ import annotations
+
+from repro.autodiff import Taylor, constant, expand_dims, lift, tlog, tsum
+from repro.constants import NUM_TYPES
+from repro.core.elbo import (
+    ElboBackend,
+    PatchData,
+    SourceContext,
+    kl_total,
+    register_backend,
+)
+from repro.core.fluxes import flux_moments
+from repro.core.params import TaylorParams, seed_params
+from repro.gaussians import gauss2d_taylor, rotation_covariance_taylor
+
+__all__ = ["TaylorBackend", "elbo_taylor"]
+
+
+def _star_density(patch: PatchData, dx: Taylor, dy: Taylor) -> Taylor:
+    """PSF density at the patch pixels (Taylor in position).
+
+    All PSF components are evaluated in one batched expression: the component
+    axis lives in the value shape, so the Python-level op count is constant
+    regardless of mixture size (the reproduction's analogue of Celeste's
+    vectorized kernels).
+    """
+    w, mux, muy, sxx, sxy, syy = patch.star_arrays
+    dxk = expand_dims(dx, 0)      # (1, M) -> broadcasts against (K, 1)
+    dyk = expand_dims(dy, 0)
+    dens = gauss2d_taylor(dxk - mux, dyk - muy, sxx, sxy, syy)   # (K, M)
+    return tsum(constant(w) * dens, axis=0)
+
+
+def _galaxy_group_density(arrays, dxk: Taylor, dyk: Taylor, shape_cov) -> Taylor:
+    """Batched density of one profile group (dev or exp) convolved with the
+    PSF: covariances are ``var_j * Sigma_shape + Sigma_psf_k``."""
+    w, var, mux, muy, pxx, pxy, pyy = arrays
+    sxx, sxy, syy = shape_cov
+    cxx = constant(var) * sxx + constant(pxx)
+    cxy = constant(var) * sxy + constant(pxy)
+    cyy = constant(var) * syy + constant(pyy)
+    dens = gauss2d_taylor(dxk - mux, dyk - muy, cxx, cxy, cyy)   # (J*K, M)
+    return tsum(constant(w) * dens, axis=0)
+
+
+def _galaxy_density(patch: PatchData, dx: Taylor, dy: Taylor,
+                    params: TaylorParams, shape_cov) -> Taylor:
+    """PSF-convolved galaxy mixture density (Taylor in position + shape)."""
+    dxk = expand_dims(dx, 0)
+    dyk = expand_dims(dy, 0)
+    dev = _galaxy_group_density(patch.gal_arrays["dev"], dxk, dyk, shape_cov)
+    exp = _galaxy_group_density(patch.gal_arrays["exp"], dxk, dyk, shape_cov)
+    return params.e_dev * dev + (1.0 - params.e_dev) * exp
+
+
+def _pixel_term(patch: PatchData, params: TaylorParams, shape_cov,
+                flux_cache: dict, variance_correction: bool) -> Taylor:
+    """Expected Poisson log-likelihood of one patch (up to the x! constant)."""
+    b = patch.band
+    if b not in flux_cache:
+        flux_cache[b] = tuple(
+            flux_moments(params.r1[t], params.r2[t], params.c1[t], params.c2[t], b)
+            for t in range(NUM_TYPES)
+        )
+    (ef_star, ef2_star), (ef_gal, ef2_gal) = flux_cache[b]
+
+    # Pixel offsets from the (Taylor) source position, in image pixel coords.
+    ux_pix, uy_pix = patch.wcs.sky_to_pix_taylor(params.ux, params.uy)
+    dx = constant(patch.px) - ux_pix
+    dy = constant(patch.py) - uy_pix
+
+    g_star = _star_density(patch, dx, dy)
+    g_gal = _galaxy_density(patch, dx, dy, params, shape_cov)
+
+    iota = patch.calibration
+    pg = params.prob_galaxy
+    ps = params.prob_star
+
+    mean_star = ef_star * g_star          # E[f g | star]
+    mean_gal = ef_gal * g_gal
+    e_src = iota * (ps * mean_star + pg * mean_gal)
+    e_f = constant(patch.background) + e_src
+
+    log_ef = tlog(e_f)
+    if variance_correction:
+        e_src2 = (iota * iota) * (
+            ps * (ef2_star * (g_star * g_star))
+            + pg * (ef2_gal * (g_gal * g_gal))
+        )
+        var_f = e_src2 - e_src * e_src
+        e_log_f = log_ef - 0.5 * (var_f / (e_f * e_f))
+    else:
+        e_log_f = log_ef
+
+    return tsum(constant(patch.counts) * e_log_f - e_f)
+
+
+def elbo_taylor(
+    ctx: SourceContext,
+    free,
+    order: int = 2,
+    variance_correction: bool = True,
+) -> Taylor:
+    """Evaluate the full ELBO as one Taylor expression.
+
+    Returns a Taylor scalar; use ``.val``, ``.gradient(41)``, ``.hessian(41)``.
+    """
+    params = seed_params(free, ctx.u_center, order=order)
+    shape_cov = rotation_covariance_taylor(
+        params.e_axis, params.e_angle, params.e_scale
+    )
+
+    flux_cache: dict = {}
+    total = lift(0.0)
+    for patch in ctx.patches:
+        total = total + _pixel_term(
+            patch, params, shape_cov, flux_cache, variance_correction
+        )
+    return total + kl_total(params, ctx.priors)
+
+
+class TaylorBackend(ElboBackend):
+    """Reference backend: one Taylor graph per evaluation, no workspace."""
+
+    name = "taylor"
+
+    def evaluate(self, ctx, free, order, variance_correction):
+        return elbo_taylor(ctx, free, order=order,
+                           variance_correction=variance_correction)
+
+
+register_backend(TaylorBackend())

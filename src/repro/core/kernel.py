@@ -1,0 +1,751 @@
+"""The fused analytic ELBO backend: compile once, evaluate many.
+
+The Taylor reference path (:mod:`repro.core.elbo_taylor`) rebuilds a
+sparse-index expression tree — dozens of NumPy temporaries — on every Newton
+iteration of every source.  This module replaces it on the hot path with the
+reproduction's analogue of Celeste's hand-optimized derivative kernels:
+
+**Compile once.**  The first evaluation of a :class:`SourceContext` compiles
+its pixel-static data into a :class:`_FusedWorkspace`: per-patch pixel grids
+offset by every PSF / galaxy-profile component mean, pre-inverted (constant)
+PSF covariances with their normalizers, the affine WCS coefficients, and
+float views of counts and backgrounds.  The workspace is cached on the
+context and reused by every later evaluation (a Newton solve evaluates the
+same context tens of times).
+
+**Evaluate fused.**  Each evaluation computes the Poisson pixel term's
+value, 41-gradient, and 41x41 Hessian from closed-form block formulas, with
+no expression-graph construction:
+
+1. Per patch, the star density and the two galaxy profile groups (dev/exp)
+   are Gaussian mixtures whose derivatives in a 5-dimensional *spatial*
+   space — pixel-frame position ``(upx, upy)`` and the galaxy shape
+   covariance entries ``(sxx, sxy, syy)`` — are polynomials in the
+   whitened offsets ``l = C^{-1} d`` times the density itself.  All
+   components evaluate in one batched ``(K, M)`` sweep and contract
+   immediately to per-pixel feature rows (value, 5 gradient rows, 15
+   packed Hessian rows).
+2. The expected rate ``E[F]`` and second moment are *bilinear* in those
+   per-pixel features and a 10-dimensional per-patch intermediate vector
+   ``z = (upx, upy, sxx, sxy, syy, A_star, A_gal, B_star, B_gal,
+   e_dev)`` whose amplitude entries fold calibration, type probability,
+   and the log-normal flux moments.  The expected Poisson log-likelihood
+   ``x E[log F] - E[F]`` (with the delta-approximation variance term)
+   chains through per-pixel scalars, giving the patch value, its 10-vector
+   z-gradient, and its 10x10 z-Hessian via a handful of matrix products.
+3. The z-space blocks chain to the 41 free parameters through closed-form
+   bijector/WCS/flux-moment Jacobians and Hessians that are independent of
+   pixel count — the wide-parameter outer products the Taylor tree
+   materializes per pixel never exist here.
+
+The pixel term touches only the first 27 free parameters (everything except
+the color-prior responsibilities ``k``), so the chain accumulates in a dense
+27-space and scatters once at the end.  The (pixel-count-independent) KL
+terms are shared with the Taylor backend via :func:`repro.core.elbo.kl_total`.
+
+**Per-thread scratch.**  Large per-evaluation temporaries (feature stacks,
+chain-rule rows) are borrowed from a thread-local pool keyed by shape, so a
+Cyclades worker thread re-uses the same buffers across every iteration of
+every source it updates (see :mod:`repro.parallel.cyclades`); pools are
+bounded and released by the executor when an assignment completes.
+
+Only affine WCS maps are supported (the survey's are); the workspace probes
+the map numerically rather than reaching into its attributes.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from repro.constants import GALAXY, NUM_COLORS, STAR
+from repro.core.elbo import (
+    ElboBackend,
+    ElboEval,
+    SourceContext,
+    kl_total,
+    register_backend,
+)
+from repro.core.fluxes import COLOR_COEFFS
+from repro.core.params import (
+    FREE,
+    U_BOX_HALFWIDTH,
+    _BIJ_AXIS,
+    _BIJ_DEV,
+    _BIJ_PROB,
+    _BIJ_R2,
+    _BIJ_C2,
+    _BIJ_SCALE,
+    seed_params,
+)
+from repro.transforms import LogitBox
+
+__all__ = ["FusedBackend", "elbo_fused", "release_scratch"]
+
+_TWO_PI = 2.0 * np.pi
+
+# ---------------------------------------------------------------------------
+# Free-parameter index bookkeeping.  The pixel term touches exactly the
+# first _N_ACTIVE free parameters (a, u, r1, r2, c1, c2, and the four shape
+# parameters); the color-prior responsibilities k enter only through the KL
+# terms.
+
+_IDX_A = FREE["a"].start
+_IDX_U = FREE.indices("u")
+_IDX_DEV = FREE["e_dev"].start
+_SHAPE_IDX = [FREE["e_axis"].start, FREE["e_angle"].start,
+              FREE["e_scale"].start]
+_N_ACTIVE = FREE["k"].start
+assert _N_ACTIVE == 27
+
+
+def _flux_free_indices(ty: int) -> list[int]:
+    """Free indices of one type's flux block, ordered
+    ``[r1, r2, c1_0..3, c2_0..3]`` to match the flux chain layout."""
+    r1 = FREE.indices("r1")
+    r2 = FREE.indices("r2")
+    c1 = FREE.indices("c1")
+    c2 = FREE.indices("c2")
+    return ([r1[ty], r2[ty]]
+            + [c1[ty * NUM_COLORS + i] for i in range(NUM_COLORS)]
+            + [c2[ty * NUM_COLORS + i] for i in range(NUM_COLORS)])
+
+
+_FLUX_IDX = (_flux_free_indices(STAR), _flux_free_indices(GALAXY))
+#: Amplitude-chain index lists: the type probability logit plus the flux
+#: block (11 indices, ascending by construction of the FREE layout).
+_AMP_IDX = ([_IDX_A] + _FLUX_IDX[STAR], [_IDX_A] + _FLUX_IDX[GALAXY])
+
+_BIJ_U = LogitBox(-U_BOX_HALFWIDTH, U_BOX_HALFWIDTH)
+
+#: Packed upper-triangle pair order of the 5 spatial variables
+#: ``[upx, upy, sxx, sxy, syy]`` used for feature-Hessian rows.
+_PAIRS = [(p, q) for p in range(5) for q in range(p, 5)]
+_PAIR_ROW = {pq: r for r, pq in enumerate(_PAIRS)}
+
+
+# ---------------------------------------------------------------------------
+# Per-thread scratch pool
+
+
+_TLS = threading.local()
+_POOL_CAP = 512
+
+
+def _buf(name: str, shape: tuple) -> np.ndarray:
+    """Borrow a reusable array from the calling thread's pool.
+
+    Keys include the shape: a Newton solve re-evaluates the same context
+    with identical shapes, so after the first iteration every borrow hits.
+    The pool is dropped wholesale if it ever accumulates too many distinct
+    shapes (many differently-sized sources on one long-lived thread).
+    """
+    pool = getattr(_TLS, "pool", None)
+    if pool is None:
+        pool = _TLS.pool = {}
+    if len(pool) > _POOL_CAP:
+        pool.clear()
+    key = (name, shape)
+    arr = pool.get(key)
+    if arr is None:
+        arr = pool[key] = np.empty(shape)
+    return arr
+
+
+def release_scratch() -> None:
+    """Drop the calling thread's scratch pool (executor hook)."""
+    pool = getattr(_TLS, "pool", None)
+    if pool is not None:
+        pool.clear()
+
+
+# ---------------------------------------------------------------------------
+# Compile-once workspaces
+
+
+class _GroupWorkspace:
+    """Pixel-static arrays of one galaxy profile group (dev or exp) of one
+    patch: component weights/variances, PSF covariance parts, and the pixel
+    grid offset by every component mean."""
+
+    __slots__ = ("w2pi", "var", "pxx", "pxy", "pyy", "px", "py")
+
+    def __init__(self, arrays, px, py):
+        w, var, mux, muy, pxx, pxy, pyy = arrays
+        self.w2pi = w / _TWO_PI          # (J, 1)
+        self.var = var
+        self.pxx, self.pxy, self.pyy = pxx, pxy, pyy
+        self.px = px[None, :] - mux      # (J, M)
+        self.py = py[None, :] - muy
+
+
+class _PatchWorkspace:
+    """Everything pixel-static about one patch, precomputed."""
+
+    __slots__ = ("band", "iota", "counts", "bg", "n_pixels",
+                 "s_alpha", "s_ixx", "s_ixy", "s_iyy", "s_px", "s_py",
+                 "dev", "exp", "wa", "wt")
+
+    def __init__(self, patch):
+        self.band = patch.band
+        self.iota = float(patch.calibration)
+        self.counts = np.asarray(patch.counts, dtype=np.float64)
+        self.bg = np.asarray(patch.background, dtype=np.float64)
+        self.n_pixels = patch.n_pixels
+
+        # Star: PSF covariances are constant, so invert and normalize once.
+        w, mux, muy, sxx, sxy, syy = patch.star_arrays
+        det = sxx * syy - sxy * sxy
+        self.s_alpha = w / (_TWO_PI * np.sqrt(det))   # (K, 1)
+        self.s_ixx = syy / det
+        self.s_ixy = -sxy / det
+        self.s_iyy = sxx / det
+        self.s_px = patch.px[None, :] - mux           # (K, M)
+        self.s_py = patch.py[None, :] - muy
+
+        self.dev = _GroupWorkspace(patch.gal_arrays["dev"], patch.px, patch.py)
+        self.exp = _GroupWorkspace(patch.gal_arrays["exp"], patch.px, patch.py)
+
+        # Affine WCS coefficients, probed through the public map so any
+        # affine WCS implementation works: pix = wa @ sky + wt.
+        t = np.asarray(patch.wcs.sky_to_pix(np.zeros(2)), dtype=float)
+        ex = np.asarray(patch.wcs.sky_to_pix(np.array([1.0, 0.0])), dtype=float)
+        ey = np.asarray(patch.wcs.sky_to_pix(np.array([0.0, 1.0])), dtype=float)
+        self.wa = np.column_stack([ex - t, ey - t])   # (2, 2)
+        self.wt = t
+
+
+class _FusedWorkspace:
+    __slots__ = ("patches",)
+
+    def __init__(self, ctx: SourceContext):
+        self.patches = [_PatchWorkspace(p) for p in ctx.patches]
+
+
+# ---------------------------------------------------------------------------
+# Per-pixel mixture features
+#
+# For one Gaussian component with covariance C, inverse I, offsets
+# d = pixel - mean - u and whitened offsets l = I d, the density is
+# g = alpha exp(-q/2) with q = d^T I d, and (writing D1 = (lx^2-ixx)/2,
+# D2 = lx ly - ixy, D3 = (ly^2-iyy)/2 for the covariance-direction log
+# derivatives):
+#
+#   d g / d u       = l g                (offsets enter as -u)
+#   d g / d C_m     = D_m g
+#   d^2 g / du du   = (l l^T - I) g
+#   d^2 g / du dC_m = (dl/dC_m + l D_m) g       with dl/dC_m = -I E_m l
+#   d^2 g / dC dC   = (dD/dC + D D^T) g         via dI/dC_m = -I E_m I
+#
+# Galaxy groups see the shape covariance through C = var * S + C_psf, so
+# every shape derivative scales by var (and var^2 at second order).
+
+
+def _star_features(pws: _PatchWorkspace, upx: float, upy: float, order: int):
+    """Star mixture value / position-gradient / position-Hessian features,
+    contracted over PSF components: ``(M,)``, ``(2, M)``, ``(3, M)``."""
+    ixx, ixy, iyy = pws.s_ixx, pws.s_ixy, pws.s_iyy
+    dx = pws.s_px - upx
+    dy = pws.s_py - upy
+    lx = ixx * dx + ixy * dy
+    ly = ixy * dx + iyy * dy
+    g = pws.s_alpha * np.exp(-0.5 * (lx * dx + ly * dy))
+    m = g.shape[1]
+    val = g.sum(axis=0)
+    grad = _buf("s_grad", (2, m))
+    np.sum(lx * g, axis=0, out=grad[0])
+    np.sum(ly * g, axis=0, out=grad[1])
+    if order < 2:
+        return val, grad, None
+    hess = _buf("s_hess", (3, m))
+    np.sum((lx * lx - ixx) * g, axis=0, out=hess[0])
+    np.sum((lx * ly - ixy) * g, axis=0, out=hess[1])
+    np.sum((ly * ly - iyy) * g, axis=0, out=hess[2])
+    return val, grad, hess
+
+
+def _group_features(gws: _GroupWorkspace, upx: float, upy: float,
+                    s1: float, s2: float, s3: float, order: int, tag: str):
+    """One galaxy group's spatial features, contracted over components:
+    value ``(M,)``, gradient ``(5, M)`` over ``[upx, upy, sxx, sxy, syy]``,
+    and packed Hessian ``(15, M)`` in :data:`_PAIRS` order."""
+    var = gws.var
+    cxx = var * s1 + gws.pxx
+    cxy = var * s2 + gws.pxy
+    cyy = var * s3 + gws.pyy
+    det = cxx * cyy - cxy * cxy
+    ixx = cyy / det
+    ixy = -cxy / det
+    iyy = cxx / det
+    alpha = gws.w2pi / np.sqrt(det)
+
+    dx = gws.px - upx
+    dy = gws.py - upy
+    lx = ixx * dx + ixy * dy
+    ly = ixy * dx + iyy * dy
+    g = alpha * np.exp(-0.5 * (lx * dx + ly * dy))
+    m = g.shape[1]
+
+    val = g.sum(axis=0)
+    vg = var * g
+    lx2 = lx * lx
+    lxy = lx * ly
+    ly2 = ly * ly
+    d1 = 0.5 * (lx2 - ixx)
+    d2 = lxy - ixy
+    d3 = 0.5 * (ly2 - iyy)
+
+    grad = _buf(tag + "_grad", (5, m))
+    np.sum(lx * g, axis=0, out=grad[0])
+    np.sum(ly * g, axis=0, out=grad[1])
+    np.sum(d1 * vg, axis=0, out=grad[2])
+    np.sum(d2 * vg, axis=0, out=grad[3])
+    np.sum(d3 * vg, axis=0, out=grad[4])
+    if order < 2:
+        return val, grad, None
+
+    v2g = var * vg
+    hess = _buf(tag + "_hess", (15, m))
+    # position x position
+    np.sum((lx2 - ixx) * g, axis=0, out=hess[0])
+    np.sum((lxy - ixy) * g, axis=0, out=hess[1])
+    np.sum((ly2 - iyy) * g, axis=0, out=hess[5])
+    # position x shape: d^2 g/du dC_m = (dl/dC_m + l D_m) g, dl/dC = -I E l
+    np.sum((lx * (d1 - ixx)) * vg, axis=0, out=hess[2])
+    np.sum((lx * d2 - ixx * ly - ixy * lx) * vg, axis=0, out=hess[3])
+    np.sum((lx * d3 - ixy * ly) * vg, axis=0, out=hess[4])
+    np.sum((ly * d1 - ixy * lx) * vg, axis=0, out=hess[6])
+    np.sum((ly * d2 - ixy * ly - iyy * lx) * vg, axis=0, out=hess[7])
+    np.sum((ly * (d3 - iyy)) * vg, axis=0, out=hess[8])
+    # shape x shape: d^2 g/dC_m dC_n = (dD_n/dC_m + D_m D_n) g
+    np.sum((d1 * d1 - ixx * lx2 + 0.5 * ixx * ixx) * v2g, axis=0,
+           out=hess[9])
+    np.sum((d1 * d2 - ixx * lxy - ixy * lx2 + ixx * ixy) * v2g, axis=0,
+           out=hess[10])
+    np.sum((d1 * d3 - ixy * lxy + 0.5 * ixy * ixy) * v2g, axis=0,
+           out=hess[11])
+    np.sum((d2 * d2 - ixx * ly2 - 2.0 * ixy * lxy - iyy * lx2
+            + ixx * iyy + ixy * ixy) * v2g, axis=0, out=hess[12])
+    np.sum((d2 * d3 - ixy * ly2 - iyy * lxy + ixy * iyy) * v2g, axis=0,
+           out=hess[13])
+    np.sum((d3 * d3 - iyy * ly2 + 0.5 * iyy * iyy) * v2g, axis=0,
+           out=hess[14])
+    return val, grad, hess
+
+
+# ---------------------------------------------------------------------------
+# Pixel-independent chain-rule pieces (shared across patches / bands)
+
+
+class _FluxChain:
+    """Log-normal band-flux moments and their closed-form derivatives over
+    one type's 10 flux parameters ``[r1, r2, c1_0..3, c2_0..3]``.
+
+    ``E[f] = exp(L1)`` with ``L1 = m + v/2`` and ``E[f^2] = exp(L2)`` with
+    ``L2 = 2m + 2v``; ``m`` is linear in (r1, c1) and ``v`` is a sum of
+    per-parameter bijector images, so ``dL`` is a vector and ``d2L`` a
+    diagonal."""
+
+    __slots__ = ("ef", "dl1", "ddl1", "ef2", "dl2", "ddl2")
+
+    def __init__(self, free, ty: int, band: int, variance_correction: bool):
+        idx = _FLUX_IDX[ty]
+        coeff = COLOR_COEFFS[band]
+        m = float(free[idx[0]])
+        dm = np.zeros(10)
+        dm[0] = 1.0
+        v = 0.0
+        dv = np.zeros(10)
+        ddv = np.zeros(10)
+        r2v, r2d1, r2d2 = _BIJ_R2.forward_d012(free[idx[1]])
+        v += r2v
+        dv[1] = r2d1
+        ddv[1] = r2d2
+        for i in range(NUM_COLORS):
+            w = coeff[i]
+            m += w * float(free[idx[2 + i]])
+            dm[2 + i] = w
+            c2v, c2d1, c2d2 = _BIJ_C2.forward_d012(free[idx[6 + i]])
+            v += w * w * c2v
+            dv[6 + i] = w * w * c2d1
+            ddv[6 + i] = w * w * c2d2
+        self.ef = float(np.exp(m + 0.5 * v))
+        self.dl1 = dm + 0.5 * dv
+        self.ddl1 = 0.5 * ddv
+        if variance_correction:
+            self.ef2 = float(np.exp(2.0 * m + 2.0 * v))
+            self.dl2 = 2.0 * dm + 2.0 * dv
+            self.ddl2 = 2.0 * ddv
+        else:
+            self.ef2 = None
+
+
+class _AmpChain:
+    """One z amplitude without the per-patch calibration factor:
+    ``prob(type) * moment`` with gradient/Hessian over the 11 amplitude
+    indices (type logit + flux block)."""
+
+    __slots__ = ("val", "grad", "hess")
+
+    def __init__(self, p, p1, p2, moment, dl, ddl, order: int):
+        self.val = p * moment
+        self.grad = np.empty(11)
+        self.grad[0] = p1 * moment
+        self.grad[1:] = self.val * dl
+        self.hess = None
+        if order >= 2:
+            h = np.empty((11, 11))
+            h[0, 0] = p2 * moment
+            h[0, 1:] = h[1:, 0] = p1 * moment * dl
+            h[1:, 1:] = self.val * (np.outer(dl, dl) + np.diag(ddl))
+            self.hess = h
+
+
+def _shape_chain(free, order: int):
+    """Galaxy shape covariance ``(sxx, sxy, syy)`` and its derivatives over
+    the free shape parameters ``[axis, angle, scale]``.
+
+    With ``M = scale^2`` and ``m = (scale*axis)^2`` (major/minor variances)
+    and position angle ``phi``: ``sxx = c^2 M + s^2 m``,
+    ``sxy = sin(2 phi)(M - m)/2``, ``syy = s^2 M + c^2 m``; the axis/scale
+    dependence chains through the LogitBox bijectors."""
+    av, a1, a2 = _BIJ_AXIS.forward_d012(free[_SHAPE_IDX[0]])
+    phi = float(free[_SHAPE_IDX[1]])
+    sv, sd1, sd2 = _BIJ_SCALE.forward_d012(free[_SHAPE_IDX[2]])
+
+    c, s = np.cos(phi), np.sin(phi)
+    c2p, s2p = np.cos(2.0 * phi), np.sin(2.0 * phi)
+    c2, s2 = c * c, s * s
+
+    big = sv * sv                       # major-axis variance M
+    sml = big * av * av                 # minor-axis variance m
+    big_s = 2.0 * sv * sd1
+    big_ss = 2.0 * (sd1 * sd1 + sv * sd2)
+    sml_a = 2.0 * big * av * a1
+    sml_s = big_s * av * av
+    sml_aa = 2.0 * big * (a1 * a1 + av * a2)
+    sml_ss = big_ss * av * av
+    sml_as = 4.0 * sv * sd1 * av * a1
+
+    vals = (c2 * big + s2 * sml,
+            0.5 * s2p * (big - sml),
+            s2 * big + c2 * sml)
+    jac = np.array([
+        [s2 * sml_a, s2p * (sml - big), c2 * big_s + s2 * sml_s],
+        [-0.5 * s2p * sml_a, c2p * (big - sml), 0.5 * s2p * (big_s - sml_s)],
+        [c2 * sml_a, s2p * (big - sml), s2 * big_s + c2 * sml_s],
+    ])
+    if order < 2:
+        return vals, jac, None
+    hess = np.array([
+        [[s2 * sml_aa, s2p * sml_a, s2 * sml_as],
+         [s2p * sml_a, 2.0 * c2p * (sml - big), s2p * (sml_s - big_s)],
+         [s2 * sml_as, s2p * (sml_s - big_s), c2 * big_ss + s2 * sml_ss]],
+        [[-0.5 * s2p * sml_aa, -c2p * sml_a, -0.5 * s2p * sml_as],
+         [-c2p * sml_a, -2.0 * s2p * (big - sml), c2p * (big_s - sml_s)],
+         [-0.5 * s2p * sml_as, c2p * (big_s - sml_s),
+          0.5 * s2p * (big_ss - sml_ss)]],
+        [[c2 * sml_aa, -s2p * sml_a, c2 * sml_as],
+         [-s2p * sml_a, 2.0 * c2p * (big - sml), s2p * (big_s - sml_s)],
+         [c2 * sml_as, s2p * (big_s - sml_s), s2 * big_ss + c2 * sml_ss]],
+    ])
+    return vals, jac, hess
+
+
+class _EvalChain:
+    """Every pixel-independent piece of one evaluation: bijector images of
+    the free vector with their first two derivatives, the shape-covariance
+    chain, and per-band amplitude chains (built lazily per band)."""
+
+    def __init__(self, ctx: SourceContext, free: np.ndarray, order: int,
+                 variance_correction: bool):
+        self.order = order
+        self.vc = variance_correction
+        self.free = free
+
+        pg, pg1, pg2 = _BIJ_PROB.forward_d012(free[_IDX_A])
+        self.pg, self.pg1, self.pg2 = pg, pg1, pg2
+        self.ps, self.ps1, self.ps2 = 1.0 - pg, -pg1, -pg2
+
+        u0v, u0d1, u0d2 = _BIJ_U.forward_d012(free[_IDX_U[0]])
+        u1v, u1d1, u1d2 = _BIJ_U.forward_d012(free[_IDX_U[1]])
+        self.ux = float(ctx.u_center[0]) + u0v
+        self.uy = float(ctx.u_center[1]) + u1v
+        self.ud1 = (u0d1, u1d1)
+        self.ud2 = (u0d2, u1d2)
+
+        self.dev, self.dev1, self.dev2 = _BIJ_DEV.forward_d012(free[_IDX_DEV])
+        self.shape_vals, self.shape_jac, self.shape_hess = _shape_chain(
+            free, order
+        )
+        self._bands: dict[int, tuple] = {}
+
+    def band_chains(self, band: int):
+        """``(A_star, A_gal, B_star, B_gal)`` amplitude chains for one band
+        (B entries are None without the variance correction)."""
+        out = self._bands.get(band)
+        if out is None:
+            fs = _FluxChain(self.free, STAR, band, self.vc)
+            fg = _FluxChain(self.free, GALAXY, band, self.vc)
+            a_s = _AmpChain(self.ps, self.ps1, self.ps2,
+                            fs.ef, fs.dl1, fs.ddl1, self.order)
+            a_g = _AmpChain(self.pg, self.pg1, self.pg2,
+                            fg.ef, fg.dl1, fg.ddl1, self.order)
+            b_s = b_g = None
+            if self.vc:
+                b_s = _AmpChain(self.ps, self.ps1, self.ps2,
+                                fs.ef2, fs.dl2, fs.ddl2, self.order)
+                b_g = _AmpChain(self.pg, self.pg1, self.pg2,
+                                fg.ef2, fg.dl2, fg.ddl2, self.order)
+            out = self._bands[band] = (a_s, a_g, b_s, b_g)
+        return out
+
+    def patch_geometry(self, pws: _PatchWorkspace):
+        """Pixel-frame source position for one patch."""
+        upx = pws.wa[0, 0] * self.ux + pws.wa[0, 1] * self.uy + pws.wt[0]
+        upy = pws.wa[1, 0] * self.ux + pws.wa[1, 1] * self.uy + pws.wt[1]
+        return upx, upy
+
+    def patch_jacobian(self, pws: _PatchWorkspace) -> np.ndarray:
+        """dz/dfree for one patch: ``(10, 27)``."""
+        a_s, a_g, b_s, b_g = self.band_chains(pws.band)
+        iota = pws.iota
+        jac = np.zeros((10, _N_ACTIVE))
+        jac[0, _IDX_U[0]] = pws.wa[0, 0] * self.ud1[0]
+        jac[0, _IDX_U[1]] = pws.wa[0, 1] * self.ud1[1]
+        jac[1, _IDX_U[0]] = pws.wa[1, 0] * self.ud1[0]
+        jac[1, _IDX_U[1]] = pws.wa[1, 1] * self.ud1[1]
+        jac[np.ix_([2, 3, 4], _SHAPE_IDX)] = self.shape_jac
+        jac[5, _AMP_IDX[STAR]] = iota * a_s.grad
+        jac[6, _AMP_IDX[GALAXY]] = iota * a_g.grad
+        if self.vc:
+            iota2 = iota * iota
+            jac[7, _AMP_IDX[STAR]] = iota2 * b_s.grad
+            jac[8, _AMP_IDX[GALAXY]] = iota2 * b_g.grad
+        jac[9, _IDX_DEV] = self.dev1
+        return jac
+
+    def add_z_curvature(self, h27: np.ndarray, pws: _PatchWorkspace,
+                        gz: np.ndarray) -> None:
+        """Accumulate ``sum_m gz[m] * d2 z_m / dfree2`` into ``h27`` (the
+        chain rule's second term; z components are nonlinear in free)."""
+        a_s, a_g, b_s, b_g = self.band_chains(pws.band)
+        iota = pws.iota
+        # Position: upx/upy are affine in the bijector images of u.
+        for j in (0, 1):
+            ui = _IDX_U[j]
+            h27[ui, ui] += (
+                gz[0] * pws.wa[0, j] + gz[1] * pws.wa[1, j]
+            ) * self.ud2[j]
+        # Shape covariance entries.
+        sh = np.ix_(_SHAPE_IDX, _SHAPE_IDX)
+        for m in range(3):
+            if gz[2 + m] != 0.0:
+                h27[sh] += gz[2 + m] * self.shape_hess[m]
+        # Amplitudes.
+        star_ix = np.ix_(_AMP_IDX[STAR], _AMP_IDX[STAR])
+        gal_ix = np.ix_(_AMP_IDX[GALAXY], _AMP_IDX[GALAXY])
+        h27[star_ix] += (gz[5] * iota) * a_s.hess
+        h27[gal_ix] += (gz[6] * iota) * a_g.hess
+        if self.vc:
+            iota2 = iota * iota
+            h27[star_ix] += (gz[7] * iota2) * b_s.hess
+            h27[gal_ix] += (gz[8] * iota2) * b_g.hess
+        # Mixing fraction.
+        h27[_IDX_DEV, _IDX_DEV] += gz[9] * self.dev2
+
+
+# ---------------------------------------------------------------------------
+# The per-patch pixel term in z space
+
+
+def _patch_pixel_term(pws: _PatchWorkspace, chain: _EvalChain):
+    """Value, z-gradient (10,), and z-Hessian (10, 10) of one patch's
+    expected Poisson log-likelihood (Hessian None at order 1)."""
+    order, vc = chain.order, chain.vc
+    upx, upy = chain.patch_geometry(pws)
+    s1, s2, s3 = chain.shape_vals
+    a_s, a_g, b_s, b_g = chain.band_chains(pws.band)
+    iota = pws.iota
+    amp_s = iota * a_s.val
+    amp_g = iota * a_g.val
+
+    gs, dgs, hgs = _star_features(pws, upx, upy, order)
+    gd, dgd, hgd = _group_features(pws.dev, upx, upy, s1, s2, s3, order, "d")
+    ge, dge, hge = _group_features(pws.exp, upx, upy, s1, s2, s3, order, "e")
+
+    m = pws.n_pixels
+    dev = chain.dev
+    gg = dev * gd + (1.0 - dev) * ge
+    dgg = _buf("gg_grad", (5, m))
+    np.multiply(dgd, dev, out=dgg)
+    dgg += (1.0 - dev) * dge
+    dlg = gd - ge                       # d gg / d e_dev, per pixel
+    dldg = dgd - dge                    # its spatial gradient (5, M)
+
+    x = pws.counts
+    e = amp_s * gs + amp_g * gg
+    f = pws.bg + e
+    fi = 1.0 / f
+    logf = np.log(f)
+
+    de = _buf("de", (10, m))
+    de[0] = amp_s * dgs[0] + amp_g * dgg[0]
+    de[1] = amp_s * dgs[1] + amp_g * dgg[1]
+    de[2:5] = amp_g * dgg[2:5]
+    de[5] = gs
+    de[6] = gg
+    de[7] = 0.0
+    de[8] = 0.0
+    de[9] = amp_g * dlg
+
+    if vc:
+        amp2_s = iota * iota * b_s.val
+        amp2_g = iota * iota * b_g.val
+        gs2 = gs * gs
+        gg2 = gg * gg
+        e2 = amp2_s * gs2 + amp2_g * gg2
+        v = e2 - e * e
+        fi2 = fi * fi
+        val = float(np.sum(x * (logf - 0.5 * v * fi2) - f))
+        phi_e = x * fi * (1.0 + (e + v * fi) * fi) - 1.0
+        phi_e2 = -0.5 * x * fi2
+
+        de2 = _buf("de2", (10, m))
+        de2[0] = 2.0 * (amp2_s * gs * dgs[0] + amp2_g * gg * dgg[0])
+        de2[1] = 2.0 * (amp2_s * gs * dgs[1] + amp2_g * gg * dgg[1])
+        de2[2:5] = (2.0 * amp2_g) * gg * dgg[2:5]
+        de2[5] = 0.0
+        de2[6] = 0.0
+        de2[7] = gs2
+        de2[8] = gg2
+        de2[9] = (2.0 * amp2_g) * gg * dlg
+
+        gz = de @ phi_e + de2 @ phi_e2
+    else:
+        val = float(np.sum(x * logf - f))
+        phi_e = x * fi - 1.0
+        gz = de @ phi_e
+
+    if order < 2:
+        return val, gz, None
+
+    # -- z-Hessian: outer-product terms ------------------------------------
+    if vc:
+        phi_ee = -(x * fi * fi * fi) * (4.0 * e + 3.0 * v * fi)
+        phi_ee2 = x * fi * fi * fi
+        hz = (de * phi_ee) @ de.T
+        cross = (de * phi_ee2) @ de2.T
+        hz += cross
+        hz += cross.T
+    else:
+        hz = (de * (-x * fi * fi)) @ de.T
+
+    # -- z-Hessian: curvature of e (and e2) in z ---------------------------
+    # Upper-triangular accumulator, symmetrized at the end.
+    t = np.zeros((10, 10))
+    ch = hgs @ phi_e                    # (3,): star [xx, xy, yy]
+    cg = hgd @ phi_e                    # packed galaxy pairs
+    cg = dev * cg + (1.0 - dev) * (hge @ phi_e)
+    t[0, 0] = amp_s * ch[0] + amp_g * cg[0]
+    t[0, 1] = amp_s * ch[1] + amp_g * cg[1]
+    t[1, 1] = amp_s * ch[2] + amp_g * cg[5]
+    for (p, q), row in _PAIR_ROW.items():
+        if q >= 2:                      # pairs touching shape entries
+            t[p, q] += amp_g * cg[row]
+    # e is bilinear in (amplitudes, features):
+    t[0, 5] = phi_e @ dgs[0]
+    t[1, 5] = phi_e @ dgs[1]
+    for p in range(5):
+        t[p, 6] = phi_e @ dgg[p]
+        t[p, 9] = amp_g * (phi_e @ dldg[p])
+    t[6, 9] = phi_e @ dlg
+
+    if vc:
+        wg = phi_e2 * gg
+        cs2 = hgs @ (phi_e2 * gs)
+        cg2 = dev * (hgd @ wg) + (1.0 - dev) * (hge @ wg)
+        m1 = (dgs * phi_e2) @ dgs.T     # (2, 2)
+        m2 = (dgg * phi_e2) @ dgg.T     # (5, 5)
+        t[0, 0] += 2.0 * (amp2_s * (m1[0, 0] + cs2[0])
+                          + amp2_g * (m2[0, 0] + cg2[0]))
+        t[0, 1] += 2.0 * (amp2_s * (m1[0, 1] + cs2[1])
+                          + amp2_g * (m2[0, 1] + cg2[1]))
+        t[1, 1] += 2.0 * (amp2_s * (m1[1, 1] + cs2[2])
+                          + amp2_g * (m2[1, 1] + cg2[5]))
+        for (p, q), row in _PAIR_ROW.items():
+            if q >= 2:
+                t[p, q] += 2.0 * amp2_g * (m2[p, q] + cg2[row])
+        # Crosses with the second-moment amplitudes and the mixing fraction.
+        t[0, 7] = 2.0 * (phi_e2 @ (gs * dgs[0]))
+        t[1, 7] = 2.0 * (phi_e2 @ (gs * dgs[1]))
+        for p in range(5):
+            t[p, 8] = 2.0 * (phi_e2 @ (gg * dgg[p]))
+            t[p, 9] += 2.0 * amp2_g * (
+                phi_e2 @ (dlg * dgg[p] + gg * dldg[p])
+            )
+        t[8, 9] = 2.0 * (phi_e2 @ (gg * dlg))
+        t[9, 9] += 2.0 * amp2_g * (phi_e2 @ (dlg * dlg))
+
+    hz += t
+    hz += t.T
+    hz[np.diag_indices(10)] -= np.diag(t)
+    return val, gz, hz
+
+
+# ---------------------------------------------------------------------------
+# The backend
+
+
+def elbo_fused(
+    ctx: SourceContext,
+    free,
+    order: int = 2,
+    variance_correction: bool = True,
+) -> ElboEval:
+    """Evaluate the full ELBO with the fused analytic kernel."""
+    ws = ctx.workspaces.get("fused")
+    if ws is None:
+        ws = ctx.workspaces["fused"] = _FusedWorkspace(ctx)
+    free = np.asarray(free, dtype=np.float64)
+    chain = _EvalChain(ctx, free, order, variance_correction)
+
+    val = 0.0
+    g27 = np.zeros(_N_ACTIVE)
+    h27 = np.zeros((_N_ACTIVE, _N_ACTIVE)) if order >= 2 else None
+    for pws in ws.patches:
+        pval, gz, hz = _patch_pixel_term(pws, chain)
+        jac = chain.patch_jacobian(pws)
+        val += pval
+        g27 += jac.T @ gz
+        if order >= 2:
+            h27 += jac.T @ (hz @ jac)
+            chain.add_z_curvature(h27, pws, gz)
+
+    # KL terms: pixel-count-independent, shared with the Taylor backend.
+    params = seed_params(free, ctx.u_center, order=order)
+    kl = kl_total(params, ctx.priors)
+    grad = kl.gradient(FREE.size)
+    grad[:_N_ACTIVE] += g27
+    hess = None
+    if order >= 2:
+        hess = kl.hessian(FREE.size)
+        hess[:_N_ACTIVE, :_N_ACTIVE] += h27
+    return ElboEval(val + float(kl.val), grad, hess)
+
+
+class FusedBackend(ElboBackend):
+    """Production backend: compile-once workspaces + closed-form blocks."""
+
+    name = "fused"
+
+    def evaluate(self, ctx, free, order, variance_correction):
+        return elbo_fused(ctx, free, order=order,
+                          variance_correction=variance_correction)
+
+    def release_scratch(self):
+        release_scratch()
+
+
+register_backend(FusedBackend())

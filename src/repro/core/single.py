@@ -36,6 +36,12 @@ class OptimizeConfig:
     initial_radius: float = 1.0
     method: str = "newton"   # "newton" (paper) or "lbfgs" (baseline)
     variance_correction: bool = True
+    #: ELBO evaluation backend: ``"taylor"`` (reference) or ``"fused"``
+    #: (compile-once analytic kernel); ``None`` follows the
+    #: ``REPRO_ELBO_BACKEND`` environment variable, defaulting to taylor.
+    #: The driver resolves this up front so checkpoints fingerprint the
+    #: backend that actually ran.
+    backend: str | None = None
 
 
 @dataclass
@@ -71,7 +77,10 @@ def initial_params(entry: CatalogEntry, priors: Priors) -> SourceParams:
         c2=np.full((NUM_COLORS, 2), 0.25),
         e_dev=float(np.clip(entry.gal_frac_dev, 0.05, 0.95)),
         e_axis=float(np.clip(entry.gal_axis_ratio, 0.1, 0.95)),
-        e_angle=float(entry.gal_angle),
+        # Normalize into [0, pi), matching to_catalog_entry: an ellipse's
+        # position angle is pi-periodic, so re-seeding from a merged catalog
+        # must be idempotent rather than drift by multiples of pi.
+        e_angle=float(entry.gal_angle) % np.pi,
         e_scale=float(np.clip(entry.gal_radius_px, 0.3, 25.0)),
         k=np.full((priors.k_weights.shape[0], 2), 1.0 / priors.k_weights.shape[0]),
     )
@@ -93,7 +102,8 @@ def optimize_source(
     if config.method == "newton":
         def fgh(free):
             out = elbo(ctx, free, order=2,
-                       variance_correction=config.variance_correction)
+                       variance_correction=config.variance_correction,
+                       backend=config.backend)
             return -float(out.val), -out.gradient(FREE.size), -out.hessian(FREE.size)
 
         ctx.counters.add("newton_solves", 1.0)
@@ -107,9 +117,11 @@ def optimize_source(
     elif config.method == "lbfgs":
         def fg(free):
             out = elbo(ctx, free, order=1,
-                       variance_correction=config.variance_correction)
+                       variance_correction=config.variance_correction,
+                       backend=config.backend)
             return -float(out.val), -out.gradient(FREE.size)
 
+        ctx.counters.add("lbfgs_solves", 1.0)
         res = lbfgs_minimize(
             fg, free0, grad_tol=config.grad_tol, max_iter=config.max_iter
         )

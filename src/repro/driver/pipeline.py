@@ -30,6 +30,13 @@ are seeded per task id, and every worker reads its sources and frozen halo
 from a stage-start snapshot of the catalog, so results never depend on the
 executor, the worker count, or task completion order.
 
+**ELBO backends.**  Every source optimization evaluates its objective
+through a pluggable backend (``DriverConfig.elbo_backend`` /
+``REPRO_ELBO_BACKEND``): the Taylor reference path or the fused analytic
+kernel (:mod:`repro.core.kernel`).  The driver resolves the choice once,
+pins it into the per-task optimizer config, and fingerprints it, so
+resumed runs and process workers always evaluate with the same backend.
+
 **The sharded catalog.**  The working catalog lives in a
 :class:`~repro.driver.shards.ShardedCatalog` — light sources as 44-wide
 rows of a :class:`~repro.pgas.GlobalArray` block-partitioned across
@@ -69,6 +76,7 @@ from dataclasses import dataclass, field, replace
 import numpy as np
 
 from repro.core.catalog import Catalog
+from repro.core.elbo import resolve_backend_name
 from repro.core.priors import Priors, default_priors
 from repro.driver.checkpoint import (
     STAGES,
@@ -153,6 +161,14 @@ class DriverConfig:
     photo: PhotoConfig = field(default_factory=PhotoConfig)
     parallel: ParallelRegionConfig = field(default_factory=ParallelRegionConfig)
     dtree: DtreeConfig = field(default_factory=DtreeConfig)
+    #: ELBO evaluation backend for every source optimization in the run:
+    #: ``"taylor"`` (reference) or ``"fused"`` (compile-once analytic
+    #: kernel).  ``None`` defers to ``parallel.joint.single.backend``, then
+    #: the ``REPRO_ELBO_BACKEND`` environment variable.  The driver resolves
+    #: this once up front and pins the result into the per-task optimizer
+    #: config, so process workers and resumed runs can never pick a
+    #: different backend than the checkpoint fingerprint recorded.
+    elbo_backend: str | None = None
     #: JSON checkpoint file; ``None`` disables checkpointing.  The working
     #: catalog checkpoints as ``n_nodes`` per-rank shard files.
     checkpoint_path: str | None = None
@@ -171,6 +187,33 @@ def _resolve_executor(config: DriverConfig) -> str:
             "executor must be one of %r, got %r" % (_EXECUTORS, mode)
         )
     return mode
+
+
+def _pin_elbo_backend(config: DriverConfig) -> DriverConfig:
+    """Resolve the ELBO backend once and pin it through the config tree.
+
+    Precedence: ``config.elbo_backend``, then the single-source optimizer's
+    own ``backend`` field, then the ``REPRO_ELBO_BACKEND`` environment
+    variable / default.  After this the nested ``OptimizeConfig.backend``
+    is always a concrete name, so the fingerprint (which recurses into
+    ``config.parallel``) records the backend that actually runs, and
+    process node-workers inherit it through the pickled config instead of
+    re-reading their own environment.
+    """
+    joint = config.parallel.joint
+    backend = resolve_backend_name(
+        config.elbo_backend
+        if config.elbo_backend is not None
+        else joint.single.backend
+    )
+    return replace(
+        config,
+        elbo_backend=backend,
+        parallel=replace(
+            config.parallel,
+            joint=replace(joint, single=replace(joint.single, backend=backend)),
+        ),
+    )
 
 
 @dataclass
@@ -413,11 +456,14 @@ def _fingerprint(store: _FieldStore, config: DriverConfig) -> dict:
     Covers every knob that affects *results*: the inputs, the partition and
     merge parameters, the halo/image margins and refresh policy, the Photo
     thresholds, and the full parallel/joint/single optimizer configuration
-    (``asdict`` recurses into nested dataclasses).  Purely scheduling-side
-    knobs (``n_nodes``, ``executor``, ``dtree``, ``max_batch``, prefetch
-    depth) are deliberately excluded: task results are independent of
-    completion order and of the memory model, so a run may legitimately
-    resume with a different worker layout or executor.
+    (``asdict`` recurses into nested dataclasses — including the resolved
+    ELBO backend, which :func:`_pin_elbo_backend` writes into
+    ``parallel.joint.single.backend`` before this runs, so a checkpoint
+    taken under one backend is never resumed under the other).  Purely
+    scheduling-side knobs (``n_nodes``, ``executor``, ``dtree``,
+    ``max_batch``, prefetch depth) are deliberately excluded: task results
+    are independent of completion order and of the memory model, so a run
+    may legitimately resume with a different worker layout or executor.
     """
     return {
         "n_fields": store.n_fields,
@@ -934,6 +980,8 @@ def run_pipeline(
     """
     if config is None:
         config = DriverConfig()
+    # Pin the ELBO backend before anything reads or fingerprints the config.
+    config = _pin_elbo_backend(config)
     if priors is None:
         priors = default_priors()
     executor = _resolve_executor(config)

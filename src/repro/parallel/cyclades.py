@@ -5,6 +5,13 @@ replacement and partitions the sample into connected components, according
 to the conflict graph restricted to the sample.  Then, connected components
 are distributed among threads; light sources that overlap in the sample are
 all assigned to the same thread" (paper, Section IV-D).
+
+Keeping a whole connected component on one thread also pins its per-source
+objective evaluations to that thread, which is what makes the fused ELBO
+backend's *per-thread* workspace scratch effective: every Newton iteration
+of every source in a thread's assignment borrows the same buffers
+(:mod:`repro.core.kernel`), and the executor releases them when the
+assignment completes.
 """
 
 from __future__ import annotations

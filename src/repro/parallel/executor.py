@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.catalog import CatalogEntry
+from repro.core.elbo import release_scratch
 from repro.core.joint import (
     JointConfig,
     RegionOptimizer,
@@ -110,5 +111,15 @@ def optimize_region_parallel(
 
 
 def _run_assignment(opt: RegionOptimizer, assignment: list[int]) -> None:
-    for s in assignment:
-        opt.update_source(s)
+    """One thread's Cyclades assignment.
+
+    All of an assignment's sources run on one thread, so the fused ELBO
+    backend's thread-local scratch buffers are reused across every Newton
+    iteration of every source here; they are released when the assignment
+    completes so idle pool threads hold no evaluation buffers.
+    """
+    try:
+        for s in assignment:
+            opt.update_source(s)
+    finally:
+        release_scratch()

@@ -26,6 +26,19 @@ class Counters:
         with self._lock:
             self._values[name] += amount
 
+    def add_many(self, amounts: dict) -> None:
+        """Increment several counters under one lock acquisition.
+
+        The objective front end counts ``active_pixel_visits`` (the paper's
+        FLOP unit) and the evaluation tallies on every call, whichever ELBO
+        backend ran — batching them keeps the hot path to a single lock
+        round-trip and guarantees the counts can never be torn across
+        backends by a concurrent snapshot.
+        """
+        with self._lock:
+            for name, amount in amounts.items():
+                self._values[name] += amount
+
     def get(self, name: str) -> float:
         with self._lock:
             return self._values.get(name, 0.0)

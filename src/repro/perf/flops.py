@@ -14,11 +14,20 @@ from dataclasses import dataclass
 
 from repro.constants import FLOP_OVERHEAD_FACTOR, FLOPS_PER_ACTIVE_PIXEL_VISIT
 
-__all__ = ["flops_from_visits", "flop_rate", "FlopReport"]
+__all__ = ["flops_from_visits", "flop_rate", "visit_rate", "FlopReport"]
 
 
 def flops_from_visits(active_pixel_visits: float) -> float:
-    """Total DP FLOPs implied by a count of active pixel visits."""
+    """Total DP FLOPs implied by a count of active pixel visits.
+
+    A *visit* is one evaluation of one source's contribution to one active
+    pixel together with its derivatives.  The objective front end counts
+    visits identically whichever ELBO backend evaluated them (Taylor or
+    fused — see :mod:`repro.core.elbo`), so FLOP totals and rates stay
+    comparable across backends: a faster backend shows up as a higher
+    sustained rate over the *same* visit count, exactly how the paper
+    accounts its hand-optimized kernels.
+    """
     return active_pixel_visits * FLOPS_PER_ACTIVE_PIXEL_VISIT * FLOP_OVERHEAD_FACTOR
 
 
@@ -27,6 +36,14 @@ def flop_rate(active_pixel_visits: float, seconds: float) -> float:
     if seconds <= 0:
         raise ValueError("seconds must be positive")
     return flops_from_visits(active_pixel_visits) / seconds
+
+
+def visit_rate(active_pixel_visits: float, seconds: float) -> float:
+    """Active-pixel visits per second — the backend-neutral throughput unit
+    benchmarks record (``BENCH_elbo_backend.json``)."""
+    if seconds <= 0:
+        raise ValueError("seconds must be positive")
+    return active_pixel_visits / seconds
 
 
 @dataclass(frozen=True)

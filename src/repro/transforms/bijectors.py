@@ -62,6 +62,20 @@ class LogitBox:
         u = lift(u)
         return self.lo + (self.hi - self.lo) * (1.0 + texp(-1.0 * u)).reciprocal()
 
+    def forward_d012(self, u: float) -> tuple[float, float, float]:
+        """Value and first two derivatives of the forward map at ``u``.
+
+        The closed-form chain used by the fused ELBO backend
+        (:mod:`repro.core.kernel`), which hand-derives every bijector
+        instead of differentiating through a Taylor graph:
+        ``y = lo + r s(u)`` with ``s`` the logistic gives
+        ``y' = r s(1-s)`` and ``y'' = r s(1-s)(1-2s)``.
+        """
+        s = 1.0 / (1.0 + np.exp(-float(u)))
+        r = self.hi - self.lo
+        d1 = r * s * (1.0 - s)
+        return self.lo + r * s, d1, d1 * (1.0 - 2.0 * s)
+
     def __repr__(self):
         return "LogitBox(%g, %g)" % (self.lo, self.hi)
 
