@@ -28,19 +28,32 @@ k[8,2] block of the canonical parameter vector.
   evaluation.  Slower, but derivatives follow mechanically from the model,
   so this is the correctness oracle (validated against finite differences
   in :mod:`repro.autodiff.check`).
-- ``"fused"`` (:mod:`repro.core.kernel`) — the production path: pixel-static
-  arrays (PSF/galaxy component products, pixel grids, backgrounds) are
-  compiled once per :class:`SourceContext` into a reusable workspace, and
-  each evaluation computes the Poisson pixel term's value, 41-gradient, and
-  41x41 Hessian from hand-derived closed-form block formulas, fused across
-  patches and mixture components with no per-iteration expression-graph
-  construction.  The (pixel-count-independent) KL terms are shared with the
-  Taylor path.
+- ``"fused"`` (:mod:`repro.core.kernel`) — the production path (and the
+  default): pixel-static arrays (PSF/galaxy component products, pixel
+  grids, backgrounds) are compiled once per :class:`SourceContext` into a
+  reusable workspace, and each evaluation computes the Poisson pixel term's
+  value, 41-gradient, and 41x41 Hessian from hand-derived closed-form block
+  formulas, fused across patches and mixture components with no
+  per-iteration expression-graph construction.
+
+*Both* terms of the objective are backend-dispatched: each backend owns a
+pixel-term implementation **and** a KL-term implementation
+(:meth:`ElboBackend.evaluate_kl`).  The Taylor backend builds the KL terms
+as a Taylor expression (:func:`repro.core.elbo_taylor.kl_total`, the
+correctness oracle); the fused backend evaluates them from closed-form
+value/gradient/Hessian formulas compiled once per prior configuration
+(:class:`repro.core.kernel.KlWorkspace`) — chained through the bijector and
+fixed-last-softmax derivatives of :mod:`repro.transforms.bijectors` — so a
+fused evaluation never enters Taylor mode.  :func:`elbo_kl` exposes the
+KL-only dispatch (used by the parity tests and the benchmark's
+pixel-vs-KL cost split).
 
 Both backends see the same :class:`SourceContext` and are accounted
 identically: this front end increments ``active_pixel_visits`` (the paper's
 FLOP-accounting unit) and ``objective_evaluations`` once per call, whichever
-backend ran.
+backend ran.  KL terms are pixel-count-independent, so they never
+contribute visits under either backend — FLOP totals from
+:mod:`repro.perf.flops` stay comparable across backends.
 
 Every evaluation returns an object exposing ``.val`` (a scalar),
 ``.gradient(n)``/``.hessian(n)`` (dense derivative extraction over the free
@@ -55,9 +68,6 @@ from dataclasses import dataclass, field as dc_field
 
 import numpy as np
 
-from repro.autodiff import Taylor, lift, tlog
-from repro.constants import GALAXY, NUM_COLOR_COMPONENTS, NUM_COLORS, NUM_TYPES, STAR
-from repro.core.params import TaylorParams
 from repro.core.priors import Priors
 from repro.perf.counters import Counters, GLOBAL_COUNTERS
 from repro.profiles.mog import dev_mixture, exp_mixture
@@ -73,6 +83,7 @@ __all__ = [
     "SourceContext",
     "available_backends",
     "elbo",
+    "elbo_kl",
     "get_backend",
     "kl_total",
     "make_context",
@@ -81,14 +92,15 @@ __all__ = [
     "resolve_backend_name",
 ]
 
-_LOG_2PI = float(np.log(2.0 * np.pi))
-
 #: Environment variable consulted when no backend is given explicitly — lets
 #: CI (and the driver) force every evaluation onto one backend.
 BACKEND_ENV_VAR = "REPRO_ELBO_BACKEND"
 
 #: Backend used when neither the call site nor the environment picks one.
-DEFAULT_BACKEND = "taylor"
+#: ``"fused"`` since the KL terms went closed-form: every term of a
+#: production evaluation now runs the compile-once analytic kernels, with
+#: ``"taylor"`` kept as the correctness oracle (CI runs the full matrix).
+DEFAULT_BACKEND = "fused"
 
 #: Backends the lazy loader knows how to import (module registering it).
 _KNOWN_BACKENDS = {
@@ -298,64 +310,20 @@ def make_context(
 
 
 # ---------------------------------------------------------------------------
-# KL terms (backend-neutral: pixel-count-independent, evaluated in Taylor
-# mode by both backends)
+# KL terms: backend-dispatched, like the pixel term.  The Taylor expression
+# (the correctness oracle) lives in :mod:`repro.core.elbo_taylor`; the fused
+# closed-form kernel in :mod:`repro.core.kernel`.  ``kl_total`` stays
+# importable from here for backward compatibility.
 
 
-def _kl_bernoulli(params: TaylorParams, priors: Priors) -> Taylor:
-    """-KL(q(a) || Bernoulli(Phi))."""
-    pg = params.prob_galaxy
-    ps = params.prob_star
-    phi = priors.prob_galaxy
-    return -1.0 * (
-        pg * (tlog(pg) - float(np.log(phi)))
-        + ps * (tlog(ps) - float(np.log(1.0 - phi)))
+def __getattr__(name: str):
+    if name == "kl_total":
+        from repro.core.elbo_taylor import kl_total
+
+        return kl_total
+    raise AttributeError(
+        "module %r has no attribute %r" % (__name__, name)
     )
-
-
-def _kl_brightness(params: TaylorParams, priors: Priors, ty: int) -> Taylor:
-    """-KL(q(log r | type) || N(Upsilon)) — Gaussian KL on the log scale."""
-    m0 = float(priors.r_loc[ty])
-    v0 = float(priors.r_var[ty])
-    m, v = params.r1[ty], params.r2[ty]
-    diff = m - m0
-    return -0.5 * ((v + diff * diff) / v0 - 1.0 + float(np.log(v0)) - tlog(v))
-
-
-def _color_term(params: TaylorParams, priors: Priors, ty: int) -> Taylor:
-    """E_q[log p(c, k | type)] - E_q[log q(c, k | type)]: the mixture color
-    prior with a variational categorical over components."""
-    c1 = params.c1[ty]
-    c2 = params.c2[ty]
-    kappa = params.kappa[ty]
-
-    acc = None
-    for d in range(NUM_COLOR_COMPONENTS):
-        w = float(priors.k_weights[d, ty])
-        e_log_norm = lift(0.0)
-        for i in range(NUM_COLORS):
-            m0 = float(priors.c_mean[i, d, ty])
-            v0 = float(priors.c_var[i, d, ty])
-            diff = c1[i] - m0
-            e_log_norm = e_log_norm - 0.5 * (
-                _LOG_2PI + float(np.log(v0)) + (c2[i] + diff * diff) / v0
-            )
-        term = kappa[d] * (e_log_norm + float(np.log(w)) - tlog(kappa[d]))
-        acc = term if acc is None else acc + term
-
-    entropy = lift(0.0)
-    for i in range(NUM_COLORS):
-        entropy = entropy + 0.5 * (tlog(c2[i]) + _LOG_2PI + 1.0)
-    return acc + entropy
-
-
-def kl_total(params: TaylorParams, priors: Priors) -> Taylor:
-    """Sum of every KL term of the single-source ELBO (a Taylor scalar)."""
-    total = _kl_bernoulli(params, priors)
-    for ty, prob in ((STAR, params.prob_star), (GALAXY, params.prob_galaxy)):
-        total = total + prob * _kl_brightness(params, priors, ty)
-        total = total + prob * _color_term(params, priors, ty)
-    return total
 
 
 # ---------------------------------------------------------------------------
@@ -426,6 +394,13 @@ class ElboBackend:
                  variance_correction: bool):
         """Return the ELBO at ``free`` as a Taylor scalar or an
         :class:`ElboEval` (both expose ``val``/``gradient``/``hessian``)."""
+        raise NotImplementedError
+
+    def evaluate_kl(self, ctx: SourceContext, free: np.ndarray, order: int):
+        """Return only the (pixel-count-independent) KL terms at ``free``,
+        with the same result surface as :meth:`evaluate`.  Dispatched like
+        the pixel term so no backend ever falls back to another's
+        derivative machinery on the hot path."""
         raise NotImplementedError
 
     def release_scratch(self) -> None:
@@ -515,5 +490,30 @@ def elbo(
         "active_pixel_visits": float(ctx.n_active_pixels),
         "objective_evaluations": 1.0,
         "objective_evaluations_" + bk.name: 1.0,
+    })
+    return out
+
+
+def elbo_kl(
+    ctx: SourceContext,
+    free: np.ndarray,
+    order: int = 2,
+    backend: str | None = None,
+):
+    """Evaluate only the KL terms of the single-source ELBO.
+
+    Backend-dispatched exactly like :func:`elbo`; returns the same
+    ``val``/``gradient``/``hessian`` surface.  KL terms are
+    pixel-count-independent, so this counts a ``kl_evaluations`` tick but
+    no active-pixel visits (under either backend — the paper's FLOP unit
+    only ever counts pixel work).  Used by the fused-vs-Taylor KL parity
+    tests and by :mod:`benchmarks.bench_elbo_kernel`'s pixel-vs-KL cost
+    split.
+    """
+    bk = get_backend(backend)
+    out = bk.evaluate_kl(ctx, np.asarray(free, dtype=np.float64), order)
+    ctx.counters.add_many({
+        "kl_evaluations": 1.0,
+        "kl_evaluations_" + bk.name: 1.0,
     })
     return out

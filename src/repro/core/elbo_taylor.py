@@ -9,26 +9,107 @@ makes this path the correctness oracle: it is validated against central
 finite differences (:mod:`repro.autodiff.check`) in the test suite, and the
 fused backend (:mod:`repro.core.kernel`) is in turn validated against it.
 
+The KL terms live here too (:func:`kl_total`): they are the reference
+expression for the fused backend's closed-form KL kernel
+(:class:`repro.core.kernel.KlWorkspace`), exactly as the Taylor pixel term
+is the reference for the fused pixel kernel.  Both terms are dispatched per
+backend by the front end (:mod:`repro.core.elbo`).
+
 The cost is per-iteration expression-graph construction: dozens of NumPy
 temporaries per evaluation, which the fused backend exists to avoid.
 """
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.autodiff import Taylor, constant, expand_dims, lift, tlog, tsum
-from repro.constants import NUM_TYPES
+from repro.constants import (
+    GALAXY,
+    NUM_COLOR_COMPONENTS,
+    NUM_COLORS,
+    NUM_TYPES,
+    STAR,
+)
 from repro.core.elbo import (
     ElboBackend,
     PatchData,
     SourceContext,
-    kl_total,
     register_backend,
 )
 from repro.core.fluxes import flux_moments
 from repro.core.params import TaylorParams, seed_params
+from repro.core.priors import Priors
 from repro.gaussians import gauss2d_taylor, rotation_covariance_taylor
 
-__all__ = ["TaylorBackend", "elbo_taylor"]
+__all__ = ["TaylorBackend", "elbo_taylor", "kl_total"]
+
+_LOG_2PI = float(np.log(2.0 * np.pi))
+
+
+# ---------------------------------------------------------------------------
+# KL terms (pixel-count-independent), as one Taylor expression
+
+
+def _kl_bernoulli(params: TaylorParams, priors: Priors) -> Taylor:
+    """-KL(q(a) || Bernoulli(Phi))."""
+    pg = params.prob_galaxy
+    ps = params.prob_star
+    phi = priors.prob_galaxy
+    return -1.0 * (
+        pg * (tlog(pg) - float(np.log(phi)))
+        + ps * (tlog(ps) - float(np.log(1.0 - phi)))
+    )
+
+
+def _kl_brightness(params: TaylorParams, priors: Priors, ty: int) -> Taylor:
+    """-KL(q(log r | type) || N(Upsilon)) — Gaussian KL on the log scale."""
+    m0 = float(priors.r_loc[ty])
+    v0 = float(priors.r_var[ty])
+    m, v = params.r1[ty], params.r2[ty]
+    diff = m - m0
+    return -0.5 * ((v + diff * diff) / v0 - 1.0 + float(np.log(v0)) - tlog(v))
+
+
+def _color_term(params: TaylorParams, priors: Priors, ty: int) -> Taylor:
+    """E_q[log p(c, k | type)] - E_q[log q(c, k | type)]: the mixture color
+    prior with a variational categorical over components."""
+    c1 = params.c1[ty]
+    c2 = params.c2[ty]
+    kappa = params.kappa[ty]
+
+    acc = None
+    for d in range(NUM_COLOR_COMPONENTS):
+        w = float(priors.k_weights[d, ty])
+        e_log_norm = lift(0.0)
+        for i in range(NUM_COLORS):
+            m0 = float(priors.c_mean[i, d, ty])
+            v0 = float(priors.c_var[i, d, ty])
+            diff = c1[i] - m0
+            e_log_norm = e_log_norm - 0.5 * (
+                _LOG_2PI + float(np.log(v0)) + (c2[i] + diff * diff) / v0
+            )
+        term = kappa[d] * (e_log_norm + float(np.log(w)) - tlog(kappa[d]))
+        acc = term if acc is None else acc + term
+
+    entropy = lift(0.0)
+    for i in range(NUM_COLORS):
+        entropy = entropy + 0.5 * (tlog(c2[i]) + _LOG_2PI + 1.0)
+    return acc + entropy
+
+
+def kl_total(params: TaylorParams, priors: Priors) -> Taylor:
+    """Sum of every KL term of the single-source ELBO (a Taylor scalar).
+
+    This is the reference expression the fused backend's closed-form KL
+    kernel is validated against (randomized value/gradient/Hessian parity
+    tests, both orders).
+    """
+    total = _kl_bernoulli(params, priors)
+    for ty, prob in ((STAR, params.prob_star), (GALAXY, params.prob_galaxy)):
+        total = total + prob * _kl_brightness(params, priors, ty)
+        total = total + prob * _color_term(params, priors, ty)
+    return total
 
 
 def _star_density(patch: PatchData, dx: Taylor, dy: Taylor) -> Taylor:
@@ -142,6 +223,10 @@ class TaylorBackend(ElboBackend):
     def evaluate(self, ctx, free, order, variance_correction):
         return elbo_taylor(ctx, free, order=order,
                            variance_correction=variance_correction)
+
+    def evaluate_kl(self, ctx, free, order):
+        params = seed_params(free, ctx.u_center, order=order)
+        return kl_total(params, ctx.priors)
 
 
 register_backend(TaylorBackend())

@@ -40,8 +40,19 @@ no expression-graph construction:
 
 The pixel term touches only the first 27 free parameters (everything except
 the color-prior responsibilities ``k``), so the chain accumulates in a dense
-27-space and scatters once at the end.  The (pixel-count-independent) KL
-terms are shared with the Taylor backend via :func:`repro.core.elbo.kl_total`.
+27-space and scatters once at the end.
+
+**Closed-form KL terms.**  The (pixel-count-independent) KL terms are fused
+too: :class:`KlWorkspace` compiles the prior-dependent constants (log prior
+odds, inverse prior variances, mixture log-weights and normalizer sums)
+once per prior configuration and evaluates the exact KL value, 41-gradient,
+and 41x41 Hessian from hand-derived formulas — Bernoulli type-KL,
+per-type Gaussian log-brightness KL, and the color GMM term with its
+variational categorical, chained through the logistic-bijector and
+fixed-last-softmax derivatives of :mod:`repro.transforms.bijectors`.  A
+fused evaluation therefore never enters Taylor mode; the Taylor expression
+(:func:`repro.core.elbo_taylor.kl_total`) remains the correctness oracle
+the randomized parity tests pin this kernel against.
 
 **Per-thread scratch.**  Large per-evaluation temporaries (feature stacks,
 chain-rule rows) are borrowed from a thread-local pool keyed by shape, so a
@@ -56,15 +67,15 @@ the map numerically rather than reaching into its attributes.
 from __future__ import annotations
 
 import threading
+import weakref
 
 import numpy as np
 
-from repro.constants import GALAXY, NUM_COLORS, STAR
+from repro.constants import GALAXY, NUM_COLOR_COMPONENTS, NUM_COLORS, STAR
 from repro.core.elbo import (
     ElboBackend,
     ElboEval,
     SourceContext,
-    kl_total,
     register_backend,
 )
 from repro.core.fluxes import COLOR_COEFFS
@@ -77,11 +88,12 @@ from repro.core.params import (
     _BIJ_R2,
     _BIJ_C2,
     _BIJ_SCALE,
-    seed_params,
 )
+from repro.core.priors import Priors
 from repro.transforms import LogitBox
+from repro.transforms.bijectors import softmax_fixed_last_d012
 
-__all__ = ["FusedBackend", "elbo_fused", "release_scratch"]
+__all__ = ["FusedBackend", "KlWorkspace", "elbo_fused", "release_scratch"]
 
 _TWO_PI = 2.0 * np.pi
 
@@ -124,6 +136,15 @@ _BIJ_U = LogitBox(-U_BOX_HALFWIDTH, U_BOX_HALFWIDTH)
 _PAIRS = [(p, q) for p in range(5) for q in range(p, 5)]
 _PAIR_ROW = {pq: r for r, pq in enumerate(_PAIRS)}
 
+# KL-term index bookkeeping: the free indices of one type's blocks, in the
+# local order the KL kernel accumulates them ``[r1, r2, c1 x4, c2 x4, k x7]``.
+_IDX_R1 = FREE.indices("r1")
+_IDX_R2 = FREE.indices("r2")
+_IDX_C1 = np.asarray(FREE.indices("c1")).reshape(2, NUM_COLORS)
+_IDX_C2 = np.asarray(FREE.indices("c2")).reshape(2, NUM_COLORS)
+_IDX_K = np.asarray(FREE.indices("k")).reshape(2, NUM_COLOR_COMPONENTS - 1)
+_LOG_2PI = float(np.log(2.0 * np.pi))
+
 
 # ---------------------------------------------------------------------------
 # Per-thread scratch pool
@@ -162,6 +183,183 @@ def release_scratch() -> None:
 
 # ---------------------------------------------------------------------------
 # Compile-once workspaces
+
+
+class KlWorkspace:
+    """Closed-form KL terms of the single-source ELBO, compiled per prior
+    configuration.
+
+    The KL sum is ``KL_bern(a) + sum_ty p_ty (KL_bright_ty + color_ty)``
+    with every piece analytic in the canonical parameters:
+
+    - Bernoulli type-KL: ``-(pg (log pg - log phi) + ps (log ps -
+      log(1-phi)))`` — derivative ``logit(phi) - logit(pg)`` in ``pg``.
+    - Gaussian log-brightness KL per type: quadratic in the mean, rational
+      in the variance.
+    - Color GMM term per type: ``sum_d kappa_d (E_d + log w_d - log
+      kappa_d)`` plus the Gaussian entropy, with ``E_d`` the expected
+      component log-density — *separable* across colors, so the c1/c2
+      Hessian blocks are diagonal and the only dense coupling is
+      component-responsibility x color, handled through the fixed-last
+      softmax Jacobian/Hessian.
+
+    Free-parameter derivatives chain through the same logistic bijectors as
+    the canonical map (:meth:`LogitBox.forward_d012`) and through
+    :func:`softmax_fixed_last_d012` for the responsibilities; the whole
+    evaluation is a few dozen operations on arrays no larger than the 8x2
+    mixture table, so it is pixel-count-independent and never enters Taylor
+    mode.  Everything prior-dependent (log prior odds, inverse variances,
+    mixture log-weights, per-component normalizer sums) is precomputed
+    here, once, and shared by every source evaluated under these priors.
+    """
+
+    __slots__ = ("logit_phi", "log_phi", "log_1mphi", "r_loc", "r_ivar",
+                 "log_r_var", "log_w", "c_mean", "c_ivar", "e_const")
+
+    def __init__(self, priors: Priors):
+        phi = float(priors.prob_galaxy)
+        self.log_phi = float(np.log(phi))
+        self.log_1mphi = float(np.log(1.0 - phi))
+        self.logit_phi = self.log_phi - self.log_1mphi
+        self.r_loc = np.asarray(priors.r_loc, dtype=float)
+        self.r_ivar = 1.0 / np.asarray(priors.r_var, dtype=float)
+        self.log_r_var = np.log(np.asarray(priors.r_var, dtype=float))
+        with np.errstate(divide="ignore"):  # zero mixture weights -> -inf,
+            # matching the Taylor expression exactly
+            self.log_w = np.log(np.asarray(priors.k_weights, dtype=float))
+        self.c_mean = np.asarray(priors.c_mean, dtype=float)
+        self.c_ivar = 1.0 / np.asarray(priors.c_var, dtype=float)
+        #: Constant part of E_d: ``-0.5 sum_i (log 2pi + log v0_id)``, (D, T).
+        self.e_const = -0.5 * (_LOG_2PI + np.log(
+            np.asarray(priors.c_var, dtype=float))).sum(axis=0)
+
+    def _type_term(self, free: np.ndarray, ty: int, order: int):
+        """One type's ``KL_bright + color`` term over its own 17 free
+        indices ``[r1, r2, c1 x4, c2 x4, k x7]`` (before the type-probability
+        weighting): ``(indices, value, gradient, hessian)``."""
+        ic1 = _IDX_C1[ty]
+        ic2 = _IDX_C2[ty]
+        idx = np.concatenate(([_IDX_R1[ty], _IDX_R2[ty]], ic1, ic2,
+                              _IDX_K[ty]))
+
+        # Gaussian log-brightness KL.
+        m = float(free[_IDX_R1[ty]])
+        v, v1, v2 = _BIJ_R2.forward_d012(free[_IDX_R2[ty]])
+        diff = m - self.r_loc[ty]
+        iv0 = self.r_ivar[ty]
+        gb = -0.5 * ((v + diff * diff) * iv0 - 1.0 + self.log_r_var[ty]
+                     - np.log(v))
+
+        # Color GMM term: expected component log-densities and their
+        # (separable) color derivatives.
+        c1 = free[ic1]
+        c2v, c2d1, c2d2 = _BIJ_C2.forward_d012_vec(free[ic2])
+        dif = c1[:, None] - self.c_mean[:, :, ty]          # (C, D)
+        iv = self.c_ivar[:, :, ty]
+        e = self.e_const[:, ty] - 0.5 * (
+            (c2v[:, None] + dif * dif) * iv).sum(axis=0)   # (D,)
+        de_c1 = -dif * iv                                  # dE_d/dc1_i
+        de_c2 = -0.5 * iv                                  # dE_d/dc2_i
+
+        kappa, kjac, kh2 = softmax_fixed_last_d012(free[_IDX_K[ty]])
+        r = e + self.log_w[:, ty] - np.log(kappa)          # (D,)
+        val = (gb + float(kappa @ r)
+               + 0.5 * float(np.sum(np.log(c2v) + _LOG_2PI + 1.0)))
+        if order < 1:
+            return idx, val, None, None
+
+        dv = 0.5 / v - 0.5 * iv0                            # d gb / d v
+        gc2 = de_c2 @ kappa + 0.5 / c2v                     # d/d c2 (canonical)
+        s = r - 1.0                                         # d/d kappa_d
+        g = np.empty(idx.size)
+        g[0] = -diff * iv0
+        g[1] = dv * v1
+        g[2:6] = de_c1 @ kappa
+        g[6:10] = gc2 * c2d1
+        g[10:] = kjac.T @ s
+        if order < 2:
+            return idx, val, g, None
+
+        h = np.zeros((idx.size, idx.size))
+        h[0, 0] = -iv0
+        h[1, 1] = -0.5 / (v * v) * v1 * v1 + dv * v2
+        np.fill_diagonal(h[2:6, 2:6], -iv @ kappa)
+        np.fill_diagonal(h[6:10, 6:10],
+                         -0.5 / (c2v * c2v) * c2d1 * c2d1 + gc2 * c2d2)
+        # Responsibility x color coupling, through the softmax Jacobian.
+        c1k = de_c1 @ kjac                                  # (4, 7)
+        c2k = (de_c2 @ kjac) * c2d1[:, None]
+        h[2:6, 10:] = c1k
+        h[10:, 2:6] = c1k.T
+        h[6:10, 10:] = c2k
+        h[10:, 6:10] = c2k.T
+        # Responsibility block: kappa-space curvature diag(-1/kappa) plus
+        # the softmax's own second derivatives.
+        h[10:, 10:] = (np.einsum("d,djl->jl", s, kh2)
+                       - (kjac / kappa[:, None]).T @ kjac)
+        return idx, val, g, h
+
+    def evaluate(self, free: np.ndarray, order: int):
+        """KL value / 41-gradient / 41x41-Hessian at a free vector.
+
+        Returns ``(value, gradient, hessian)`` with the derivative slots
+        ``None`` beyond ``order``; the returned arrays are freshly
+        allocated (the fused objective accumulates the pixel term into
+        them in place).
+        """
+        free = np.asarray(free, dtype=np.float64)
+        grad = np.zeros(FREE.size) if order >= 1 else None
+        hess = np.zeros((FREE.size, FREE.size)) if order >= 2 else None
+
+        pg, pg1, pg2 = _BIJ_PROB.forward_d012(free[_IDX_A])
+        ps = 1.0 - pg
+        log_pg = float(np.log(pg))
+        log_ps = float(np.log(ps))
+        val = -(pg * (log_pg - self.log_phi) + ps * (log_ps - self.log_1mphi))
+        db = self.logit_phi - (log_pg - log_ps)
+        if order >= 1:
+            grad[_IDX_A] = db * pg1
+        if order >= 2:
+            hess[_IDX_A, _IDX_A] = -(1.0 / pg + 1.0 / ps) * pg1 * pg1 + db * pg2
+
+        for ty, p, pa1, pa2 in ((STAR, ps, -pg1, -pg2),
+                                (GALAXY, pg, pg1, pg2)):
+            idx, tval, tgrad, thess = self._type_term(free, ty, order)
+            val += p * tval
+            if order >= 1:
+                grad[idx] += p * tgrad
+                grad[_IDX_A] += pa1 * tval
+            if order >= 2:
+                hess[np.ix_(idx, idx)] += p * thess
+                cross = pa1 * tgrad
+                hess[_IDX_A, idx] += cross
+                hess[idx, _IDX_A] += cross
+                hess[_IDX_A, _IDX_A] += pa2 * tval
+        return val, grad, hess
+
+
+#: Compiled KL workspaces, keyed by prior-object identity (weakly, so a
+#: dropped Priors does not pin its workspace).  A production run uses one
+#: Priors instance for millions of sources; compiling per prior
+#: configuration rather than per source context is what makes the KL side
+#: genuinely compile-once.
+_KL_CACHE: dict[int, tuple] = {}
+
+
+def _kl_workspace(priors: Priors) -> KlWorkspace:
+    key = id(priors)
+    hit = _KL_CACHE.get(key)
+    if hit is not None and hit[0]() is priors:
+        return hit[1]
+    ws = KlWorkspace(priors)
+    if len(_KL_CACHE) > 64:  # ids recycle; keep the map from growing stale
+        _KL_CACHE.clear()
+    try:
+        ref = weakref.ref(priors)
+    except TypeError:  # pragma: no cover - non-weakrefable priors object
+        return ws
+    _KL_CACHE[key] = (ref, ws)
+    return ws
 
 
 class _GroupWorkspace:
@@ -217,10 +415,12 @@ class _PatchWorkspace:
 
 
 class _FusedWorkspace:
-    __slots__ = ("patches",)
+    __slots__ = ("patches", "kl")
 
     def __init__(self, ctx: SourceContext):
         self.patches = [_PatchWorkspace(p) for p in ctx.patches]
+        # Shared across every context evaluated under the same priors.
+        self.kl = _kl_workspace(ctx.priors)
 
 
 # ---------------------------------------------------------------------------
@@ -723,16 +923,13 @@ def elbo_fused(
             h27 += jac.T @ (hz @ jac)
             chain.add_z_curvature(h27, pws, gz)
 
-    # KL terms: pixel-count-independent, shared with the Taylor backend.
-    params = seed_params(free, ctx.u_center, order=order)
-    kl = kl_total(params, ctx.priors)
-    grad = kl.gradient(FREE.size)
-    grad[:_N_ACTIVE] += g27
-    hess = None
+    # KL terms: pixel-count-independent, closed-form (never Taylor mode).
+    kl_val, grad, hess = ws.kl.evaluate(free, order)
+    if order >= 1:
+        grad[:_N_ACTIVE] += g27
     if order >= 2:
-        hess = kl.hessian(FREE.size)
         hess[:_N_ACTIVE, :_N_ACTIVE] += h27
-    return ElboEval(val + float(kl.val), grad, hess)
+    return ElboEval(val + kl_val, grad, hess)
 
 
 class FusedBackend(ElboBackend):
@@ -743,6 +940,10 @@ class FusedBackend(ElboBackend):
     def evaluate(self, ctx, free, order, variance_correction):
         return elbo_fused(ctx, free, order=order,
                           variance_correction=variance_correction)
+
+    def evaluate_kl(self, ctx, free, order):
+        val, grad, hess = _kl_workspace(ctx.priors).evaluate(free, order)
+        return ElboEval(val, grad, hess)
 
     def release_scratch(self):
         release_scratch()

@@ -14,7 +14,7 @@ import numpy as np
 
 from repro.constants import GALAXY, NUM_COLORS, STAR
 from repro.core.catalog import CatalogEntry
-from repro.core.elbo import SourceContext, elbo
+from repro.core.elbo import SourceContext, elbo, release_scratch
 from repro.core.params import (
     FREE,
     SourceParams,
@@ -36,11 +36,12 @@ class OptimizeConfig:
     initial_radius: float = 1.0
     method: str = "newton"   # "newton" (paper) or "lbfgs" (baseline)
     variance_correction: bool = True
-    #: ELBO evaluation backend: ``"taylor"`` (reference) or ``"fused"``
-    #: (compile-once analytic kernel); ``None`` follows the
-    #: ``REPRO_ELBO_BACKEND`` environment variable, defaulting to taylor.
-    #: The driver resolves this up front so checkpoints fingerprint the
-    #: backend that actually ran.
+    #: ELBO evaluation backend: ``"fused"`` (compile-once analytic kernel,
+    #: the production default) or ``"taylor"`` (the reference oracle);
+    #: ``None`` follows the ``REPRO_ELBO_BACKEND`` environment variable,
+    #: then :data:`repro.core.elbo.DEFAULT_BACKEND`.  The driver resolves
+    #: this up front so checkpoints fingerprint the backend that actually
+    #: ran.
     backend: str | None = None
 
 
@@ -99,35 +100,47 @@ def optimize_source(
 
     free0 = canonical_to_free(init.to_canonical(), ctx.u_center)
 
-    if config.method == "newton":
-        def fgh(free):
-            out = elbo(ctx, free, order=2,
-                       variance_correction=config.variance_correction,
-                       backend=config.backend)
-            return -float(out.val), -out.gradient(FREE.size), -out.hessian(FREE.size)
+    # On a clean solve the per-thread evaluation scratch stays pooled — the
+    # next source on this thread (a Cyclades assignment, a benchmark loop)
+    # reuses it, and the executor releases it when the assignment ends.  An
+    # evaluation that *raises* inside the solver gets no such downstream
+    # release on many call paths (direct single-source API, baselines), so
+    # the except arm drops the pool rather than strand buffers on a thread
+    # that may never evaluate again.
+    try:
+        if config.method == "newton":
+            def fgh(free):
+                out = elbo(ctx, free, order=2,
+                           variance_correction=config.variance_correction,
+                           backend=config.backend)
+                return (-float(out.val), -out.gradient(FREE.size),
+                        -out.hessian(FREE.size))
 
-        ctx.counters.add("newton_solves", 1.0)
-        res = newton_trust_region(
-            fgh, free0,
-            grad_tol=config.grad_tol,
-            max_iter=config.max_iter,
-            initial_radius=config.initial_radius,
-        )
-        ctx.counters.add("newton_iterations", float(res.n_iterations))
-    elif config.method == "lbfgs":
-        def fg(free):
-            out = elbo(ctx, free, order=1,
-                       variance_correction=config.variance_correction,
-                       backend=config.backend)
-            return -float(out.val), -out.gradient(FREE.size)
+            ctx.counters.add("newton_solves", 1.0)
+            res = newton_trust_region(
+                fgh, free0,
+                grad_tol=config.grad_tol,
+                max_iter=config.max_iter,
+                initial_radius=config.initial_radius,
+            )
+            ctx.counters.add("newton_iterations", float(res.n_iterations))
+        elif config.method == "lbfgs":
+            def fg(free):
+                out = elbo(ctx, free, order=1,
+                           variance_correction=config.variance_correction,
+                           backend=config.backend)
+                return -float(out.val), -out.gradient(FREE.size)
 
-        ctx.counters.add("lbfgs_solves", 1.0)
-        res = lbfgs_minimize(
-            fg, free0, grad_tol=config.grad_tol, max_iter=config.max_iter
-        )
-        ctx.counters.add("lbfgs_iterations", float(res.n_iterations))
-    else:
-        raise ValueError("unknown method %r" % (config.method,))
+            ctx.counters.add("lbfgs_solves", 1.0)
+            res = lbfgs_minimize(
+                fg, free0, grad_tol=config.grad_tol, max_iter=config.max_iter
+            )
+            ctx.counters.add("lbfgs_iterations", float(res.n_iterations))
+        else:
+            raise ValueError("unknown method %r" % (config.method,))
+    except BaseException:
+        release_scratch()
+        raise
 
     canonical = free_to_canonical(res.x, ctx.u_center)
     params = SourceParams.from_canonical(canonical)

@@ -21,17 +21,40 @@ from repro.core.catalog import Catalog
 __all__ = ["dedup_catalog", "merge_catalogs"]
 
 
+def _claim_key(entry) -> tuple:
+    """Stable consideration order for deduplication: brightest first, with
+    ties broken by *content* (position, then type), never by position in
+    the input list.
+
+    The working catalog reaching the final merge can, in principle, be
+    assembled in different orders (task completion order, shard layout);
+    equally bright symmetric duplicates must still resolve to the *same*
+    surviving detection, or two runs of the same survey would publish
+    different catalogs.  The input index is used only as the very last
+    resort, where the tied entries are bitwise-identical anyway.
+    """
+    return (
+        -entry.flux_r,
+        float(entry.position[0]),
+        float(entry.position[1]),
+        bool(entry.is_galaxy),
+    )
+
+
 def dedup_catalog(catalog: Catalog, radius: float = 2.0) -> Catalog:
     """Collapse groups of detections closer than ``radius`` pixels.
 
     Entries are considered brightest-first; an entry survives when no
-    already-kept entry lies within ``radius`` of it.  Deterministic: ties in
-    flux break by the original catalog order, and survivors keep their
+    already-kept entry lies within ``radius`` of it.  Deterministic *and*
+    input-order-independent: ties in flux break by the stable content key
+    (:func:`_claim_key` — position, then type), so the surviving entries
+    are the same set however the input was ordered; survivors keep their
     original (sky) order.
     """
     if len(catalog) <= 1:
         return Catalog(list(catalog))
-    order = sorted(range(len(catalog)), key=lambda i: (-catalog[i].flux_r, i))
+    order = sorted(range(len(catalog)),
+                   key=lambda i: (_claim_key(catalog[i]), i))
     kept_idx: list[int] = []
     kept_pos = np.empty((len(catalog), 2))
     for i in order:

@@ -32,10 +32,14 @@ executor, the worker count, or task completion order.
 
 **ELBO backends.**  Every source optimization evaluates its objective
 through a pluggable backend (``DriverConfig.elbo_backend`` /
-``REPRO_ELBO_BACKEND``): the Taylor reference path or the fused analytic
-kernel (:mod:`repro.core.kernel`).  The driver resolves the choice once,
-pins it into the per-task optimizer config, and fingerprints it, so
-resumed runs and process workers always evaluate with the same backend.
+``REPRO_ELBO_BACKEND``): the fused analytic kernel
+(:mod:`repro.core.kernel` — the production default, evaluating both the
+pixel term and the KL terms from compile-once closed-form formulas) or the
+Taylor reference path (the correctness oracle).  The driver resolves the
+choice once, pins it into the per-task optimizer config, and fingerprints
+it, so resumed runs and process workers always evaluate with the same
+backend — a checkpoint written under one backend (including under the old
+``taylor`` default) refuses to resume under another.
 
 **The sharded catalog.**  The working catalog lives in a
 :class:`~repro.driver.shards.ShardedCatalog` — light sources as 44-wide
@@ -162,12 +166,13 @@ class DriverConfig:
     parallel: ParallelRegionConfig = field(default_factory=ParallelRegionConfig)
     dtree: DtreeConfig = field(default_factory=DtreeConfig)
     #: ELBO evaluation backend for every source optimization in the run:
-    #: ``"taylor"`` (reference) or ``"fused"`` (compile-once analytic
-    #: kernel).  ``None`` defers to ``parallel.joint.single.backend``, then
-    #: the ``REPRO_ELBO_BACKEND`` environment variable.  The driver resolves
-    #: this once up front and pins the result into the per-task optimizer
-    #: config, so process workers and resumed runs can never pick a
-    #: different backend than the checkpoint fingerprint recorded.
+    #: ``"fused"`` (compile-once analytic kernel, the production default)
+    #: or ``"taylor"`` (the reference oracle).  ``None`` defers to
+    #: ``parallel.joint.single.backend``, then the ``REPRO_ELBO_BACKEND``
+    #: environment variable, then the front end's default.  The driver
+    #: resolves this once up front and pins the result into the per-task
+    #: optimizer config, so process workers and resumed runs can never pick
+    #: a different backend than the checkpoint fingerprint recorded.
     elbo_backend: str | None = None
     #: JSON checkpoint file; ``None`` disables checkpointing.  The working
     #: catalog checkpoints as ``n_nodes`` per-rank shard files.
@@ -476,6 +481,10 @@ def _fingerprint(store: _FieldStore, config: DriverConfig) -> dict:
         "halo_refresh": config.halo_refresh,
         "photo": dataclasses.asdict(config.photo),
         "parallel": dataclasses.asdict(config.parallel),
+        # Also recorded inside parallel.joint.single.backend; named at the
+        # top level so fingerprint mismatches across default-backend changes
+        # are legible in the checkpoint file itself.
+        "elbo_backend": config.elbo_backend,
     }
 
 
@@ -704,6 +713,7 @@ def _process_worker_main(
     puts results back, and reports the outcome plus counter/comm/prefetch
     deltas.  A ``None`` item shuts the worker down.
     """
+    store = None
     try:
         store = _FieldStore(fields, config.field_cache_capacity,
                             metadata=metadata)
@@ -737,6 +747,12 @@ def _process_worker_main(
             prev_comm, prev_prefetch = comm, prefetch
     except BaseException:  # noqa: BLE001 - forwarded to the parent
         result_q.put(("error", worker_id, traceback.format_exc()))
+    finally:
+        # Join the prefetcher thread and drop its cache before the worker
+        # process exits (daemon threads die abruptly otherwise, and an
+        # error path should not strand a mid-flight field load).
+        if store is not None:
+            store.close()
 
 
 class _ProcessStageRunner(_StageRunnerBase):

@@ -2,8 +2,11 @@
 
 A tiny registry of named counters incremented by the inference code:
 ``active_pixel_visits`` (the paper's FLOP-accounting unit), Newton
-iterations, objective evaluations, RMA get/put operations, and bytes loaded.
-Thread-safe, since Cyclades runs source updates concurrently.
+iterations, objective evaluations (plus per-backend tallies and
+``kl_evaluations`` for KL-only calls, all counted by the backend-neutral
+front end so totals are identical whichever ELBO backend ran), RMA get/put
+operations, and bytes loaded.  Thread-safe, since Cyclades runs source
+updates concurrently.
 """
 
 from __future__ import annotations

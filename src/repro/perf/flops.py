@@ -26,7 +26,11 @@ def flops_from_visits(active_pixel_visits: float) -> float:
     fused — see :mod:`repro.core.elbo`), so FLOP totals and rates stay
     comparable across backends: a faster backend shows up as a higher
     sustained rate over the *same* visit count, exactly how the paper
-    accounts its hand-optimized kernels.
+    accounts its hand-optimized kernels.  The KL terms of the objective are
+    pixel-count-independent and contribute **zero** visits under every
+    backend — whether evaluated as a Taylor expression or by the fused
+    closed-form KL kernel — so fusing them (ISSUE 4) changes rates, never
+    visit counts.
     """
     return active_pixel_visits * FLOPS_PER_ACTIVE_PIXEL_VISIT * FLOP_OVERHEAD_FACTOR
 

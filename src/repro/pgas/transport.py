@@ -199,27 +199,43 @@ class SharedMemoryTransport:
         self._lock = threading.Lock()
 
     def close(self) -> None:
-        """Drop this process's mappings (the segments survive)."""
+        """Drop this process's mappings (the segments survive).
+
+        Idempotent and exception-safe: every mapping and per-rank lock fd
+        is popped from its registry *before* being released, so each is
+        released exactly once even if a release raises or ``close`` is
+        called again (non-owner workers close once on task failure and
+        once on shutdown; a double ``os.close`` could stomp an unrelated
+        fd the process has since opened under the same number).
+        """
         self._views.clear()
-        for shm in self._attached.values():
+        while self._attached:
+            _, shm = self._attached.popitem()
             try:
                 shm.close()
             except BufferError:  # pragma: no cover - view still referenced
                 pass
-        self._attached.clear()
-        for fd in self._lock_fds.values():
+        while self._lock_fds:
+            _, fd = self._lock_fds.popitem()
             try:
                 os.close(fd)
             except OSError:  # pragma: no cover - already closed
                 pass
-        self._lock_fds.clear()
 
     def unlink(self) -> None:
-        """Destroy the segments (owner only; call exactly once, at the end)."""
+        """Destroy the segments (owner only; safe to call more than once).
+
+        Tolerates segments and lock files that are already gone — a worker
+        crash can leave either state behind, and the owner's cleanup path
+        (often a ``finally`` that runs again on teardown) must still
+        succeed.  After the first call the registries are empty, so repeat
+        calls are no-ops.
+        """
         if not self._owner:
             raise RuntimeError("only the owning process unlinks windows")
         self.close()
-        for name, _ in self._segments.values():
+        while self._segments:
+            _, (name, _) = self._segments.popitem()
             try:
                 # Attaching re-registers the name with the resource tracker;
                 # unlink() unregisters it, so the net tracker state is clean.
@@ -228,13 +244,12 @@ class SharedMemoryTransport:
                 shm.unlink()
             except FileNotFoundError:  # pragma: no cover - already gone
                 pass
-        self._segments.clear()
-        for path in self._lockfiles.values():
+        while self._lockfiles:
+            _, path = self._lockfiles.popitem()
             try:
                 os.unlink(path)
             except OSError:  # pragma: no cover - already gone
                 pass
-        self._lockfiles.clear()
 
 
 @dataclass

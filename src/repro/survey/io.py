@@ -221,10 +221,11 @@ class FieldPrefetcher:
                     self._cv.notify_all()
                 continue  # the consumer's synchronous load reports the error
             with self._cv:
-                self._insert(path, images)
+                if not self._closed:  # a closed cache must stay released
+                    self._insert(path, images)
+                    self.prefetched += 1
+                    self.prefetch_seconds += time.perf_counter() - t0
                 self._inflight = None
-                self.prefetched += 1
-                self.prefetch_seconds += time.perf_counter() - t0
                 self._cv.notify_all()
 
     def _insert(self, path: str, images: list[Image]) -> None:
@@ -269,7 +270,8 @@ class FieldPrefetcher:
             self.misses += 1
         images = self._loader(path)
         with self._cv:
-            self._insert(path, images)
+            if not self._closed:
+                self._insert(path, images)
         return images
 
     def stats(self) -> dict:
@@ -282,9 +284,19 @@ class FieldPrefetcher:
             }
 
     def close(self) -> None:
+        """Shut down the loader thread and release the cache.  Idempotent.
+
+        Wakes the daemon thread (it may be waiting on the condition
+        variable for work that will never come), joins it, and drops the
+        LRU cache — a prefetcher closed mid-run (e.g. by ``run_pipeline``'s
+        ``finally`` after a stage raised) must not keep a loader thread or
+        a cache of field images alive.  Later :meth:`get` calls still work,
+        as plain synchronous uncached loads.
+        """
         with self._cv:
             self._closed = True
             self._queue.clear()
+            self._cache.clear()
             self._cv.notify_all()
         if self._thread is not None:
             self._thread.join(timeout=5.0)

@@ -19,6 +19,7 @@ __all__ = [
     "Identity",
     "LogitBox",
     "softmax_fixed_last",
+    "softmax_fixed_last_d012",
     "softmax_fixed_last_inverse",
     "softmax_fixed_last_taylor",
 ]
@@ -71,7 +72,17 @@ class LogitBox:
         ``y = lo + r s(u)`` with ``s`` the logistic gives
         ``y' = r s(1-s)`` and ``y'' = r s(1-s)(1-2s)``.
         """
-        s = 1.0 / (1.0 + np.exp(-float(u)))
+        v, d1, d2 = self.forward_d012_vec(float(u))
+        return float(v), float(d1), float(d2)
+
+    def forward_d012_vec(self, u) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorized :meth:`forward_d012` over an array of free values.
+
+        Used by the fused KL kernel, which pushes a whole color block
+        (means/variances of every color of one type) through the bijector
+        in one shot.
+        """
+        s = 1.0 / (1.0 + np.exp(-np.asarray(u, dtype=float)))
         r = self.hi - self.lo
         d1 = r * s * (1.0 - s)
         return self.lo + r * s, d1, d1 * (1.0 - 2.0 * s)
@@ -89,6 +100,37 @@ def softmax_fixed_last(free: np.ndarray) -> np.ndarray:
     logits = logits - logits.max()
     e = np.exp(logits)
     return e / e.sum()
+
+
+def softmax_fixed_last_d012(
+    free: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Value, Jacobian, and Hessian of :func:`softmax_fixed_last`.
+
+    For ``n-1`` free logits ``t`` (last logit pinned to zero) returns
+    ``(kappa (n,), jac (n, n-1), hess (n, n-1, n-1))`` with
+    ``jac[d, j] = d kappa_d / d t_j`` and
+    ``hess[d, j, l] = d^2 kappa_d / d t_j d t_l``.  Closed-form softmax
+    derivatives — the chain the fused KL kernel uses in place of the Taylor
+    graph of :func:`softmax_fixed_last_taylor`:
+
+    ``d kappa_d / d t_j = kappa_d (delta_dj - kappa_j)`` and
+    ``d^2 kappa_d / d t_j d t_l = kappa_d [(delta_dj - kappa_j)
+    (delta_dl - kappa_l) - kappa_j (delta_jl - kappa_l)]`` (the pinned
+    logit simply has no column).
+    """
+    kappa = softmax_fixed_last(free)
+    n = kappa.size
+    kj = kappa[:-1]                               # kappa at the free logits
+    delta = np.zeros((n, n - 1))
+    delta[:n - 1, :] = np.eye(n - 1)
+    u = delta - kj[None, :]                       # (n, n-1): delta_dj - k_j
+    jac = kappa[:, None] * u
+    v = np.eye(n - 1) - kj[None, :]               # (n-1, n-1): delta_jl - k_l
+    hess = (kappa[:, None, None]
+            * (u[:, :, None] * u[:, None, :]
+               - kj[None, :, None] * v[None, :, :]))
+    return kappa, jac, hess
 
 
 def softmax_fixed_last_inverse(probs: np.ndarray) -> np.ndarray:

@@ -86,6 +86,39 @@ class TestDedup:
         assert len(dedup_catalog(Catalog([]), 2.0)) == 0
         assert len(dedup_catalog(Catalog([entry(1, 1)]), 2.0)) == 1
 
+    def test_symmetric_duplicates_resolve_order_independently(self):
+        # Two equally bright detections of one source: whichever order the
+        # pipeline assembled them in (task completion order differs between
+        # runs), the *same* detection must survive — a tie broken by input
+        # position would publish different catalogs for identical surveys.
+        a = entry(10.0, 10.0, flux=50.0)
+        b = entry(10.8, 10.3, flux=50.0)
+        fwd = dedup_catalog(Catalog([a, b]), radius=2.0)
+        rev = dedup_catalog(Catalog([b, a]), radius=2.0)
+        assert len(fwd) == len(rev) == 1
+        assert tuple(fwd[0].position) == tuple(rev[0].position)
+
+    def test_merge_catalogs_field_order_independent_under_ties(self):
+        a = Catalog([entry(10.0, 10.0, 50.0), entry(40, 10, 9.0)])
+        b = Catalog([entry(10.8, 10.3, 50.0), entry(70, 10, 7.0)])
+        fwd = merge_catalogs([a, b], radius=2.0)
+        rev = merge_catalogs([b, a], radius=2.0)
+        assert ({tuple(e.position) for e in fwd}
+                == {tuple(e.position) for e in rev})
+        assert len(fwd) == 3
+
+    def test_tie_break_prefers_stable_content_key(self):
+        # Equal flux: the lower (x, y) position claims the group, however
+        # the inputs were permuted.
+        entries = [entry(5.5, 5.0, 20.0), entry(5.0, 5.0, 20.0),
+                   entry(5.0, 6.0, 20.0)]
+        survivors = set()
+        for perm in ([0, 1, 2], [2, 1, 0], [1, 2, 0], [2, 0, 1]):
+            out = dedup_catalog(Catalog([entries[i] for i in perm]), 2.0)
+            assert len(out) == 1
+            survivors.add(tuple(out[0].position))
+        assert survivors == {(5.0, 5.0)}
+
 
 class TestCheckpoint:
     def test_entry_roundtrip(self):

@@ -26,7 +26,13 @@ from repro.core import (
     optimize_source,
     resolve_backend_name,
 )
-from repro.core.elbo import BACKEND_ENV_VAR, ElboEval
+from repro.core.elbo import (
+    BACKEND_ENV_VAR,
+    DEFAULT_BACKEND,
+    ElboEval,
+    SourceContext,
+    elbo_kl,
+)
 from repro.core.params import FREE, canonical_to_free
 from repro.core.single import initial_params, to_catalog_entry
 from repro.driver import DriverConfig, run_pipeline
@@ -147,6 +153,137 @@ class TestPixelTermParity:
                                    o2.gradient(FREE.size), rtol=1e-10)
 
 
+def _perturbed_priors(seed):
+    """A randomized prior configuration: non-uniform mixture weights,
+    shifted component means, rescaled variances, asymmetric type prior."""
+    rng = np.random.default_rng(seed)
+    p = default_priors()
+    kw = rng.uniform(0.2, 1.0, p.k_weights.shape)
+    kw /= kw.sum(axis=0, keepdims=True)
+    return dataclasses.replace(
+        p,
+        prob_galaxy=float(rng.uniform(0.05, 0.95)),
+        r_loc=p.r_loc + rng.normal(0.0, 0.5, p.r_loc.shape),
+        r_var=p.r_var * rng.uniform(0.5, 2.0, p.r_var.shape),
+        k_weights=kw,
+        c_mean=p.c_mean + rng.normal(0.0, 0.3, p.c_mean.shape),
+        c_var=p.c_var * rng.uniform(0.5, 2.0, p.c_var.shape),
+    )
+
+
+def _kl_only_context(priors):
+    """KL terms never see pixels, so a patchless context suffices."""
+    return SourceContext(patches=[], priors=priors, u_center=np.zeros(2),
+                         counters=Counters())
+
+
+class TestKlParity:
+    """The fused closed-form KL kernel against the Taylor KL oracle."""
+
+    @pytest.mark.parametrize("priors_seed", [None, 1, 2],
+                             ids=["default", "perturbed1", "perturbed2"])
+    @pytest.mark.parametrize("order", [1, 2])
+    def test_randomized_kl_parity(self, order, priors_seed):
+        priors = (default_priors() if priors_seed is None
+                  else _perturbed_priors(priors_seed))
+        ctx = _kl_only_context(priors)
+        rng = np.random.default_rng(20180131 + order + 100 * (priors_seed or 0))
+        for _ in range(5):
+            # Wide draws exercise both types' blocks: saturating type
+            # logits, near-floor variances, lopsided responsibilities.
+            free = rng.uniform(-2.0, 2.0, FREE.size)
+            ref = elbo_kl(ctx, free, order=order, backend="taylor")
+            out = elbo_kl(ctx, free, order=order, backend="fused")
+            np.testing.assert_allclose(float(out.val), float(ref.val),
+                                       rtol=1e-10)
+            g_ref = ref.gradient(FREE.size)
+            np.testing.assert_allclose(
+                out.gradient(FREE.size), g_ref, rtol=1e-9,
+                atol=1e-9 * (1.0 + np.abs(g_ref).max()))
+            if order >= 2:
+                h_ref = ref.hessian(FREE.size)
+                h_out = out.hessian(FREE.size)
+                np.testing.assert_allclose(
+                    h_out, h_ref, rtol=1e-9,
+                    atol=1e-9 * (1.0 + np.abs(h_ref).max()))
+                np.testing.assert_allclose(h_out, h_out.T, atol=1e-12)
+            else:
+                assert out.hess is None and ref.hess is None
+
+    def test_full_objective_on_patchless_context_is_pure_kl(self):
+        # With no patches the whole objective *is* the KL sum: the fused
+        # full evaluation must never fall back to Taylor mode for it.
+        ctx = _kl_only_context(default_priors())
+        free = np.random.default_rng(3).uniform(-1.0, 1.0, FREE.size)
+        full = elbo(ctx, free, order=2, backend="fused")
+        kl = elbo_kl(ctx, free, order=2, backend="fused")
+        np.testing.assert_allclose(float(full.val), float(kl.val), rtol=1e-13)
+        np.testing.assert_array_equal(full.gradient(FREE.size),
+                                      kl.gradient(FREE.size))
+        np.testing.assert_array_equal(full.hessian(FREE.size),
+                                      kl.hessian(FREE.size))
+
+    def test_kl_evaluations_counted_backend_neutrally(self):
+        ctx = _kl_only_context(default_priors())
+        free = np.zeros(FREE.size)
+        for name in ("taylor", "fused"):
+            ctx.counters.reset()
+            elbo_kl(ctx, free, order=1, backend=name)
+            snap = ctx.counters.snapshot()
+            assert snap["kl_evaluations"] == 1.0
+            assert snap["kl_evaluations_" + name] == 1.0
+            # KL work never counts active-pixel visits (the FLOP unit).
+            assert "active_pixel_visits" not in snap
+
+    def test_kl_workspace_compiled_once_per_priors(self):
+        from repro.core.kernel import _kl_workspace
+
+        priors = default_priors()
+        assert _kl_workspace(priors) is _kl_workspace(priors)
+        # Two source contexts under the same priors share one compiled KL
+        # workspace (the pixel workspaces stay per-context).
+        ctx_a, free = build_context(STAR_ENTRY, seed=2)
+        ctx_b, _ = build_context(GAL_ENTRY, seed=3)
+        ctx_b = dataclasses.replace(ctx_b, priors=ctx_a.priors)
+        elbo(ctx_a, free, order=1, backend="fused")
+        elbo(ctx_b, free, order=1, backend="fused")
+        assert (ctx_a.workspaces["fused"].kl
+                is ctx_b.workspaces["fused"].kl)
+
+    def test_distinct_priors_get_distinct_workspaces(self):
+        ctx = _kl_only_context(default_priors())
+        other = _kl_only_context(_perturbed_priors(7))
+        free = np.zeros(FREE.size)
+        a = elbo_kl(ctx, free, order=0, backend="fused")
+        b = elbo_kl(other, free, order=0, backend="fused")
+        assert float(a.val) != float(b.val)
+
+
+class TestScratchReleasedOnFailure:
+    @pytest.mark.parametrize("method", ["newton", "lbfgs"])
+    def test_raising_evaluation_releases_thread_scratch(self, monkeypatch,
+                                                        method):
+        from repro.core import kernel
+
+        ctx, _ = build_context(STAR_ENTRY, seed=6)
+        optimize_source(ctx, STAR_ENTRY,
+                        OptimizeConfig(max_iter=2, method=method,
+                                       backend="fused"))
+        baseline_pool = getattr(kernel._TLS, "pool", None)
+        assert baseline_pool  # successful solves leave buffers pooled...
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("kernel exploded mid-iteration")
+
+        monkeypatch.setattr(kernel, "_patch_pixel_term", boom)
+        with pytest.raises(RuntimeError):
+            optimize_source(ctx, STAR_ENTRY,
+                            OptimizeConfig(max_iter=2, method=method,
+                                           backend="fused"))
+        pool = getattr(kernel._TLS, "pool", None)
+        assert not pool  # ...but a raising solve restores the baseline
+
+
 class TestAccountingAndWorkspace:
     def test_visits_counted_identically(self):
         ctx, free = build_context(STAR_ENTRY, seed=2)
@@ -202,13 +339,15 @@ class TestBackendSelection:
             resolve_backend_name("vectorized-cobol")
 
     def test_env_var_selects_backend(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "taylor")
+        assert resolve_backend_name(None) == "taylor"
         monkeypatch.setenv(BACKEND_ENV_VAR, "fused")
-        assert resolve_backend_name(None) == "fused"
         ctx, free = build_context(STAR_ENTRY, seed=2)
         out = elbo(ctx, free, order=2)          # backend=None -> env var
         assert isinstance(out, ElboEval)
         monkeypatch.delenv(BACKEND_ENV_VAR)
-        assert resolve_backend_name(None) == "taylor"
+        # The production default since the KL terms went closed-form.
+        assert resolve_backend_name(None) == DEFAULT_BACKEND == "fused"
 
     def test_optimize_source_backend_knob(self):
         # The full Newton solve must converge to the same catalog entry
@@ -347,3 +486,37 @@ class TestDriverBackends:
         result = run_pipeline(fields, _driver_config(None, "thread"))
         assert result.counters["objective_evaluations_fused"] > 0
         assert "objective_evaluations_taylor" not in result.counters
+
+    def test_default_backend_is_fused_in_driver(self, backend_survey,
+                                                monkeypatch):
+        _, fields = backend_survey
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        result = run_pipeline(fields, _driver_config(None, "thread"))
+        assert result.counters["objective_evaluations_fused"] > 0
+        assert "objective_evaluations_taylor" not in result.counters
+
+    def test_old_default_checkpoint_refuses_resume_under_new_default(
+            self, backend_survey, tmp_path, monkeypatch):
+        """A checkpoint fingerprinted under the old default backend
+        (explicit ``"taylor"``, what pre-flip runs recorded) must refuse
+        resume under the new default resolution (``None`` -> fused) and
+        restart fresh, rather than silently continue on a different
+        kernel."""
+        _, fields = backend_survey
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        path = str(tmp_path / "ckpt.json")
+        first = run_pipeline(fields, dataclasses.replace(
+            _driver_config("taylor", "thread"),
+            checkpoint_path=path, stop_after="stage0"))
+        assert first.stopped_early
+
+        fresh = run_pipeline(fields, dataclasses.replace(
+            _driver_config(None, "thread"), checkpoint_path=path))
+        assert fresh.resumed_stages == []
+        assert fresh.counters["objective_evaluations_fused"] > 0
+
+        # The fresh run re-fingerprinted the checkpoint under the new
+        # default; a second default-resolved run resumes it cleanly.
+        again = run_pipeline(fields, dataclasses.replace(
+            _driver_config(None, "thread"), checkpoint_path=path))
+        assert "final" in again.resumed_stages

@@ -241,6 +241,63 @@ class TestSharedMemoryTransport:
         finally:
             t.unlink()
 
+    def test_nonowner_close_is_idempotent_and_releases_fds_once(self):
+        # attach -> close -> close: the second close must be a no-op.  In
+        # particular each per-rank lock fd is released exactly once — a
+        # repeated os.close could stomp an unrelated fd the process has
+        # since opened under the recycled number.
+        t = SharedMemoryTransport(locking=True)
+        t.allocate(0, 8)
+        t.put(0, 0, np.arange(4.0))
+        worker = pickle.loads(pickle.dumps(t))
+        try:
+            np.testing.assert_allclose(worker.get(0, 0, 4), np.arange(4.0))
+            fd = worker._lock_fds[0]
+            worker.close()
+            assert worker._lock_fds == {}
+            assert worker._attached == {} and worker._views == {}
+            with pytest.raises(OSError):
+                os.fstat(fd)  # really closed
+            # Occupy the lowest free fd (very likely the one just closed);
+            # a second close must not touch it.
+            dummy = os.open(os.devnull, os.O_RDONLY)
+            try:
+                worker.close()
+                os.fstat(dummy)  # still open: nothing was double-closed
+            finally:
+                os.close(dummy)
+        finally:
+            t.unlink()
+
+    def test_owner_unlink_tolerates_crashed_worker_state_and_double_calls(self):
+        # A crashed worker can leave lock files already removed (or a
+        # half-attached segment behind); the owner's unlink — typically in
+        # a finally that may run twice — must still succeed, both times.
+        t = SharedMemoryTransport(locking=True)
+        t.allocate(0, 4)
+        t.allocate(1, 4)
+        lockfiles = list(t._lockfiles.values())
+        segment_names = [name for name, _ in t._segments.values()]
+        os.unlink(lockfiles[0])  # simulate external cleanup after a crash
+        t.unlink()
+        assert t._segments == {} and t._lockfiles == {}
+        assert not any(os.path.exists(p) for p in lockfiles)
+        t.unlink()  # double unlink: registries empty, still fine
+        # The segments are really gone.
+        from multiprocessing import shared_memory
+        for name in segment_names:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+
+    def test_close_after_unlink_and_interleavings(self):
+        t = SharedMemoryTransport(locking=True)
+        t.allocate(0, 4)
+        t.close()
+        t.close()
+        t.unlink()
+        t.close()  # close after unlink: everything already released
+        t.unlink()
+
     def test_locking_mode_roundtrip_and_pickle(self):
         # locking=True (used for halo_refresh's live cross-process reads)
         # guards every get/put with per-rank advisory file locks; the lock

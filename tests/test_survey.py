@@ -284,6 +284,67 @@ class TestFieldPrefetcher:
         finally:
             pf.close()
 
+    def test_close_joins_thread_and_clears_cache_with_failing_loader(self):
+        # A loader that raises must not wedge the daemon thread, and
+        # close() must notify the condition variable, join the thread, and
+        # release the LRU cache — the leak run_pipeline's try/finally
+        # exists to prevent when a stage dies mid-run.
+        import threading
+        import time
+
+        def loader(path):
+            if "bad" in path:
+                raise IOError("burst buffer on fire: %s" % path)
+            return ["field:" + path]
+
+        pf = FieldPrefetcher(loader=loader, capacity=4)
+        pf.hint(["good", "bad"])
+        deadline = time.monotonic() + 10.0
+        while pf.stats()["prefetched"] < 1 and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert pf.get("good") == ["field:good"]
+        # The failed prefetch surfaces as a synchronous (reported) error.
+        with pytest.raises(IOError):
+            pf.get("bad")
+
+        thread = pf._thread
+        assert thread is not None and thread.is_alive()
+        pf.close()
+        assert not thread.is_alive()
+        assert pf._cache == {}
+        assert pf._thread is None
+        pf.close()  # idempotent
+
+        # A closed prefetcher still serves synchronous loads, uncached.
+        assert pf.get("good") == ["field:good"]
+        assert pf._cache == {}
+        assert threading.active_count() >= 1  # and started no new thread
+        assert pf._thread is None
+
+    def test_close_while_load_in_flight_does_not_repopulate_cache(self):
+        import threading
+        import time
+
+        release = threading.Event()
+
+        def loader(path):
+            release.wait(timeout=10.0)
+            return [path]
+
+        pf = FieldPrefetcher(loader=loader, capacity=4)
+        pf.hint(["slow"])
+        deadline = time.monotonic() + 10.0
+        while pf._inflight is None and time.monotonic() < deadline:
+            time.sleep(0.01)
+        with pf._cv:
+            pf._closed = True
+            pf._queue.clear()
+            pf._cache.clear()
+            pf._cv.notify_all()
+        release.set()
+        pf.close()
+        assert pf._cache == {}  # the in-flight result was discarded
+
     def test_queued_but_unstarted_hint_is_a_synchronous_miss(self, tmp_path):
         # A hint the background thread never got to must not make the
         # caller queue behind it (nor count as a hidden load): get() claims
