@@ -22,12 +22,19 @@ from repro.core.elbo import (
     ElboEval,
     SourceContext,
     available_backends,
+    compile_elbo_batch,
     elbo,
+    elbo_batch,
     get_backend,
     make_context,
     resolve_backend_name,
 )
-from repro.core.single import OptimizeConfig, SourceResult, optimize_source
+from repro.core.single import (
+    OptimizeConfig,
+    SourceResult,
+    optimize_source,
+    optimize_sources_batch,
+)
 from repro.core.joint import JointConfig, optimize_region
 from repro.core.uncertainty import posterior_summary
 
@@ -47,13 +54,16 @@ __all__ = [
     "ElboEval",
     "SourceContext",
     "available_backends",
+    "compile_elbo_batch",
     "elbo",
+    "elbo_batch",
     "get_backend",
     "make_context",
     "resolve_backend_name",
     "OptimizeConfig",
     "SourceResult",
     "optimize_source",
+    "optimize_sources_batch",
     "JointConfig",
     "optimize_region",
     "posterior_summary",

@@ -48,12 +48,29 @@ fused evaluation never enters Taylor mode.  :func:`elbo_kl` exposes the
 KL-only dispatch (used by the parity tests and the benchmark's
 pixel-vs-KL cost split).
 
+**Batch evaluation.**  Backends also expose a *batched* evaluation surface
+(:meth:`ElboBackend.compile_batch` / :meth:`ElboBackend.evaluate_batch`,
+front ends :func:`compile_elbo_batch` / :func:`elbo_batch`): many sources'
+contexts evaluated in one sweep, the paper's AVX-512
+many-sources-at-once analogue.  The contract is strict — every lane's
+result must be **bit-for-bit identical** to the scalar call's, so batching
+is always an execution strategy and never an approximation.  The fused
+backend packs same-shaped contexts into lane-stacked structure-of-arrays
+workspaces; the Taylor backend runs the base class's trivial per-lane
+loop, keeping the oracle available for batched parity tests.  The lockstep
+optimizer (:func:`repro.core.single.optimize_sources_batch`) drives this
+surface with per-lane active masks and repacking.
+
 Both backends see the same :class:`SourceContext` and are accounted
 identically: this front end increments ``active_pixel_visits`` (the paper's
 FLOP-accounting unit) and ``objective_evaluations`` once per call, whichever
 backend ran.  KL terms are pixel-count-independent, so they never
 contribute visits under either backend — FLOP totals from
-:mod:`repro.perf.flops` stay comparable across backends.
+:mod:`repro.perf.flops` stay comparable across backends.  Batched calls
+account each active lane exactly as its scalar call would, plus
+batch-shape counters (``elbo_batch_lanes`` / ``elbo_batch_lanes_active``)
+that make batch occupancy — wasted masked-lane work — visible
+(:func:`repro.perf.counters.batch_occupancy`).
 
 Every evaluation returns an object exposing ``.val`` (a scalar),
 ``.gradient(n)``/``.hessian(n)`` (dense derivative extraction over the free
@@ -82,7 +99,9 @@ __all__ = [
     "PatchData",
     "SourceContext",
     "available_backends",
+    "compile_elbo_batch",
     "elbo",
+    "elbo_batch",
     "elbo_kl",
     "get_backend",
     "kl_total",
@@ -403,6 +422,35 @@ class ElboBackend:
         derivative machinery on the hot path."""
         raise NotImplementedError
 
+    def compile_batch(self, ctxs: list):
+        """Compile whatever batch-level state :meth:`evaluate_batch` can
+        reuse across repeated evaluations of the same contexts (a lockstep
+        Newton solve evaluates the same batch tens of times).  The returned
+        handle is opaque to callers and valid only for exactly these
+        contexts; ``None`` (the default) means the backend keeps no
+        batch-level state."""
+        return None
+
+    def evaluate_batch(self, ctxs: list, frees: list, order: int,
+                       variance_correction: bool, compiled=None,
+                       active=None):
+        """Evaluate many sources at once; returns one result per context
+        (each exposing ``val``/``gradient``/``hessian``), or ``None`` for
+        lanes masked inactive.
+
+        Every lane's result must be **bit-for-bit identical** to what
+        :meth:`evaluate` returns for that context and free vector alone —
+        batching is an execution strategy, never an approximation.  This
+        default implementation is the trivial per-lane loop, which
+        satisfies that contract by construction; it is what the Taylor
+        backend runs, so the reference oracle is available for batched
+        parity tests without any Taylor-side batching code."""
+        return [
+            self.evaluate(ctx, free, order, variance_correction)
+            if active is None or active[i] else None
+            for i, (ctx, free) in enumerate(zip(ctxs, frees))
+        ]
+
     def release_scratch(self) -> None:
         """Drop any per-thread scratch buffers held for the calling thread
         (no-op for backends that keep none)."""
@@ -491,6 +539,75 @@ def elbo(
         "objective_evaluations": 1.0,
         "objective_evaluations_" + bk.name: 1.0,
     })
+    return out
+
+
+def compile_elbo_batch(ctxs: list, backend: str | None = None):
+    """Compile a reusable batch-evaluation handle for ``ctxs``.
+
+    Pass the result to :func:`elbo_batch` as ``compiled`` while the batch
+    membership is unchanged; recompile after dropping lanes (the lockstep
+    optimizer does this when occupancy falls below its repack threshold).
+    """
+    return get_backend(backend).compile_batch(list(ctxs))
+
+
+def elbo_batch(
+    ctxs: list,
+    frees: list,
+    order: int = 2,
+    variance_correction: bool = True,
+    backend: str | None = None,
+    compiled=None,
+    active=None,
+) -> list:
+    """Evaluate many single-source ELBOs in one batched backend call.
+
+    The batched counterpart of :func:`elbo`: one entry per context, each
+    exposing the same ``val``/``gradient``/``hessian`` surface, and each
+    **bit-for-bit identical** to the scalar :func:`elbo` result for that
+    context — the backend contract every implementation must honor
+    (:meth:`ElboBackend.evaluate_batch`).
+
+    ``active`` masks lanes out of the result (``None`` entries): a masked
+    lane's pixels may still be swept by a backend whose compiled stacks
+    bake the lane in, but it is never *accounted* — each active lane
+    counts exactly the visits and evaluation ticks its scalar call would,
+    so FLOP totals are identical whether a catalog was optimized scalar or
+    batched.  Batch-shape accounting (``elbo_batch_calls`` /
+    ``elbo_batch_lanes`` / ``elbo_batch_lanes_active``) lands on the first
+    context's counter bag — in practice a whole region shares one bag —
+    making occupancy (and therefore the wasted work of inactive lanes)
+    visible in perf reports (:func:`repro.perf.counters.batch_occupancy`).
+    """
+    if len(frees) != len(ctxs):
+        raise ValueError(
+            "got %d free vectors for %d contexts" % (len(frees), len(ctxs))
+        )
+    if active is not None and len(active) != len(ctxs):
+        raise ValueError(
+            "active mask has %d entries for %d contexts"
+            % (len(active), len(ctxs))
+        )
+    bk = get_backend(backend)
+    out = bk.evaluate_batch(ctxs, frees, order, variance_correction,
+                            compiled=compiled, active=active)
+    n_active = 0
+    for i, ctx in enumerate(ctxs):
+        if active is not None and not active[i]:
+            continue
+        n_active += 1
+        ctx.counters.add_many({
+            "active_pixel_visits": float(ctx.n_active_pixels),
+            "objective_evaluations": 1.0,
+            "objective_evaluations_" + bk.name: 1.0,
+        })
+    if ctxs:
+        ctxs[0].counters.add_many({
+            "elbo_batch_calls": 1.0,
+            "elbo_batch_lanes": float(len(ctxs)),
+            "elbo_batch_lanes_active": float(n_active),
+        })
     return out
 
 

@@ -31,6 +31,7 @@ from repro.core.single import (
     SourceResult,
     initial_params,
     optimize_source,
+    optimize_sources_batch,
     to_catalog_entry,
 )
 from repro.perf.counters import Counters, GLOBAL_COUNTERS
@@ -217,29 +218,58 @@ class RegionOptimizer:
         This is the unit of work distributed by Cyclades; it is safe to run
         concurrently for sources whose patches do not overlap.
         """
-        backgrounds = self.backgrounds_for(s)
-        ctx = make_context(
+        ctx = self._make_context(s)
+        result = optimize_source(ctx, self.params[s], self.config.single)
+        with self._lock:
+            self._fold_back(s, result)
+        return result
+
+    def _make_context(self, s: int):
+        return make_context(
             self.images,
             self.params[s].u,
             self.priors,
-            backgrounds=backgrounds,
+            backgrounds=self.backgrounds_for(s),
             counters=self.counters,
             bounds_list=self._bounds[s],
         )
-        result = optimize_source(ctx, self.params[s], self.config.single)
 
+    def _fold_back(self, s: int, result: SourceResult) -> None:
+        """Publish one source's result: update its parameters and fold its
+        new expected contribution into the model images (caller holds the
+        lock)."""
+        self.params[s] = result.params
+        self.results[s] = result
+        for i, im in enumerate(self.images):
+            b = self._bounds[s][i]
+            if b is None:
+                continue
+            x0, x1, y0, y1 = b
+            new_c = expected_contribution(result.params, im, b)
+            self.model[i][y0:y1, x0:x1] += new_c - self._contrib[s][i]
+            self._contrib[s][i] = new_c
+
+    def update_sources_batch(self, sources: list[int]) -> list[SourceResult]:
+        """Optimize several *non-overlapping* sources in one lockstep batch.
+
+        The batched unit of work the Cyclades executor distributes when
+        ``elbo_batch_size`` is set: all the sources' contexts are built
+        against the current residual backgrounds up front, optimized with
+        :func:`repro.core.single.optimize_sources_batch`, and folded back.
+        Because the executor only batches sources from one conflict-free
+        assignment, their patches are pixel-disjoint — each source's
+        backgrounds are identical whether its neighbors in the batch were
+        updated before or after it, so this is bit-for-bit equivalent to
+        calling :meth:`update_source` on each source in order.
+        """
+        ctxs = [self._make_context(s) for s in sources]
+        results = optimize_sources_batch(
+            ctxs, [self.params[s] for s in sources], self.config.single
+        )
         with self._lock:
-            self.params[s] = result.params
-            self.results[s] = result
-            for i, im in enumerate(self.images):
-                b = self._bounds[s][i]
-                if b is None:
-                    continue
-                x0, x1, y0, y1 = b
-                new_c = expected_contribution(result.params, im, b)
-                self.model[i][y0:y1, x0:x1] += new_c - self._contrib[s][i]
-                self._contrib[s][i] = new_c
-        return result
+            for s, result in zip(sources, results):
+                self._fold_back(s, result)
+        return results
 
     def catalog(self) -> Catalog:
         """Point-estimate catalog from the current variational parameters."""

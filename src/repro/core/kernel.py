@@ -54,6 +54,18 @@ fused evaluation therefore never enters Taylor mode; the Taylor expression
 (:func:`repro.core.elbo_taylor.kl_total`) remains the correctness oracle
 the randomized parity tests pin this kernel against.
 
+**Batch evaluation.**  Every pixel-static array carries a leading *lane*
+axis, and :class:`_FusedBatchWorkspace` concatenates same-shaped contexts
+along it, so one stacked NumPy sweep evaluates a whole batch of sources —
+the reproduction's analogue of the paper's AVX-512 batching of objective
+evaluations across light sources.  The scalar path is literally the
+lane-count-1 case of the batched path, and lanes are grouped by shape
+rather than padded (padding cannot be bit-exact: NumPy's pairwise-summation
+grouping depends on the reduced length), which makes batched results
+bit-for-bit identical to scalar results — the invariant the lockstep
+optimizer (:func:`repro.core.single.optimize_sources_batch`) and the
+driver's catalog-level parity tests rely on.
+
 **Per-thread scratch.**  Large per-evaluation temporaries (feature stacks,
 chain-rule rows) are borrowed from a thread-local pool keyed by shape, so a
 Cyclades worker thread re-uses the same buffers across every iteration of
@@ -93,7 +105,8 @@ from repro.core.priors import Priors
 from repro.transforms import LogitBox
 from repro.transforms.bijectors import softmax_fixed_last_d012
 
-__all__ = ["FusedBackend", "KlWorkspace", "elbo_fused", "release_scratch"]
+__all__ = ["FusedBackend", "KlWorkspace", "elbo_fused", "elbo_fused_batch",
+           "release_scratch"]
 
 _TWO_PI = 2.0 * np.pi
 
@@ -152,6 +165,15 @@ _LOG_2PI = float(np.log(2.0 * np.pi))
 
 _TLS = threading.local()
 _POOL_CAP = 512
+
+#: Max ``(lane, component, pixel)`` elements per stacked batch sweep —
+#: roughly one ~3.5 MB float64 temporary, sized (empirically, via the
+#: bench_elbo_kernel batch sweep) so the handful of live per-sweep
+#: temporaries stay cache-resident: small sources batch ~8-25 wide, big
+#: five-band sources batch ~4 wide, and no shape regresses below its
+#: scalar rate.  Batch groups larger than this split into several sweeps
+#: (see :class:`_FusedBatchWorkspace`).
+_LANE_SWEEP_BUDGET = 450_000
 
 
 def _buf(name: str, shape: tuple) -> np.ndarray:
@@ -365,42 +387,63 @@ def _kl_workspace(priors: Priors) -> KlWorkspace:
 class _GroupWorkspace:
     """Pixel-static arrays of one galaxy profile group (dev or exp) of one
     patch: component weights/variances, PSF covariance parts, and the pixel
-    grid offset by every component mean."""
+    grid offset by every component mean.
+
+    Every array carries a leading *lane* axis: a per-context workspace holds
+    lane count 1, and a batch workspace concatenates same-shaped lanes along
+    it, so one evaluation sweep covers ``G`` sources at once."""
 
     __slots__ = ("w2pi", "var", "pxx", "pxy", "pyy", "px", "py")
 
     def __init__(self, arrays, px, py):
         w, var, mux, muy, pxx, pxy, pyy = arrays
-        self.w2pi = w / _TWO_PI          # (J, 1)
-        self.var = var
-        self.pxx, self.pxy, self.pyy = pxx, pxy, pyy
-        self.px = px[None, :] - mux      # (J, M)
-        self.py = py[None, :] - muy
+        self.w2pi = (w / _TWO_PI)[None]          # (1, J, 1)
+        self.var = var[None]
+        self.pxx, self.pxy, self.pyy = pxx[None], pxy[None], pyy[None]
+        self.px = (px[None, :] - mux)[None]      # (1, J, M)
+        self.py = (py[None, :] - muy)[None]
+
+    @classmethod
+    def _concat(cls, groups):
+        out = object.__new__(cls)
+        for name in cls.__slots__:
+            setattr(out, name, np.concatenate(
+                [getattr(g, name) for g in groups], axis=0))
+        return out
 
 
 class _PatchWorkspace:
-    """Everything pixel-static about one patch, precomputed."""
+    """Everything pixel-static about one patch slot, precomputed.
 
-    __slots__ = ("band", "iota", "counts", "bg", "n_pixels",
+    Arrays are lane-stacked (leading axis ``G``); ``bands``/``iota``/
+    ``wa``/``wt`` hold one entry per lane because those feed the per-lane
+    chain-rule stage, not the stacked pixel sweep.  A per-context workspace
+    is the ``G = 1`` case; :meth:`_concat` builds a batch lane group from
+    same-shaped patch slots without copying any per-context compile work."""
+
+    __slots__ = ("bands", "iota", "counts", "bg", "n_pixels",
                  "s_alpha", "s_ixx", "s_ixy", "s_iyy", "s_px", "s_py",
                  "dev", "exp", "wa", "wt")
 
+    _STACKED = ("counts", "bg", "s_alpha", "s_ixx", "s_ixy", "s_iyy",
+                "s_px", "s_py", "iota", "wa", "wt")
+
     def __init__(self, patch):
-        self.band = patch.band
-        self.iota = float(patch.calibration)
-        self.counts = np.asarray(patch.counts, dtype=np.float64)
-        self.bg = np.asarray(patch.background, dtype=np.float64)
+        self.bands = (patch.band,)
+        self.iota = np.array([float(patch.calibration)])
+        self.counts = np.asarray(patch.counts, dtype=np.float64)[None]
+        self.bg = np.asarray(patch.background, dtype=np.float64)[None]
         self.n_pixels = patch.n_pixels
 
         # Star: PSF covariances are constant, so invert and normalize once.
         w, mux, muy, sxx, sxy, syy = patch.star_arrays
         det = sxx * syy - sxy * sxy
-        self.s_alpha = w / (_TWO_PI * np.sqrt(det))   # (K, 1)
-        self.s_ixx = syy / det
-        self.s_ixy = -sxy / det
-        self.s_iyy = sxx / det
-        self.s_px = patch.px[None, :] - mux           # (K, M)
-        self.s_py = patch.py[None, :] - muy
+        self.s_alpha = (w / (_TWO_PI * np.sqrt(det)))[None]   # (1, K, 1)
+        self.s_ixx = (syy / det)[None]
+        self.s_ixy = (-sxy / det)[None]
+        self.s_iyy = (sxx / det)[None]
+        self.s_px = (patch.px[None, :] - mux)[None]           # (1, K, M)
+        self.s_py = (patch.py[None, :] - muy)[None]
 
         self.dev = _GroupWorkspace(patch.gal_arrays["dev"], patch.px, patch.py)
         self.exp = _GroupWorkspace(patch.gal_arrays["exp"], patch.px, patch.py)
@@ -410,8 +453,27 @@ class _PatchWorkspace:
         t = np.asarray(patch.wcs.sky_to_pix(np.zeros(2)), dtype=float)
         ex = np.asarray(patch.wcs.sky_to_pix(np.array([1.0, 0.0])), dtype=float)
         ey = np.asarray(patch.wcs.sky_to_pix(np.array([0.0, 1.0])), dtype=float)
-        self.wa = np.column_stack([ex - t, ey - t])   # (2, 2)
-        self.wt = t
+        self.wa = np.column_stack([ex - t, ey - t])[None]   # (1, 2, 2)
+        self.wt = t[None]
+
+    @property
+    def shape_key(self) -> tuple:
+        """Array shapes that must match for lanes to stack: star component
+        count, galaxy component counts per group, and pixel count."""
+        return (self.s_px.shape[1], self.dev.px.shape[1],
+                self.exp.px.shape[1], self.n_pixels)
+
+    @classmethod
+    def _concat(cls, slots):
+        out = object.__new__(cls)
+        out.bands = tuple(b for s in slots for b in s.bands)
+        out.n_pixels = slots[0].n_pixels
+        for name in cls._STACKED:
+            setattr(out, name, np.concatenate(
+                [getattr(s, name) for s in slots], axis=0))
+        out.dev = _GroupWorkspace._concat([s.dev for s in slots])
+        out.exp = _GroupWorkspace._concat([s.exp for s in slots])
+        return out
 
 
 class _FusedWorkspace:
@@ -421,6 +483,90 @@ class _FusedWorkspace:
         self.patches = [_PatchWorkspace(p) for p in ctx.patches]
         # Shared across every context evaluated under the same priors.
         self.kl = _kl_workspace(ctx.priors)
+
+    @property
+    def signature(self) -> tuple:
+        """Stacking compatibility: contexts with equal signatures can share
+        one lane group (patch-by-patch equal array shapes)."""
+        return tuple(p.shape_key for p in self.patches)
+
+
+def _context_workspace(ctx: SourceContext) -> _FusedWorkspace:
+    ws = ctx.workspaces.get("fused")
+    if ws is None:
+        ws = ctx.workspaces["fused"] = _FusedWorkspace(ctx)
+    return ws
+
+
+class _FusedBatchWorkspace:
+    """Compile-once lane packing for a fixed batch of contexts.
+
+    Lanes are grouped by :attr:`_FusedWorkspace.signature` and each group's
+    per-context workspaces are concatenated along the lane axis into
+    structure-of-arrays stacks, so the pixel-term sweep for a group is one
+    set of NumPy calls covering all its lanes.
+
+    **No padding, by design.**  The batched path must be bit-for-bit
+    identical to the scalar path, and a masked/padded tail cannot be: NumPy
+    reductions use pairwise summation whose grouping depends on the reduced
+    length, so summing a zero-padded row changes the result's last bits.
+    Shape-grouping gives the same SIMD-width win as the paper's AVX-512
+    source batching while keeping every lane's reduction lengths exactly
+    what the scalar path uses — a heterogeneous batch simply evaluates as
+    several stacked groups (degenerating to ``G = 1`` lanes in the worst
+    case), never as one padded block.  Within a group, every stacked
+    primitive used by the kernel is lane-independent (elementwise ufuncs;
+    ``sum`` over the component/pixel axes; ``matmul`` over lane stacks,
+    which dispatches the identical per-lane GEMM), which the exact-equality
+    tests pin.
+
+    **Cache-bounded sweeps.**  A stacked sweep materializes
+    ``(G, components, pixels)`` temporaries; letting ``G`` grow unbounded
+    trades the dispatch-overhead win for cache thrash (a 64-lane stack of
+    30x30 five-band contexts is slower than scalar).  Groups are therefore
+    split so each sweep stays under :data:`_LANE_SWEEP_BUDGET` elements —
+    small sources batch wide, big sources batch narrow.  Splitting is
+    result-invisible: lane-independence makes every grouping bit-identical.
+    """
+
+    __slots__ = ("ctxs", "groups")
+
+    def __init__(self, ctxs: list):
+        self.ctxs = list(ctxs)
+        by_sig: dict[tuple, list[int]] = {}
+        for i, ctx in enumerate(self.ctxs):
+            by_sig.setdefault(_context_workspace(ctx).signature, []).append(i)
+        #: ``(lane_indices, patch_stacks)`` per shape group; a singleton
+        #: group reuses the context's own (lane count 1) workspace arrays.
+        self.groups = []
+        for sig, lanes in by_sig.items():
+            per_lane = sum((k + jd + je) * m for k, jd, je, m in sig)
+            cap = max(1, _LANE_SWEEP_BUDGET // per_lane) if per_lane else \
+                len(lanes)
+            for start in range(0, len(lanes), cap):
+                chunk = lanes[start:start + cap]
+                if len(chunk) == 1:
+                    stacks = _context_workspace(self.ctxs[chunk[0]]).patches
+                else:
+                    members = [_context_workspace(self.ctxs[l])
+                               for l in chunk]
+                    stacks = [
+                        _PatchWorkspace._concat([m.patches[p]
+                                                 for m in members])
+                        for p in range(len(sig))
+                    ]
+                self.groups.append((chunk, stacks))
+
+    @property
+    def n_lanes(self) -> int:
+        return len(self.ctxs)
+
+    def matches(self, ctxs: list) -> bool:
+        """Whether this workspace was compiled for exactly these contexts
+        (by identity, in order) — the evaluate-side misuse guard."""
+        return len(ctxs) == len(self.ctxs) and all(
+            a is b for a, b in zip(ctxs, self.ctxs)
+        )
 
 
 # ---------------------------------------------------------------------------
@@ -442,52 +588,59 @@ class _FusedWorkspace:
 # every shape derivative scales by var (and var^2 at second order).
 
 
-def _star_features(pws: _PatchWorkspace, upx: float, upy: float, order: int):
+def _star_features(pws: _PatchWorkspace, upx: np.ndarray, upy: np.ndarray,
+                   order: int):
     """Star mixture value / position-gradient / position-Hessian features,
-    contracted over PSF components: ``(M,)``, ``(2, M)``, ``(3, M)``."""
+    contracted over PSF components for every lane: ``(G, M)``, ``(G, 2, M)``,
+    ``(G, 3, M)``.  ``upx``/``upy`` are per-lane pixel-frame positions."""
     ixx, ixy, iyy = pws.s_ixx, pws.s_ixy, pws.s_iyy
-    dx = pws.s_px - upx
-    dy = pws.s_py - upy
+    dx = pws.s_px - upx[:, None, None]
+    dy = pws.s_py - upy[:, None, None]
     lx = ixx * dx + ixy * dy
     ly = ixy * dx + iyy * dy
     g = pws.s_alpha * np.exp(-0.5 * (lx * dx + ly * dy))
-    m = g.shape[1]
-    val = g.sum(axis=0)
-    grad = _buf("s_grad", (2, m))
-    np.sum(lx * g, axis=0, out=grad[0])
-    np.sum(ly * g, axis=0, out=grad[1])
+    gsz, m = g.shape[0], g.shape[2]
+    val = g.sum(axis=1)
+    grad = _buf("s_grad", (gsz, 2, m))
+    np.sum(lx * g, axis=1, out=grad[:, 0])
+    np.sum(ly * g, axis=1, out=grad[:, 1])
     if order < 2:
         return val, grad, None
-    hess = _buf("s_hess", (3, m))
-    np.sum((lx * lx - ixx) * g, axis=0, out=hess[0])
-    np.sum((lx * ly - ixy) * g, axis=0, out=hess[1])
-    np.sum((ly * ly - iyy) * g, axis=0, out=hess[2])
+    hess = _buf("s_hess", (gsz, 3, m))
+    np.sum((lx * lx - ixx) * g, axis=1, out=hess[:, 0])
+    np.sum((lx * ly - ixy) * g, axis=1, out=hess[:, 1])
+    np.sum((ly * ly - iyy) * g, axis=1, out=hess[:, 2])
     return val, grad, hess
 
 
-def _group_features(gws: _GroupWorkspace, upx: float, upy: float,
-                    s1: float, s2: float, s3: float, order: int, tag: str):
-    """One galaxy group's spatial features, contracted over components:
-    value ``(M,)``, gradient ``(5, M)`` over ``[upx, upy, sxx, sxy, syy]``,
-    and packed Hessian ``(15, M)`` in :data:`_PAIRS` order."""
+def _group_features(gws: _GroupWorkspace, upx: np.ndarray, upy: np.ndarray,
+                    s1: np.ndarray, s2: np.ndarray, s3: np.ndarray,
+                    order: int, tag: str):
+    """One galaxy group's spatial features, contracted over components for
+    every lane: value ``(G, M)``, gradient ``(G, 5, M)`` over
+    ``[upx, upy, sxx, sxy, syy]``, and packed Hessian ``(G, 15, M)`` in
+    :data:`_PAIRS` order.  Position and shape inputs are per-lane arrays."""
     var = gws.var
-    cxx = var * s1 + gws.pxx
-    cxy = var * s2 + gws.pxy
-    cyy = var * s3 + gws.pyy
+    e1 = s1[:, None, None]
+    e2 = s2[:, None, None]
+    e3 = s3[:, None, None]
+    cxx = var * e1 + gws.pxx
+    cxy = var * e2 + gws.pxy
+    cyy = var * e3 + gws.pyy
     det = cxx * cyy - cxy * cxy
     ixx = cyy / det
     ixy = -cxy / det
     iyy = cxx / det
     alpha = gws.w2pi / np.sqrt(det)
 
-    dx = gws.px - upx
-    dy = gws.py - upy
+    dx = gws.px - upx[:, None, None]
+    dy = gws.py - upy[:, None, None]
     lx = ixx * dx + ixy * dy
     ly = ixy * dx + iyy * dy
     g = alpha * np.exp(-0.5 * (lx * dx + ly * dy))
-    m = g.shape[1]
+    gsz, m = g.shape[0], g.shape[2]
 
-    val = g.sum(axis=0)
+    val = g.sum(axis=1)
     vg = var * g
     lx2 = lx * lx
     lxy = lx * ly
@@ -496,41 +649,41 @@ def _group_features(gws: _GroupWorkspace, upx: float, upy: float,
     d2 = lxy - ixy
     d3 = 0.5 * (ly2 - iyy)
 
-    grad = _buf(tag + "_grad", (5, m))
-    np.sum(lx * g, axis=0, out=grad[0])
-    np.sum(ly * g, axis=0, out=grad[1])
-    np.sum(d1 * vg, axis=0, out=grad[2])
-    np.sum(d2 * vg, axis=0, out=grad[3])
-    np.sum(d3 * vg, axis=0, out=grad[4])
+    grad = _buf(tag + "_grad", (gsz, 5, m))
+    np.sum(lx * g, axis=1, out=grad[:, 0])
+    np.sum(ly * g, axis=1, out=grad[:, 1])
+    np.sum(d1 * vg, axis=1, out=grad[:, 2])
+    np.sum(d2 * vg, axis=1, out=grad[:, 3])
+    np.sum(d3 * vg, axis=1, out=grad[:, 4])
     if order < 2:
         return val, grad, None
 
     v2g = var * vg
-    hess = _buf(tag + "_hess", (15, m))
+    hess = _buf(tag + "_hess", (gsz, 15, m))
     # position x position
-    np.sum((lx2 - ixx) * g, axis=0, out=hess[0])
-    np.sum((lxy - ixy) * g, axis=0, out=hess[1])
-    np.sum((ly2 - iyy) * g, axis=0, out=hess[5])
+    np.sum((lx2 - ixx) * g, axis=1, out=hess[:, 0])
+    np.sum((lxy - ixy) * g, axis=1, out=hess[:, 1])
+    np.sum((ly2 - iyy) * g, axis=1, out=hess[:, 5])
     # position x shape: d^2 g/du dC_m = (dl/dC_m + l D_m) g, dl/dC = -I E l
-    np.sum((lx * (d1 - ixx)) * vg, axis=0, out=hess[2])
-    np.sum((lx * d2 - ixx * ly - ixy * lx) * vg, axis=0, out=hess[3])
-    np.sum((lx * d3 - ixy * ly) * vg, axis=0, out=hess[4])
-    np.sum((ly * d1 - ixy * lx) * vg, axis=0, out=hess[6])
-    np.sum((ly * d2 - ixy * ly - iyy * lx) * vg, axis=0, out=hess[7])
-    np.sum((ly * (d3 - iyy)) * vg, axis=0, out=hess[8])
+    np.sum((lx * (d1 - ixx)) * vg, axis=1, out=hess[:, 2])
+    np.sum((lx * d2 - ixx * ly - ixy * lx) * vg, axis=1, out=hess[:, 3])
+    np.sum((lx * d3 - ixy * ly) * vg, axis=1, out=hess[:, 4])
+    np.sum((ly * d1 - ixy * lx) * vg, axis=1, out=hess[:, 6])
+    np.sum((ly * d2 - ixy * ly - iyy * lx) * vg, axis=1, out=hess[:, 7])
+    np.sum((ly * (d3 - iyy)) * vg, axis=1, out=hess[:, 8])
     # shape x shape: d^2 g/dC_m dC_n = (dD_n/dC_m + D_m D_n) g
-    np.sum((d1 * d1 - ixx * lx2 + 0.5 * ixx * ixx) * v2g, axis=0,
-           out=hess[9])
-    np.sum((d1 * d2 - ixx * lxy - ixy * lx2 + ixx * ixy) * v2g, axis=0,
-           out=hess[10])
-    np.sum((d1 * d3 - ixy * lxy + 0.5 * ixy * ixy) * v2g, axis=0,
-           out=hess[11])
+    np.sum((d1 * d1 - ixx * lx2 + 0.5 * ixx * ixx) * v2g, axis=1,
+           out=hess[:, 9])
+    np.sum((d1 * d2 - ixx * lxy - ixy * lx2 + ixx * ixy) * v2g, axis=1,
+           out=hess[:, 10])
+    np.sum((d1 * d3 - ixy * lxy + 0.5 * ixy * ixy) * v2g, axis=1,
+           out=hess[:, 11])
     np.sum((d2 * d2 - ixx * ly2 - 2.0 * ixy * lxy - iyy * lx2
-            + ixx * iyy + ixy * ixy) * v2g, axis=0, out=hess[12])
-    np.sum((d2 * d3 - ixy * ly2 - iyy * lxy + ixy * iyy) * v2g, axis=0,
-           out=hess[13])
-    np.sum((d3 * d3 - iyy * ly2 + 0.5 * iyy * iyy) * v2g, axis=0,
-           out=hess[14])
+            + ixx * iyy + ixy * ixy) * v2g, axis=1, out=hess[:, 12])
+    np.sum((d2 * d3 - ixy * ly2 - iyy * lxy + ixy * iyy) * v2g, axis=1,
+           out=hess[:, 13])
+    np.sum((d3 * d3 - iyy * ly2 + 0.5 * iyy * iyy) * v2g, axis=1,
+           out=hess[:, 14])
     return val, grad, hess
 
 
@@ -701,21 +854,22 @@ class _EvalChain:
             out = self._bands[band] = (a_s, a_g, b_s, b_g)
         return out
 
-    def patch_geometry(self, pws: _PatchWorkspace):
-        """Pixel-frame source position for one patch."""
-        upx = pws.wa[0, 0] * self.ux + pws.wa[0, 1] * self.uy + pws.wt[0]
-        upy = pws.wa[1, 0] * self.ux + pws.wa[1, 1] * self.uy + pws.wt[1]
+    def patch_geometry(self, wa: np.ndarray, wt: np.ndarray):
+        """Pixel-frame source position for one patch lane (``wa``/``wt``
+        are that lane's affine WCS coefficients)."""
+        upx = wa[0, 0] * self.ux + wa[0, 1] * self.uy + wt[0]
+        upy = wa[1, 0] * self.ux + wa[1, 1] * self.uy + wt[1]
         return upx, upy
 
-    def patch_jacobian(self, pws: _PatchWorkspace) -> np.ndarray:
-        """dz/dfree for one patch: ``(10, 27)``."""
-        a_s, a_g, b_s, b_g = self.band_chains(pws.band)
-        iota = pws.iota
+    def patch_jacobian(self, band: int, iota: float,
+                       wa: np.ndarray) -> np.ndarray:
+        """dz/dfree for one patch lane: ``(10, 27)``."""
+        a_s, a_g, b_s, b_g = self.band_chains(band)
         jac = np.zeros((10, _N_ACTIVE))
-        jac[0, _IDX_U[0]] = pws.wa[0, 0] * self.ud1[0]
-        jac[0, _IDX_U[1]] = pws.wa[0, 1] * self.ud1[1]
-        jac[1, _IDX_U[0]] = pws.wa[1, 0] * self.ud1[0]
-        jac[1, _IDX_U[1]] = pws.wa[1, 1] * self.ud1[1]
+        jac[0, _IDX_U[0]] = wa[0, 0] * self.ud1[0]
+        jac[0, _IDX_U[1]] = wa[0, 1] * self.ud1[1]
+        jac[1, _IDX_U[0]] = wa[1, 0] * self.ud1[0]
+        jac[1, _IDX_U[1]] = wa[1, 1] * self.ud1[1]
         jac[np.ix_([2, 3, 4], _SHAPE_IDX)] = self.shape_jac
         jac[5, _AMP_IDX[STAR]] = iota * a_s.grad
         jac[6, _AMP_IDX[GALAXY]] = iota * a_g.grad
@@ -726,17 +880,16 @@ class _EvalChain:
         jac[9, _IDX_DEV] = self.dev1
         return jac
 
-    def add_z_curvature(self, h27: np.ndarray, pws: _PatchWorkspace,
-                        gz: np.ndarray) -> None:
+    def add_z_curvature(self, h27: np.ndarray, band: int, iota: float,
+                        wa: np.ndarray, gz: np.ndarray) -> None:
         """Accumulate ``sum_m gz[m] * d2 z_m / dfree2`` into ``h27`` (the
         chain rule's second term; z components are nonlinear in free)."""
-        a_s, a_g, b_s, b_g = self.band_chains(pws.band)
-        iota = pws.iota
+        a_s, a_g, b_s, b_g = self.band_chains(band)
         # Position: upx/upy are affine in the bijector images of u.
         for j in (0, 1):
             ui = _IDX_U[j]
             h27[ui, ui] += (
-                gz[0] * pws.wa[0, j] + gz[1] * pws.wa[1, j]
+                gz[0] * wa[0, j] + gz[1] * wa[1, j]
             ) * self.ud2[j]
         # Shape covariance entries.
         sh = np.ix_(_SHAPE_IDX, _SHAPE_IDX)
@@ -757,145 +910,222 @@ class _EvalChain:
 
 
 # ---------------------------------------------------------------------------
-# The per-patch pixel term in z space
+# The per-patch pixel term in z space, lane-stacked
 
 
-def _patch_pixel_term(pws: _PatchWorkspace, chain: _EvalChain):
-    """Value, z-gradient (10,), and z-Hessian (10, 10) of one patch's
-    expected Poisson log-likelihood (Hessian None at order 1)."""
-    order, vc = chain.order, chain.vc
-    upx, upy = chain.patch_geometry(pws)
-    s1, s2, s3 = chain.shape_vals
-    a_s, a_g, b_s, b_g = chain.band_chains(pws.band)
-    iota = pws.iota
-    amp_s = iota * a_s.val
-    amp_g = iota * a_g.val
+def _mv(a: np.ndarray, w: np.ndarray) -> np.ndarray:
+    """Per-lane matrix-vector contraction over pixels:
+    ``(G, R, M) x (G, M) -> (G, R)``.  ``matmul`` over a lane stack
+    dispatches the identical per-lane GEMV, so results are bit-for-bit
+    independent of how many lanes share the call."""
+    return np.matmul(a, w[:, :, None])[:, :, 0]
+
+
+def _patch_pixel_term(pws: _PatchWorkspace, chains: list):
+    """Value ``(G,)``, z-gradient ``(G, 10)``, and z-Hessian ``(G, 10, 10)``
+    of one patch slot's expected Poisson log-likelihood across a lane group
+    (Hessian ``None`` at order 1).  ``chains`` holds one
+    :class:`_EvalChain` per lane; all lanes share this patch slot's array
+    shapes, so the per-pixel stage is a single stacked sweep."""
+    order, vc = chains[0].order, chains[0].vc
+    gsz = len(chains)
+    m = pws.n_pixels
+
+    # Per-lane chain scalars, gathered once per patch slot.
+    upx = np.empty(gsz)
+    upy = np.empty(gsz)
+    s1 = np.empty(gsz)
+    s2 = np.empty(gsz)
+    s3 = np.empty(gsz)
+    amp_s = np.empty(gsz)
+    amp_g = np.empty(gsz)
+    amp2_s = np.empty(gsz) if vc else None
+    amp2_g = np.empty(gsz) if vc else None
+    dev = np.empty(gsz)
+    for l, chain in enumerate(chains):
+        upx[l], upy[l] = chain.patch_geometry(pws.wa[l], pws.wt[l])
+        s1[l], s2[l], s3[l] = chain.shape_vals
+        a_s, a_g, b_s, b_g = chain.band_chains(pws.bands[l])
+        iota = pws.iota[l]
+        amp_s[l] = iota * a_s.val
+        amp_g[l] = iota * a_g.val
+        if vc:
+            amp2_s[l] = iota * iota * b_s.val
+            amp2_g[l] = iota * iota * b_g.val
+        dev[l] = chain.dev
 
     gs, dgs, hgs = _star_features(pws, upx, upy, order)
     gd, dgd, hgd = _group_features(pws.dev, upx, upy, s1, s2, s3, order, "d")
     ge, dge, hge = _group_features(pws.exp, upx, upy, s1, s2, s3, order, "e")
 
-    m = pws.n_pixels
-    dev = chain.dev
-    gg = dev * gd + (1.0 - dev) * ge
-    dgg = _buf("gg_grad", (5, m))
-    np.multiply(dgd, dev, out=dgg)
-    dgg += (1.0 - dev) * dge
-    dlg = gd - ge                       # d gg / d e_dev, per pixel
-    dldg = dgd - dge                    # its spatial gradient (5, M)
+    devc = dev[:, None]                 # broadcast over (G, M)
+    dev5 = dev[:, None, None]           # broadcast over (G, 5, M)
+    ampsc = amp_s[:, None]
+    ampgc = amp_g[:, None]
+    gg = devc * gd + (1.0 - devc) * ge
+    dgg = _buf("gg_grad", (gsz, 5, m))
+    np.multiply(dgd, dev5, out=dgg)
+    dgg += (1.0 - dev5) * dge
+    dlg = gd - ge                       # d gg / d e_dev, per pixel (G, M)
+    dldg = dgd - dge                    # its spatial gradient (G, 5, M)
 
     x = pws.counts
-    e = amp_s * gs + amp_g * gg
+    e = ampsc * gs + ampgc * gg
     f = pws.bg + e
     fi = 1.0 / f
     logf = np.log(f)
 
-    de = _buf("de", (10, m))
-    de[0] = amp_s * dgs[0] + amp_g * dgg[0]
-    de[1] = amp_s * dgs[1] + amp_g * dgg[1]
-    de[2:5] = amp_g * dgg[2:5]
-    de[5] = gs
-    de[6] = gg
-    de[7] = 0.0
-    de[8] = 0.0
-    de[9] = amp_g * dlg
+    de = _buf("de", (gsz, 10, m))
+    de[:, 0] = ampsc * dgs[:, 0] + ampgc * dgg[:, 0]
+    de[:, 1] = ampsc * dgs[:, 1] + ampgc * dgg[:, 1]
+    de[:, 2:5] = amp_g[:, None, None] * dgg[:, 2:5]
+    de[:, 5] = gs
+    de[:, 6] = gg
+    de[:, 7] = 0.0
+    de[:, 8] = 0.0
+    de[:, 9] = ampgc * dlg
 
     if vc:
-        amp2_s = iota * iota * b_s.val
-        amp2_g = iota * iota * b_g.val
+        amp2sc = amp2_s[:, None]
+        amp2gc = amp2_g[:, None]
         gs2 = gs * gs
         gg2 = gg * gg
-        e2 = amp2_s * gs2 + amp2_g * gg2
+        e2 = amp2sc * gs2 + amp2gc * gg2
         v = e2 - e * e
         fi2 = fi * fi
-        val = float(np.sum(x * (logf - 0.5 * v * fi2) - f))
+        val = np.sum(x * (logf - 0.5 * v * fi2) - f, axis=-1)
         phi_e = x * fi * (1.0 + (e + v * fi) * fi) - 1.0
         phi_e2 = -0.5 * x * fi2
 
-        de2 = _buf("de2", (10, m))
-        de2[0] = 2.0 * (amp2_s * gs * dgs[0] + amp2_g * gg * dgg[0])
-        de2[1] = 2.0 * (amp2_s * gs * dgs[1] + amp2_g * gg * dgg[1])
-        de2[2:5] = (2.0 * amp2_g) * gg * dgg[2:5]
-        de2[5] = 0.0
-        de2[6] = 0.0
-        de2[7] = gs2
-        de2[8] = gg2
-        de2[9] = (2.0 * amp2_g) * gg * dlg
+        de2 = _buf("de2", (gsz, 10, m))
+        de2[:, 0] = 2.0 * (amp2sc * gs * dgs[:, 0] + amp2gc * gg * dgg[:, 0])
+        de2[:, 1] = 2.0 * (amp2sc * gs * dgs[:, 1] + amp2gc * gg * dgg[:, 1])
+        de2[:, 2:5] = (2.0 * amp2_g)[:, None, None] * (
+            gg[:, None, :] * dgg[:, 2:5])
+        de2[:, 5] = 0.0
+        de2[:, 6] = 0.0
+        de2[:, 7] = gs2
+        de2[:, 8] = gg2
+        de2[:, 9] = (2.0 * amp2_g)[:, None] * (gg * dlg)
 
-        gz = de @ phi_e + de2 @ phi_e2
+        gz = _mv(de, phi_e) + _mv(de2, phi_e2)
     else:
-        val = float(np.sum(x * logf - f))
+        val = np.sum(x * logf - f, axis=-1)
         phi_e = x * fi - 1.0
-        gz = de @ phi_e
+        gz = _mv(de, phi_e)
 
     if order < 2:
         return val, gz, None
 
     # -- z-Hessian: outer-product terms ------------------------------------
+    deT = de.transpose(0, 2, 1)
     if vc:
         phi_ee = -(x * fi * fi * fi) * (4.0 * e + 3.0 * v * fi)
         phi_ee2 = x * fi * fi * fi
-        hz = (de * phi_ee) @ de.T
-        cross = (de * phi_ee2) @ de2.T
+        hz = np.matmul(de * phi_ee[:, None, :], deT)
+        cross = np.matmul(de * phi_ee2[:, None, :], de2.transpose(0, 2, 1))
         hz += cross
-        hz += cross.T
+        hz += cross.transpose(0, 2, 1)
     else:
-        hz = (de * (-x * fi * fi)) @ de.T
+        hz = np.matmul(de * (-x * fi * fi)[:, None, :], deT)
 
     # -- z-Hessian: curvature of e (and e2) in z ---------------------------
     # Upper-triangular accumulator, symmetrized at the end.
-    t = np.zeros((10, 10))
-    ch = hgs @ phi_e                    # (3,): star [xx, xy, yy]
-    cg = hgd @ phi_e                    # packed galaxy pairs
-    cg = dev * cg + (1.0 - dev) * (hge @ phi_e)
-    t[0, 0] = amp_s * ch[0] + amp_g * cg[0]
-    t[0, 1] = amp_s * ch[1] + amp_g * cg[1]
-    t[1, 1] = amp_s * ch[2] + amp_g * cg[5]
+    t = np.zeros((gsz, 10, 10))
+    ch = _mv(hgs, phi_e)                # (G, 3): star [xx, xy, yy]
+    cg = _mv(hgd, phi_e)                # packed galaxy pairs (G, 15)
+    cg = devc * cg + (1.0 - devc) * _mv(hge, phi_e)
+    t[:, 0, 0] = amp_s * ch[:, 0] + amp_g * cg[:, 0]
+    t[:, 0, 1] = amp_s * ch[:, 1] + amp_g * cg[:, 1]
+    t[:, 1, 1] = amp_s * ch[:, 2] + amp_g * cg[:, 5]
     for (p, q), row in _PAIR_ROW.items():
         if q >= 2:                      # pairs touching shape entries
-            t[p, q] += amp_g * cg[row]
+            t[:, p, q] += amp_g * cg[:, row]
     # e is bilinear in (amplitudes, features):
-    t[0, 5] = phi_e @ dgs[0]
-    t[1, 5] = phi_e @ dgs[1]
+    sg = _mv(dgs, phi_e)                # (G, 2)
+    t[:, 0, 5] = sg[:, 0]
+    t[:, 1, 5] = sg[:, 1]
+    gp = _mv(dgg, phi_e)                # (G, 5)
+    dl = _mv(dldg, phi_e)
     for p in range(5):
-        t[p, 6] = phi_e @ dgg[p]
-        t[p, 9] = amp_g * (phi_e @ dldg[p])
-    t[6, 9] = phi_e @ dlg
+        t[:, p, 6] = gp[:, p]
+        t[:, p, 9] = amp_g * dl[:, p]
+    t[:, 6, 9] = np.sum(dlg * phi_e, axis=-1)
 
     if vc:
         wg = phi_e2 * gg
-        cs2 = hgs @ (phi_e2 * gs)
-        cg2 = dev * (hgd @ wg) + (1.0 - dev) * (hge @ wg)
-        m1 = (dgs * phi_e2) @ dgs.T     # (2, 2)
-        m2 = (dgg * phi_e2) @ dgg.T     # (5, 5)
-        t[0, 0] += 2.0 * (amp2_s * (m1[0, 0] + cs2[0])
-                          + amp2_g * (m2[0, 0] + cg2[0]))
-        t[0, 1] += 2.0 * (amp2_s * (m1[0, 1] + cs2[1])
-                          + amp2_g * (m2[0, 1] + cg2[1]))
-        t[1, 1] += 2.0 * (amp2_s * (m1[1, 1] + cs2[2])
-                          + amp2_g * (m2[1, 1] + cg2[5]))
+        cs2 = _mv(hgs, phi_e2 * gs)
+        cg2 = devc * _mv(hgd, wg) + (1.0 - devc) * _mv(hge, wg)
+        m1 = np.matmul(dgs * phi_e2[:, None, :],
+                       dgs.transpose(0, 2, 1))    # (G, 2, 2)
+        m2 = np.matmul(dgg * phi_e2[:, None, :],
+                       dgg.transpose(0, 2, 1))    # (G, 5, 5)
+        t[:, 0, 0] += 2.0 * (amp2_s * (m1[:, 0, 0] + cs2[:, 0])
+                             + amp2_g * (m2[:, 0, 0] + cg2[:, 0]))
+        t[:, 0, 1] += 2.0 * (amp2_s * (m1[:, 0, 1] + cs2[:, 1])
+                             + amp2_g * (m2[:, 0, 1] + cg2[:, 1]))
+        t[:, 1, 1] += 2.0 * (amp2_s * (m1[:, 1, 1] + cs2[:, 2])
+                             + amp2_g * (m2[:, 1, 1] + cg2[:, 5]))
         for (p, q), row in _PAIR_ROW.items():
             if q >= 2:
-                t[p, q] += 2.0 * amp2_g * (m2[p, q] + cg2[row])
+                t[:, p, q] += 2.0 * amp2_g * (m2[:, p, q] + cg2[:, row])
         # Crosses with the second-moment amplitudes and the mixing fraction.
-        t[0, 7] = 2.0 * (phi_e2 @ (gs * dgs[0]))
-        t[1, 7] = 2.0 * (phi_e2 @ (gs * dgs[1]))
+        sv = _mv(gs[:, None, :] * dgs, phi_e2)    # (G, 2)
+        t[:, 0, 7] = 2.0 * sv[:, 0]
+        t[:, 1, 7] = 2.0 * sv[:, 1]
+        gv = _mv(gg[:, None, :] * dgg, phi_e2)    # (G, 5)
+        mixv = _mv(dlg[:, None, :] * dgg + gg[:, None, :] * dldg, phi_e2)
         for p in range(5):
-            t[p, 8] = 2.0 * (phi_e2 @ (gg * dgg[p]))
-            t[p, 9] += 2.0 * amp2_g * (
-                phi_e2 @ (dlg * dgg[p] + gg * dldg[p])
-            )
-        t[8, 9] = 2.0 * (phi_e2 @ (gg * dlg))
-        t[9, 9] += 2.0 * amp2_g * (phi_e2 @ (dlg * dlg))
+            t[:, p, 8] = 2.0 * gv[:, p]
+            t[:, p, 9] += 2.0 * amp2_g * mixv[:, p]
+        t[:, 8, 9] = 2.0 * np.sum(phi_e2 * (gg * dlg), axis=-1)
+        t[:, 9, 9] += 2.0 * amp2_g * np.sum(phi_e2 * (dlg * dlg), axis=-1)
 
     hz += t
-    hz += t.T
-    hz[np.diag_indices(10)] -= np.diag(t)
+    hz += t.transpose(0, 2, 1)
+    diag = np.arange(10)
+    hz[:, diag, diag] -= t[:, diag, diag]
     return val, gz, hz
 
 
 # ---------------------------------------------------------------------------
 # The backend
+
+
+def _evaluate_lanes(stacks: list, chains: list, order: int):
+    """Pixel term over one lane group: per-lane value ``(G,)``, dense
+    27-gradient ``(G, 27)``, and 27x27 Hessian (``None`` at order 1).
+
+    The stacked per-pixel stage runs once per patch slot for all lanes; the
+    pixel-count-independent chain-rule stage (jacobians, z curvature) loops
+    per lane, exactly as the scalar path does."""
+    gsz = len(chains)
+    val = np.zeros(gsz)
+    g27 = np.zeros((gsz, _N_ACTIVE))
+    h27 = np.zeros((gsz, _N_ACTIVE, _N_ACTIVE)) if order >= 2 else None
+    for pws in stacks:
+        pval, gz, hz = _patch_pixel_term(pws, chains)
+        val += pval
+        for l, chain in enumerate(chains):
+            jac = chain.patch_jacobian(pws.bands[l], pws.iota[l], pws.wa[l])
+            g27[l] += jac.T @ gz[l]
+            if order >= 2:
+                h27[l] += jac.T @ (hz[l] @ jac)
+                chain.add_z_curvature(h27[l], pws.bands[l], pws.iota[l],
+                                      pws.wa[l], gz[l])
+    return val, g27, h27
+
+
+def _finalize_lane(ws: _FusedWorkspace, free: np.ndarray, order: int,
+                   val, g27, h27) -> ElboEval:
+    """Add the closed-form KL terms and scatter the pixel term's dense
+    27-block into the full free space."""
+    kl_val, grad, hess = ws.kl.evaluate(free, order)
+    if order >= 1:
+        grad[:_N_ACTIVE] += g27
+    if order >= 2:
+        hess[:_N_ACTIVE, :_N_ACTIVE] += h27
+    return ElboEval(val + kl_val, grad, hess)
 
 
 def elbo_fused(
@@ -904,32 +1134,76 @@ def elbo_fused(
     order: int = 2,
     variance_correction: bool = True,
 ) -> ElboEval:
-    """Evaluate the full ELBO with the fused analytic kernel."""
-    ws = ctx.workspaces.get("fused")
-    if ws is None:
-        ws = ctx.workspaces["fused"] = _FusedWorkspace(ctx)
+    """Evaluate the full ELBO with the fused analytic kernel.
+
+    This is the lane-count-1 case of :func:`elbo_fused_batch`: both paths
+    run the identical stacked code, which is what makes batched evaluation
+    bit-for-bit equal to scalar evaluation."""
+    ws = _context_workspace(ctx)
     free = np.asarray(free, dtype=np.float64)
     chain = _EvalChain(ctx, free, order, variance_correction)
+    if ws.patches:
+        val, g27, h27 = _evaluate_lanes(ws.patches, [chain], order)
+        val, g27 = val[0], g27[0]
+        h27 = h27[0] if h27 is not None else None
+    else:
+        val = 0.0
+        g27 = np.zeros(_N_ACTIVE)
+        h27 = np.zeros((_N_ACTIVE, _N_ACTIVE)) if order >= 2 else None
+    return _finalize_lane(ws, free, order, val, g27, h27)
 
-    val = 0.0
-    g27 = np.zeros(_N_ACTIVE)
-    h27 = np.zeros((_N_ACTIVE, _N_ACTIVE)) if order >= 2 else None
-    for pws in ws.patches:
-        pval, gz, hz = _patch_pixel_term(pws, chain)
-        jac = chain.patch_jacobian(pws)
-        val += pval
-        g27 += jac.T @ gz
-        if order >= 2:
-            h27 += jac.T @ (hz @ jac)
-            chain.add_z_curvature(h27, pws, gz)
 
-    # KL terms: pixel-count-independent, closed-form (never Taylor mode).
-    kl_val, grad, hess = ws.kl.evaluate(free, order)
-    if order >= 1:
-        grad[:_N_ACTIVE] += g27
-    if order >= 2:
-        hess[:_N_ACTIVE, :_N_ACTIVE] += h27
-    return ElboEval(val + kl_val, grad, hess)
+def elbo_fused_batch(
+    ctxs: list,
+    frees: list,
+    order: int = 2,
+    variance_correction: bool = True,
+    compiled: _FusedBatchWorkspace | None = None,
+    active=None,
+) -> list:
+    """Evaluate many sources' ELBOs in one stacked sweep.
+
+    ``compiled`` is a :class:`_FusedBatchWorkspace` from
+    :meth:`FusedBackend.compile_batch` (built on the fly when ``None``); it
+    must have been compiled for exactly these contexts.  ``active`` is an
+    optional per-lane boolean mask: inactive lanes still ride through the
+    stacked pixel sweep (their lanes are baked into the stacks — that waste
+    is what the batch-occupancy counters expose, and why callers repack
+    once occupancy drops), but their results are skipped and returned as
+    ``None``.  Returns one :class:`ElboEval` (or ``None``) per context, in
+    order, each bit-for-bit equal to what :func:`elbo_fused` returns for
+    that context and free vector alone.
+    """
+    if compiled is None:
+        compiled = _FusedBatchWorkspace(ctxs)
+    elif not compiled.matches(ctxs):
+        raise ValueError(
+            "compiled batch workspace does not match the given contexts; "
+            "recompile with compile_batch after changing batch membership"
+        )
+    out: list = [None] * len(ctxs)
+    for lanes, stacks in compiled.groups:
+        chains = [
+            _EvalChain(ctxs[l], np.asarray(frees[l], dtype=np.float64),
+                       order, variance_correction)
+            for l in lanes
+        ]
+        if stacks:
+            val, g27, h27 = _evaluate_lanes(stacks, chains, order)
+        else:
+            gsz = len(lanes)
+            val = np.zeros(gsz)
+            g27 = np.zeros((gsz, _N_ACTIVE))
+            h27 = (np.zeros((gsz, _N_ACTIVE, _N_ACTIVE))
+                   if order >= 2 else None)
+        for j, l in enumerate(lanes):
+            if active is not None and not active[l]:
+                continue
+            out[l] = _finalize_lane(
+                _context_workspace(ctxs[l]), chains[j].free, order,
+                val[j], g27[j], h27[j] if h27 is not None else None,
+            )
+    return out
 
 
 class FusedBackend(ElboBackend):
@@ -944,6 +1218,18 @@ class FusedBackend(ElboBackend):
     def evaluate_kl(self, ctx, free, order):
         val, grad, hess = _kl_workspace(ctx.priors).evaluate(free, order)
         return ElboEval(val, grad, hess)
+
+    def compile_batch(self, ctxs):
+        """Pack the contexts' compiled workspaces into lane-grouped
+        structure-of-arrays stacks (see :class:`_FusedBatchWorkspace` for
+        the no-padding stacking contract)."""
+        return _FusedBatchWorkspace(ctxs)
+
+    def evaluate_batch(self, ctxs, frees, order, variance_correction,
+                       compiled=None, active=None):
+        return elbo_fused_batch(ctxs, frees, order=order,
+                                variance_correction=variance_correction,
+                                compiled=compiled, active=active)
 
     def release_scratch(self):
         release_scratch()

@@ -114,6 +114,11 @@ __all__ = [
 #: lets CI force every driver run onto the process executor.
 EXECUTOR_ENV_VAR = "REPRO_DRIVER_EXECUTOR"
 
+#: Environment variable consulted when neither ``DriverConfig`` nor the
+#: parallel config sets a lockstep ELBO batch size — lets CI force every
+#: source optimization through the batched evaluation path.
+ELBO_BATCH_ENV_VAR = "REPRO_ELBO_BATCH"
+
 _EXECUTORS = ("thread", "process")
 
 
@@ -174,6 +179,17 @@ class DriverConfig:
     #: optimizer config, so process workers and resumed runs can never pick
     #: a different backend than the checkpoint fingerprint recorded.
     elbo_backend: str | None = None
+    #: Sources per lockstep ELBO evaluation batch inside each Cyclades
+    #: thread assignment (see ``ParallelRegionConfig.elbo_batch_size``).
+    #: ``None`` defers to ``parallel.elbo_batch_size``, then the
+    #: ``REPRO_ELBO_BATCH`` environment variable; the resolved value is
+    #: pinned into the parallel config up front (so process workers inherit
+    #: it through the pickled config) and lands in the checkpoint
+    #: fingerprint alongside the backend.  Catalogs are bit-for-bit
+    #: identical whatever the batch size — an invariant the test suite
+    #: enforces rather than assumes, which is why the knob is fingerprinted
+    #: like a result-affecting one.
+    elbo_batch_size: int | None = None
     #: JSON checkpoint file; ``None`` disables checkpointing.  The working
     #: catalog checkpoints as ``n_nodes`` per-rank shard files.
     checkpoint_path: str | None = None
@@ -194,16 +210,39 @@ def _resolve_executor(config: DriverConfig) -> str:
     return mode
 
 
-def _pin_elbo_backend(config: DriverConfig) -> DriverConfig:
-    """Resolve the ELBO backend once and pin it through the config tree.
+def _resolve_elbo_batch_size(config: DriverConfig) -> int | None:
+    """The lockstep evaluation batch size a run will use: an explicit
+    ``DriverConfig.elbo_batch_size`` wins, then the parallel config's own
+    field, then :data:`ELBO_BATCH_ENV_VAR`; ``None``/``1`` means the scalar
+    per-source path."""
+    size = config.elbo_batch_size
+    if size is None:
+        size = config.parallel.elbo_batch_size
+    if size is None:
+        env = os.environ.get(ELBO_BATCH_ENV_VAR)
+        if env:
+            size = int(env)
+    if size is not None and size < 1:
+        raise ValueError(
+            "elbo_batch_size must be a positive integer, got %r" % (size,)
+        )
+    return size
 
-    Precedence: ``config.elbo_backend``, then the single-source optimizer's
-    own ``backend`` field, then the ``REPRO_ELBO_BACKEND`` environment
-    variable / default.  After this the nested ``OptimizeConfig.backend``
-    is always a concrete name, so the fingerprint (which recurses into
-    ``config.parallel``) records the backend that actually runs, and
-    process node-workers inherit it through the pickled config instead of
-    re-reading their own environment.
+
+def _pin_elbo_backend(config: DriverConfig) -> DriverConfig:
+    """Resolve the ELBO backend and batch size once and pin them through
+    the config tree.
+
+    Backend precedence: ``config.elbo_backend``, then the single-source
+    optimizer's own ``backend`` field, then the ``REPRO_ELBO_BACKEND``
+    environment variable / default.  After this the nested
+    ``OptimizeConfig.backend`` is always a concrete name, so the
+    fingerprint (which recurses into ``config.parallel``) records the
+    backend that actually runs, and process node-workers inherit it through
+    the pickled config instead of re-reading their own environment.  The
+    lockstep batch size is resolved the same way
+    (:func:`_resolve_elbo_batch_size`) and pinned into
+    ``parallel.elbo_batch_size``.
     """
     joint = config.parallel.joint
     backend = resolve_backend_name(
@@ -211,11 +250,14 @@ def _pin_elbo_backend(config: DriverConfig) -> DriverConfig:
         if config.elbo_backend is not None
         else joint.single.backend
     )
+    batch_size = _resolve_elbo_batch_size(config)
     return replace(
         config,
         elbo_backend=backend,
+        elbo_batch_size=batch_size,
         parallel=replace(
             config.parallel,
+            elbo_batch_size=batch_size,
             joint=replace(joint, single=replace(joint.single, backend=backend)),
         ),
     )
@@ -485,6 +527,11 @@ def _fingerprint(store: _FieldStore, config: DriverConfig) -> dict:
         # top level so fingerprint mismatches across default-backend changes
         # are legible in the checkpoint file itself.
         "elbo_backend": config.elbo_backend,
+        # Result-neutral by hard invariant (batched == scalar bit-for-bit,
+        # tested), but fingerprinted anyway — also inside
+        # parallel.elbo_batch_size — so a resumed run's evaluation layout
+        # is recorded next to its backend.
+        "elbo_batch_size": config.elbo_batch_size,
     }
 
 

@@ -60,8 +60,20 @@ class ParallelRegionConfig:
     n_threads: int = 4
     n_passes: int = 2
     joint: JointConfig = field(default_factory=JointConfig)
+    #: Cyclades sampling batch size (sources drawn per conflict-free round);
+    #: ``None`` uses the ``max(2 * n_threads, 8)`` rule.
     batch_size: int | None = None
     seed: int = 0
+    #: Sources per lockstep ELBO evaluation batch: each thread's
+    #: conflict-free assignment is cut into chunks of this size and each
+    #: chunk is optimized through
+    #: :meth:`repro.core.joint.RegionOptimizer.update_sources_batch`, so
+    #: one stacked kernel sweep serves every still-active source in the
+    #: chunk.  ``None``/``1`` keeps the scalar per-source path.  Results
+    #: are bit-for-bit identical either way (batching is an execution
+    #: strategy — tested, not assumed); the driver plumbs this from
+    #: ``DriverConfig.elbo_batch_size`` / ``REPRO_ELBO_BATCH``.
+    elbo_batch_size: int | None = None
 
 
 def optimize_region_parallel(
@@ -96,7 +108,8 @@ def optimize_region_parallel(
                 graph, config.n_threads, config.batch_size, rng=rng
             ):
                 futures = [
-                    pool.submit(_run_assignment, opt, assignment)
+                    pool.submit(_run_assignment, opt, assignment,
+                                config.elbo_batch_size, graph)
                     for assignment in batch.thread_assignments
                     if assignment
                 ]
@@ -110,16 +123,59 @@ def optimize_region_parallel(
     )
 
 
-def _run_assignment(opt: RegionOptimizer, assignment: list[int]) -> None:
+def _batchable_runs(assignment: list[int], graph, limit: int) -> list[list[int]]:
+    """Cut a thread assignment into in-order chunks of pairwise
+    *non-conflicting* sources, each at most ``limit`` long.
+
+    An assignment is a union of conflict-graph connected components:
+    sources from different components never overlap, but sources *within*
+    a component can — that is exactly why Cyclades serializes them on one
+    thread.  A chunk is flushed as soon as the next source conflicts with
+    any member (or the size limit is hit), so every chunk is
+    pixel-disjoint and, processed in order, the chunked schedule is
+    serially equivalent to — and bit-for-bit matches — the one-by-one loop.
+    """
+    runs: list[list[int]] = []
+    current: list[int] = []
+    for s in assignment:
+        if len(current) >= limit or any(
+            graph.conflicts(s, other) for other in current
+        ):
+            runs.append(current)
+            current = []
+        current.append(s)
+    if current:
+        runs.append(current)
+    return runs
+
+
+def _run_assignment(opt: RegionOptimizer, assignment: list[int],
+                    elbo_batch_size: int | None = None,
+                    graph=None) -> None:
     """One thread's Cyclades assignment.
 
     All of an assignment's sources run on one thread, so the fused ELBO
     backend's thread-local scratch buffers are reused across every Newton
     iteration of every source here; they are released when the assignment
     completes so idle pool threads hold no evaluation buffers.
+
+    With ``elbo_batch_size`` set (and the conflict ``graph`` available),
+    the assignment is cut into conflict-free runs
+    (:func:`_batchable_runs`) and each run is optimized as one lockstep
+    batch (:meth:`RegionOptimizer.update_sources_batch`) — bit-for-bit
+    equivalent to the per-source loop, just served by stacked evaluation
+    sweeps.
     """
     try:
-        for s in assignment:
-            opt.update_source(s)
+        if elbo_batch_size is not None and elbo_batch_size > 1 \
+                and graph is not None:
+            for run in _batchable_runs(assignment, graph, elbo_batch_size):
+                if len(run) == 1:
+                    opt.update_source(run[0])
+                else:
+                    opt.update_sources_batch(run)
+        else:
+            for s in assignment:
+                opt.update_source(s)
     finally:
         release_scratch()

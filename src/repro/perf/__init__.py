@@ -6,12 +6,18 @@ SDE-measured constant), and work outside the objective function scales the
 total by 1.375x.
 """
 
-from repro.perf.counters import Counters, GLOBAL_COUNTERS, counting
+from repro.perf.counters import (
+    Counters,
+    GLOBAL_COUNTERS,
+    batch_occupancy,
+    counting,
+)
 from repro.perf.flops import flops_from_visits, flop_rate, FlopReport
 from repro.perf.report import thread_runtime_breakdown, RuntimeBreakdown
 from repro.perf.driver import DriverReport
 
 __all__ = [
+    "batch_occupancy",
     "Counters",
     "GLOBAL_COUNTERS",
     "counting",

@@ -7,6 +7,16 @@ iterations, objective evaluations (plus per-backend tallies and
 front end so totals are identical whichever ELBO backend ran), RMA get/put
 operations, and bytes loaded.  Thread-safe, since Cyclades runs source
 updates concurrently.
+
+**Batch occupancy.**  The batched objective front end
+(:func:`repro.core.elbo.elbo_batch`) counts ``elbo_batch_calls``,
+``elbo_batch_lanes`` (lanes swept, active or not), and
+``elbo_batch_lanes_active``.  A lockstep solve keeps converged sources'
+lanes in its compiled stacks until it repacks, so swept-but-inactive lanes
+are real wasted pixel work; :func:`batch_occupancy` turns the counters
+into the fraction of swept lanes that were live — 1.0 means no waste,
+and a low value means the repack threshold is letting dead lanes ride
+too long.
 """
 
 from __future__ import annotations
@@ -15,7 +25,16 @@ import threading
 from collections import defaultdict
 from contextlib import contextmanager
 
-__all__ = ["Counters", "GLOBAL_COUNTERS", "counting"]
+__all__ = ["Counters", "GLOBAL_COUNTERS", "batch_occupancy", "counting"]
+
+
+def batch_occupancy(snapshot: dict) -> float:
+    """Fraction of swept evaluation-batch lanes that were active, from a
+    counter snapshot; 1.0 when no batched evaluations ran (no waste)."""
+    lanes = snapshot.get("elbo_batch_lanes", 0.0)
+    if lanes <= 0.0:
+        return 1.0
+    return snapshot.get("elbo_batch_lanes_active", 0.0) / lanes
 
 
 class Counters:

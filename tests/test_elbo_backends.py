@@ -7,22 +7,23 @@ two together — value, full 41-gradient, and full 41x41 Hessian — over
 randomized sources, parameter vectors, WCS solutions, and evaluation modes,
 then check the plumbing: accounting parity, workspace reuse, backend
 selection, and driver-level agreement across executors and backends.
+
+Randomized contexts and the d012 comparator come from the shared harness in
+``tests/conftest.py`` (``make_random_context`` / ``assert_d012_close``), the
+same generator the batched-parity and KL-parity suites draw from.
 """
 
 import dataclasses
-import os
 
 import numpy as np
 import pytest
 
 from repro.core import (
-    CatalogEntry,
     JointConfig,
     OptimizeConfig,
     available_backends,
     default_priors,
     elbo,
-    make_context,
     optimize_source,
     resolve_backend_name,
 )
@@ -33,142 +34,65 @@ from repro.core.elbo import (
     SourceContext,
     elbo_kl,
 )
-from repro.core.params import FREE, canonical_to_free
+from repro.core.params import FREE
 from repro.core.single import initial_params, to_catalog_entry
 from repro.driver import DriverConfig, run_pipeline
 from repro.parallel import ParallelRegionConfig
 from repro.perf.counters import Counters
-from repro.psf import default_psf
-from repro.survey import (
-    AffineWCS,
-    ImageMeta,
-    SyntheticSkyConfig,
-    generate_survey_fields,
-    render_image,
-)
-
-STAR_ENTRY = CatalogEntry(position=[14.0, 13.0], is_galaxy=False, flux_r=25.0,
-                          colors=[1.5, 1.1, 0.25, 0.05])
-GAL_ENTRY = CatalogEntry(position=[14.0, 13.0], is_galaxy=True, flux_r=60.0,
-                         colors=[0.7, 0.45, 0.6, 0.45], gal_radius_px=2.0,
-                         gal_axis_ratio=0.6, gal_angle=0.8, gal_frac_dev=0.4)
-
-#: Deliberately non-trivial WCS solutions: rotation, shear, anisotropic
-#: scale, and plain offsets — the fused backend chains positions through
-#: the affine map and must agree on all of them.
-WCS_LIST = [
-    AffineWCS.translation(0.0, 0.0),
-    AffineWCS(np.array([[0.9, 0.2], [-0.15, 1.1]]),
-              np.array([1.0, -0.5]), np.array([3.0, 2.0])),
-    AffineWCS(np.array([[1.1, 0.0], [0.0, 0.95]]),
-              np.zeros(2), np.array([0.3, 0.1])),
-    AffineWCS.translation(0.5, -0.25),
-    AffineWCS.translation(-1.0, 1.0),
-]
+from repro.survey import SyntheticSkyConfig, generate_survey_fields
 
 
-def build_context(entry, bands=(1, 2, 3), seed=0, mask=False):
-    rng = np.random.default_rng(seed)
-    images = []
-    for band in bands:
-        meta = ImageMeta(band=band, wcs=WCS_LIST[band % len(WCS_LIST)],
-                         psf=default_psf(3.0), sky_level=100.0,
-                         calibration=100.0)
-        im = render_image([entry], meta, (28, 28), rng=rng)
-        if mask:
-            m = np.zeros(im.pixels.shape, dtype=bool)
-            m[::7, ::5] = True
-            im = dataclasses.replace(im, mask=m)
-        images.append(im)
-    counters = Counters()
-    ctx = make_context(images, entry.position, default_priors(),
-                       counters=counters)
-    free = canonical_to_free(
-        initial_params(entry, ctx.priors).to_canonical(), ctx.u_center
-    )
-    return ctx, free
-
-
-def assert_backends_agree(ctx, free, order, variance_correction,
-                          rtol=1e-9):
+def _agree(check, ctx, free, order, variance_correction, rtol=1e-9):
+    """Evaluate both backends on one context and require d012 agreement."""
     ref = elbo(ctx, free, order=order,
                variance_correction=variance_correction, backend="taylor")
     out = elbo(ctx, free, order=order,
                variance_correction=variance_correction, backend="fused")
-    np.testing.assert_allclose(float(out.val), float(ref.val), rtol=rtol)
-    g_ref = ref.gradient(FREE.size)
-    g_out = out.gradient(FREE.size)
-    np.testing.assert_allclose(g_out, g_ref, rtol=rtol,
-                               atol=rtol * (1.0 + np.abs(g_ref).max()))
-    if order >= 2:
-        h_ref = ref.hessian(FREE.size)
-        h_out = out.hessian(FREE.size)
-        np.testing.assert_allclose(h_out, h_ref, rtol=rtol,
-                                   atol=rtol * (1.0 + np.abs(h_ref).max()))
-        np.testing.assert_allclose(h_out, h_out.T, atol=1e-10)
-    else:
-        assert out.hess is None
-        assert ref.hess is None
+    check(out, ref, order, rtol=rtol)
 
 
 class TestPixelTermParity:
     """Randomized value/gradient/Hessian agreement, both orders and modes."""
 
-    @pytest.mark.parametrize("entry", [STAR_ENTRY, GAL_ENTRY],
-                             ids=["star", "galaxy"])
+    @pytest.mark.parametrize("entry", ["star", "galaxy"])
     @pytest.mark.parametrize("order", [1, 2])
     @pytest.mark.parametrize("variance_correction", [True, False],
                              ids=["vc", "novc"])
-    def test_randomized_parity(self, entry, order, variance_correction):
-        ctx, free0 = build_context(entry, seed=3)
+    def test_randomized_parity(self, make_random_context, assert_d012_close,
+                               entry, order, variance_correction):
+        ctx, free0 = make_random_context(entry, seed=3)
         rng = np.random.default_rng(20180131 + order)
         for _ in range(4):
             free = free0 + 0.2 * rng.standard_normal(free0.shape)
-            assert_backends_agree(ctx, free, order, variance_correction)
+            _agree(assert_d012_close, ctx, free, order, variance_correction)
 
-    def test_all_five_bands_and_masked_pixels(self):
-        ctx, free = build_context(GAL_ENTRY, bands=(0, 1, 2, 3, 4), seed=9,
-                                  mask=True)
+    def test_all_five_bands_and_masked_pixels(self, make_random_context,
+                                              assert_d012_close):
+        ctx, free = make_random_context("galaxy", bands=(0, 1, 2, 3, 4),
+                                        seed=9, mask=True)
         assert ctx.n_active_pixels < sum(
             (b[1] - b[0]) * (b[3] - b[2]) for b in (p.bounds for p in ctx.patches)
         )
-        assert_backends_agree(ctx, free, 2, True)
+        _agree(assert_d012_close, ctx, free, 2, True)
 
-    def test_parity_far_from_initialization(self):
+    def test_parity_far_from_initialization(self, make_random_context,
+                                            assert_d012_close):
         # Large perturbations exercise the bijector chains away from their
         # comfortable mid-range (saturating logits, near-circular and
         # near-edge-on shapes).
-        ctx, free0 = build_context(GAL_ENTRY, seed=11)
+        ctx, free0 = make_random_context("galaxy", seed=11)
         rng = np.random.default_rng(77)
         for _ in range(3):
             free = free0 + rng.uniform(-1.5, 1.5, size=free0.shape)
-            assert_backends_agree(ctx, free, 2, True, rtol=1e-8)
+            _agree(assert_d012_close, ctx, free, 2, True, rtol=1e-8)
 
-    def test_order1_value_gradient_match_order2(self):
-        ctx, free = build_context(STAR_ENTRY, seed=5)
+    def test_order1_value_gradient_match_order2(self, make_random_context):
+        ctx, free = make_random_context("star", seed=5)
         o1 = elbo(ctx, free, order=1, backend="fused")
         o2 = elbo(ctx, free, order=2, backend="fused")
         np.testing.assert_allclose(float(o1.val), float(o2.val), rtol=1e-12)
         np.testing.assert_allclose(o1.gradient(FREE.size),
                                    o2.gradient(FREE.size), rtol=1e-10)
-
-
-def _perturbed_priors(seed):
-    """A randomized prior configuration: non-uniform mixture weights,
-    shifted component means, rescaled variances, asymmetric type prior."""
-    rng = np.random.default_rng(seed)
-    p = default_priors()
-    kw = rng.uniform(0.2, 1.0, p.k_weights.shape)
-    kw /= kw.sum(axis=0, keepdims=True)
-    return dataclasses.replace(
-        p,
-        prob_galaxy=float(rng.uniform(0.05, 0.95)),
-        r_loc=p.r_loc + rng.normal(0.0, 0.5, p.r_loc.shape),
-        r_var=p.r_var * rng.uniform(0.5, 2.0, p.r_var.shape),
-        k_weights=kw,
-        c_mean=p.c_mean + rng.normal(0.0, 0.3, p.c_mean.shape),
-        c_var=p.c_var * rng.uniform(0.5, 2.0, p.c_var.shape),
-    )
 
 
 def _kl_only_context(priors):
@@ -183,9 +107,10 @@ class TestKlParity:
     @pytest.mark.parametrize("priors_seed", [None, 1, 2],
                              ids=["default", "perturbed1", "perturbed2"])
     @pytest.mark.parametrize("order", [1, 2])
-    def test_randomized_kl_parity(self, order, priors_seed):
+    def test_randomized_kl_parity(self, assert_d012_close, perturbed_priors,
+                                  order, priors_seed):
         priors = (default_priors() if priors_seed is None
-                  else _perturbed_priors(priors_seed))
+                  else perturbed_priors(priors_seed))
         ctx = _kl_only_context(priors)
         rng = np.random.default_rng(20180131 + order + 100 * (priors_seed or 0))
         for _ in range(5):
@@ -194,21 +119,7 @@ class TestKlParity:
             free = rng.uniform(-2.0, 2.0, FREE.size)
             ref = elbo_kl(ctx, free, order=order, backend="taylor")
             out = elbo_kl(ctx, free, order=order, backend="fused")
-            np.testing.assert_allclose(float(out.val), float(ref.val),
-                                       rtol=1e-10)
-            g_ref = ref.gradient(FREE.size)
-            np.testing.assert_allclose(
-                out.gradient(FREE.size), g_ref, rtol=1e-9,
-                atol=1e-9 * (1.0 + np.abs(g_ref).max()))
-            if order >= 2:
-                h_ref = ref.hessian(FREE.size)
-                h_out = out.hessian(FREE.size)
-                np.testing.assert_allclose(
-                    h_out, h_ref, rtol=1e-9,
-                    atol=1e-9 * (1.0 + np.abs(h_ref).max()))
-                np.testing.assert_allclose(h_out, h_out.T, atol=1e-12)
-            else:
-                assert out.hess is None and ref.hess is None
+            assert_d012_close(out, ref, order, rtol=1e-9)
 
     def test_full_objective_on_patchless_context_is_pure_kl(self):
         # With no patches the whole objective *is* the KL sum: the fused
@@ -235,24 +146,24 @@ class TestKlParity:
             # KL work never counts active-pixel visits (the FLOP unit).
             assert "active_pixel_visits" not in snap
 
-    def test_kl_workspace_compiled_once_per_priors(self):
+    def test_kl_workspace_compiled_once_per_priors(self, make_random_context):
         from repro.core.kernel import _kl_workspace
 
         priors = default_priors()
         assert _kl_workspace(priors) is _kl_workspace(priors)
         # Two source contexts under the same priors share one compiled KL
         # workspace (the pixel workspaces stay per-context).
-        ctx_a, free = build_context(STAR_ENTRY, seed=2)
-        ctx_b, _ = build_context(GAL_ENTRY, seed=3)
+        ctx_a, free = make_random_context("star", seed=2)
+        ctx_b, _ = make_random_context("galaxy", seed=3)
         ctx_b = dataclasses.replace(ctx_b, priors=ctx_a.priors)
         elbo(ctx_a, free, order=1, backend="fused")
         elbo(ctx_b, free, order=1, backend="fused")
         assert (ctx_a.workspaces["fused"].kl
                 is ctx_b.workspaces["fused"].kl)
 
-    def test_distinct_priors_get_distinct_workspaces(self):
+    def test_distinct_priors_get_distinct_workspaces(self, perturbed_priors):
         ctx = _kl_only_context(default_priors())
-        other = _kl_only_context(_perturbed_priors(7))
+        other = _kl_only_context(perturbed_priors(7))
         free = np.zeros(FREE.size)
         a = elbo_kl(ctx, free, order=0, backend="fused")
         b = elbo_kl(other, free, order=0, backend="fused")
@@ -261,12 +172,12 @@ class TestKlParity:
 
 class TestScratchReleasedOnFailure:
     @pytest.mark.parametrize("method", ["newton", "lbfgs"])
-    def test_raising_evaluation_releases_thread_scratch(self, monkeypatch,
-                                                        method):
+    def test_raising_evaluation_releases_thread_scratch(
+            self, monkeypatch, make_random_context, star_entry, method):
         from repro.core import kernel
 
-        ctx, _ = build_context(STAR_ENTRY, seed=6)
-        optimize_source(ctx, STAR_ENTRY,
+        ctx, _ = make_random_context("star", seed=6)
+        optimize_source(ctx, star_entry,
                         OptimizeConfig(max_iter=2, method=method,
                                        backend="fused"))
         baseline_pool = getattr(kernel._TLS, "pool", None)
@@ -277,7 +188,7 @@ class TestScratchReleasedOnFailure:
 
         monkeypatch.setattr(kernel, "_patch_pixel_term", boom)
         with pytest.raises(RuntimeError):
-            optimize_source(ctx, STAR_ENTRY,
+            optimize_source(ctx, star_entry,
                             OptimizeConfig(max_iter=2, method=method,
                                            backend="fused"))
         pool = getattr(kernel._TLS, "pool", None)
@@ -285,8 +196,8 @@ class TestScratchReleasedOnFailure:
 
 
 class TestAccountingAndWorkspace:
-    def test_visits_counted_identically(self):
-        ctx, free = build_context(STAR_ENTRY, seed=2)
+    def test_visits_counted_identically(self, make_random_context):
+        ctx, free = make_random_context("star", seed=2)
         per_backend = {}
         for name in ("taylor", "fused"):
             ctx.counters.reset()
@@ -297,16 +208,16 @@ class TestAccountingAndWorkspace:
             assert snap["objective_evaluations"] == 1.0
             assert snap["objective_evaluations_" + name] == 1.0
 
-    def test_workspace_compiled_once_and_reused(self):
-        ctx, free = build_context(STAR_ENTRY, seed=2)
+    def test_workspace_compiled_once_and_reused(self, make_random_context):
+        ctx, free = make_random_context("star", seed=2)
         assert "fused" not in ctx.workspaces
         elbo(ctx, free, order=2, backend="fused")
         ws = ctx.workspaces["fused"]
         elbo(ctx, free + 0.1, order=2, backend="fused")
         assert ctx.workspaces["fused"] is ws
 
-    def test_elbo_eval_surface(self):
-        ctx, free = build_context(STAR_ENTRY, seed=2)
+    def test_elbo_eval_surface(self, make_random_context):
+        ctx, free = make_random_context("star", seed=2)
         out = elbo(ctx, free, order=2, backend="fused")
         assert isinstance(out, ElboEval)
         assert out.val.shape == ()
@@ -323,8 +234,9 @@ class TestAccountingAndWorkspace:
         with pytest.raises(ValueError):
             out.hessian(7)
 
-    def test_gradient_extraction_returns_fresh_arrays(self):
-        ctx, free = build_context(STAR_ENTRY, seed=2)
+    def test_gradient_extraction_returns_fresh_arrays(self,
+                                                      make_random_context):
+        ctx, free = make_random_context("star", seed=2)
         out = elbo(ctx, free, order=2, backend="fused")
         g = out.gradient(FREE.size)
         g[:] = 0.0
@@ -338,26 +250,27 @@ class TestBackendSelection:
         with pytest.raises(ValueError):
             resolve_backend_name("vectorized-cobol")
 
-    def test_env_var_selects_backend(self, monkeypatch):
+    def test_env_var_selects_backend(self, monkeypatch, make_random_context):
         monkeypatch.setenv(BACKEND_ENV_VAR, "taylor")
         assert resolve_backend_name(None) == "taylor"
         monkeypatch.setenv(BACKEND_ENV_VAR, "fused")
-        ctx, free = build_context(STAR_ENTRY, seed=2)
+        ctx, free = make_random_context("star", seed=2)
         out = elbo(ctx, free, order=2)          # backend=None -> env var
         assert isinstance(out, ElboEval)
         monkeypatch.delenv(BACKEND_ENV_VAR)
         # The production default since the KL terms went closed-form.
         assert resolve_backend_name(None) == DEFAULT_BACKEND == "fused"
 
-    def test_optimize_source_backend_knob(self):
+    def test_optimize_source_backend_knob(self, make_random_context,
+                                          star_entry):
         # The full Newton solve must converge to the same catalog entry
         # under either backend at the same tolerances.
-        ctx_t, _ = build_context(STAR_ENTRY, bands=(0, 1, 2, 3, 4), seed=1)
-        ctx_f, _ = build_context(STAR_ENTRY, bands=(0, 1, 2, 3, 4), seed=1)
+        ctx_t, _ = make_random_context("star", bands=(0, 1, 2, 3, 4), seed=1)
+        ctx_f, _ = make_random_context("star", bands=(0, 1, 2, 3, 4), seed=1)
         res_t = optimize_source(
-            ctx_t, STAR_ENTRY, OptimizeConfig(max_iter=60, backend="taylor"))
+            ctx_t, star_entry, OptimizeConfig(max_iter=60, backend="taylor"))
         res_f = optimize_source(
-            ctx_f, STAR_ENTRY, OptimizeConfig(max_iter=60, backend="fused"))
+            ctx_f, star_entry, OptimizeConfig(max_iter=60, backend="fused"))
         assert res_t.converged and res_f.converged
         est_t = to_catalog_entry(res_t.params)
         est_f = to_catalog_entry(res_f.params)
@@ -366,20 +279,20 @@ class TestBackendSelection:
         assert est_t.is_galaxy == est_f.is_galaxy
         assert res_f.elbo == pytest.approx(res_t.elbo, rel=1e-8)
 
-    def test_lbfgs_solves_counted(self):
-        ctx, _ = build_context(STAR_ENTRY, seed=4)
-        optimize_source(ctx, STAR_ENTRY,
+    def test_lbfgs_solves_counted(self, make_random_context, star_entry):
+        ctx, _ = make_random_context("star", seed=4)
+        optimize_source(ctx, star_entry,
                         OptimizeConfig(max_iter=5, method="lbfgs"))
         assert ctx.counters.get("lbfgs_solves") == 1.0
         assert ctx.counters.get("lbfgs_iterations") > 0
-        optimize_source(ctx, STAR_ENTRY, OptimizeConfig(max_iter=5))
+        optimize_source(ctx, star_entry, OptimizeConfig(max_iter=5))
         assert ctx.counters.get("newton_solves") == 1.0
 
 
 class TestInitialParamsAngle:
-    def test_e_angle_normalized_and_idempotent(self):
+    def test_e_angle_normalized_and_idempotent(self, galaxy_entry):
         priors = default_priors()
-        entry = dataclasses.replace(GAL_ENTRY, gal_angle=0.8 + 2.0 * np.pi)
+        entry = dataclasses.replace(galaxy_entry, gal_angle=0.8 + 2.0 * np.pi)
         params = initial_params(entry, priors)
         assert 0.0 <= params.e_angle < np.pi
         assert params.e_angle == pytest.approx(0.8 + 2.0 * np.pi - np.pi * 2)

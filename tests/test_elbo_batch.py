@@ -1,0 +1,423 @@
+"""Batched ELBO evaluation and the lockstep Newton optimizer.
+
+The hard invariant of the batch path: **batched execution is bit-for-bit
+identical to scalar execution** at every level — a single evaluation, a
+whole Newton solve, a Cyclades region, a multi-field driver run.  Padding a
+batch to a common shape cannot satisfy that (NumPy's pairwise-summation
+grouping depends on the reduced length), so the fused kernel groups lanes
+by shape instead; these tests pin the invariant with exact equality, and
+pin batched-vs-Taylor parity with the shared randomized harness from
+``tests/conftest.py``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    JointConfig,
+    OptimizeConfig,
+    compile_elbo_batch,
+    default_priors,
+    elbo,
+    elbo_batch,
+    optimize_source,
+    optimize_sources_batch,
+)
+from repro.core.catalog import CatalogEntry
+from repro.core.params import FREE
+from repro.driver import DriverConfig, run_pipeline
+from repro.driver.pipeline import ELBO_BATCH_ENV_VAR, _pin_elbo_backend
+from repro.parallel import ParallelRegionConfig, optimize_region_parallel
+from repro.parallel.conflict import build_conflict_graph
+from repro.parallel.executor import _batchable_runs
+from repro.perf.counters import batch_occupancy
+from repro.psf import default_psf
+from repro.survey import (
+    AffineWCS,
+    ImageMeta,
+    SyntheticSkyConfig,
+    generate_survey_fields,
+    render_image,
+)
+
+
+def _batch(make_random_context, specs):
+    """Build a batch of ``(ctx, free)`` pairs from harness spec dicts."""
+    pairs = [make_random_context(**spec) for spec in specs]
+    return [c for c, _ in pairs], [f for _, f in pairs]
+
+
+#: A deliberately ragged batch: same-shaped star/galaxy lanes that stack,
+#: plus a smaller patch, a different visit count, and masked pixels — four
+#: distinct shape groups in one batch.
+RAGGED = [
+    dict(entry="star", seed=0, perturb=0.1),
+    dict(entry="galaxy", seed=1, perturb=0.1),
+    dict(entry="star", seed=2, perturb=0.2),
+    dict(entry="galaxy", seed=3, patch_shape=(16, 16), perturb=0.1),
+    dict(entry="star", seed=4, n_visits=2, perturb=0.1),
+    dict(entry="galaxy", seed=5, mask=True, perturb=0.1),
+]
+
+UNIFORM = [dict(entry="star", seed=s, perturb=0.1) for s in range(5)]
+
+
+class TestBatchedEvaluationParity:
+    """elbo_batch against the scalar call and against the Taylor oracle."""
+
+    @pytest.mark.parametrize("specs", [UNIFORM, RAGGED],
+                             ids=["uniform", "ragged"])
+    @pytest.mark.parametrize("order", [1, 2])
+    def test_batched_bit_for_bit_equals_scalar(self, make_random_context,
+                                               specs, order):
+        ctxs, frees = _batch(make_random_context, specs)
+        outs = elbo_batch(ctxs, frees, order=order, backend="fused")
+        for ctx, free, out in zip(ctxs, frees, outs):
+            ref = elbo(ctx, free, order=order, backend="fused")
+            assert float(out.val) == float(ref.val)
+            np.testing.assert_array_equal(out.gradient(FREE.size),
+                                          ref.gradient(FREE.size))
+            if order >= 2:
+                np.testing.assert_array_equal(out.hessian(FREE.size),
+                                              ref.hessian(FREE.size))
+            else:
+                assert out.hess is None
+
+    @pytest.mark.parametrize("order", [1, 2])
+    def test_batched_fused_matches_taylor_oracle(self, make_random_context,
+                                                 assert_d012_close, order):
+        """Randomized batched-vs-Taylor parity: the Taylor backend's
+        trivial per-lane loop is the oracle the stacked kernel must
+        match at both orders."""
+        ctxs, frees = _batch(make_random_context, RAGGED)
+        fused = elbo_batch(ctxs, frees, order=order, backend="fused")
+        taylor = elbo_batch(ctxs, frees, order=order, backend="taylor")
+        for out, ref in zip(fused, taylor):
+            assert_d012_close(out, ref, order, rtol=1e-9)
+
+    def test_batch_of_one(self, make_random_context):
+        ctx, free = make_random_context("galaxy", seed=8, perturb=0.1)
+        out = elbo_batch([ctx], [free], order=2, backend="fused")
+        ref = elbo(ctx, free, order=2, backend="fused")
+        assert float(out[0].val) == float(ref.val)
+        np.testing.assert_array_equal(out[0].hessian(FREE.size),
+                                      ref.hessian(FREE.size))
+
+    def test_compiled_handle_reused_and_guarded(self, make_random_context):
+        ctxs, frees = _batch(make_random_context, UNIFORM)
+        compiled = compile_elbo_batch(ctxs, backend="fused")
+        a = elbo_batch(ctxs, frees, compiled=compiled, backend="fused")
+        b = elbo_batch(ctxs, frees, compiled=compiled, backend="fused")
+        assert float(a[0].val) == float(b[0].val)
+        # Membership changed without recompiling: refuse, don't misevaluate.
+        with pytest.raises(ValueError):
+            elbo_batch(ctxs[1:], frees[1:], compiled=compiled,
+                       backend="fused")
+
+    def test_active_mask_skips_lanes_and_accounting(self, make_random_context):
+        ctxs, frees = _batch(make_random_context, UNIFORM)
+        active = [True, False, True, False, True]
+        outs = elbo_batch(ctxs, frees, order=2, backend="fused",
+                          active=active)
+        for flag, out in zip(active, outs):
+            assert (out is not None) == flag
+        # Inactive lanes are never accounted: no visits, no evaluations.
+        assert "active_pixel_visits" not in ctxs[1].counters.snapshot()
+        snap = ctxs[0].counters.snapshot()
+        assert snap["elbo_batch_calls"] == 1.0
+        assert snap["elbo_batch_lanes"] == 5.0
+        assert snap["elbo_batch_lanes_active"] == 3.0
+        assert batch_occupancy(snap) == pytest.approx(0.6)
+
+    def test_input_validation(self, make_random_context):
+        ctxs, frees = _batch(make_random_context, UNIFORM[:2])
+        with pytest.raises(ValueError):
+            elbo_batch(ctxs, frees[:1], backend="fused")
+        with pytest.raises(ValueError):
+            elbo_batch(ctxs, frees, active=[True], backend="fused")
+
+    def test_empty_batch(self):
+        assert elbo_batch([], [], backend="fused") == []
+
+
+class TestLockstepOptimizer:
+    """optimize_sources_batch against per-source optimize_source."""
+
+    def _solve_both(self, make_random_context, specs, config,
+                    **batch_kwargs):
+        ref_ctxs, entries = _cases(make_random_context, specs)
+        bat_ctxs, _ = _cases(make_random_context, specs)
+        ref = [optimize_source(ctx, e, config)
+               for ctx, e in zip(ref_ctxs, entries)]
+        bat = optimize_sources_batch(bat_ctxs, entries, config,
+                                     **batch_kwargs)
+        return ref, bat, bat_ctxs
+
+    def test_bit_for_bit_equals_scalar_solves(self, make_random_context):
+        config = OptimizeConfig(max_iter=15, grad_tol=1e-4, backend="fused")
+        ref, bat, _ = self._solve_both(make_random_context, RAGGED, config)
+        for r, b in zip(ref, bat):
+            np.testing.assert_array_equal(r.free, b.free)
+            assert r.elbo == b.elbo
+            assert r.optim.n_iterations == b.optim.n_iterations
+            assert r.optim.n_evaluations == b.optim.n_evaluations
+            assert r.optim.message == b.optim.message
+            assert r.converged == b.converged
+
+    def test_repack_thresholds_do_not_change_results(self,
+                                                     make_random_context):
+        config = OptimizeConfig(max_iter=20, grad_tol=1e-4, backend="fused")
+        frees = {}
+        for threshold in (0.0, 0.5, 1.0):
+            ctxs, entries = _cases(make_random_context, UNIFORM)
+            results = optimize_sources_batch(ctxs, entries, config,
+                                             repack_threshold=threshold)
+            frees[threshold] = [r.free for r in results]
+            if threshold == 1.0:
+                # Repacking on every drop keeps occupancy perfect: every
+                # swept lane is active.
+                snap = ctxs[0].counters.snapshot()
+                assert (snap["elbo_batch_lanes_active"]
+                        == snap["elbo_batch_lanes"])
+        for threshold in (0.5, 1.0):
+            for a, b in zip(frees[0.0], frees[threshold]):
+                np.testing.assert_array_equal(a, b)
+
+    def test_counters_match_scalar_path(self, make_random_context):
+        config = OptimizeConfig(max_iter=10, grad_tol=1e-4, backend="fused")
+        ref, bat, bat_ctxs = self._solve_both(
+            make_random_context, UNIFORM, config)
+        # Per-lane counter bags: visits/evaluations/iterations identical to
+        # the scalar path; only the batch-shape counters are extra.
+        ref_ctxs, entries = _cases(make_random_context, UNIFORM)
+        for ctx, e in zip(ref_ctxs, entries):
+            optimize_source(ctx, e, config)
+        for rc, bc in zip(ref_ctxs, bat_ctxs):
+            r = rc.counters.snapshot()
+            b = bc.counters.snapshot()
+            for key in ("active_pixel_visits", "objective_evaluations",
+                        "objective_evaluations_fused", "newton_solves",
+                        "newton_iterations"):
+                assert r.get(key) == b.get(key), key
+
+    def test_all_sources_converge_on_first_iteration(self,
+                                                     make_random_context):
+        # A sky-high tolerance converges every lane right after the shared
+        # round-zero evaluation: one batch call, zero iterations, and the
+        # lockstep loop must exit cleanly with nothing pending.
+        config = OptimizeConfig(max_iter=10, grad_tol=1e9, backend="fused")
+        ctxs, entries = _cases(make_random_context, UNIFORM)
+        results = optimize_sources_batch(ctxs, entries, config)
+        assert all(r.converged for r in results)
+        assert all(r.optim.n_iterations == 0 for r in results)
+        assert all(r.optim.n_evaluations == 1 for r in results)
+        assert ctxs[0].counters.snapshot()["elbo_batch_calls"] == 1.0
+
+    def test_lbfgs_falls_back_to_per_source(self, make_random_context):
+        config = OptimizeConfig(max_iter=5, method="lbfgs", backend="fused")
+        ctxs, entries = _cases(make_random_context, UNIFORM[:2])
+        results = optimize_sources_batch(ctxs, entries, config)
+        assert len(results) == 2
+        assert ctxs[0].counters.get("lbfgs_solves") == 1.0
+        assert "elbo_batch_calls" not in ctxs[0].counters.snapshot()
+
+    def test_raising_evaluation_releases_scratch_pool(self, monkeypatch,
+                                                      make_random_context):
+        """Extends the PR-4 regression to the batched path: an evaluation
+        that raises mid-lockstep must return the per-thread scratch pool
+        to baseline rather than strand stacked buffers."""
+        from repro.core import kernel
+
+        config = OptimizeConfig(max_iter=3, grad_tol=1e-4, backend="fused")
+        ctxs, entries = _cases(make_random_context, UNIFORM)
+        optimize_sources_batch(ctxs, entries, config)
+        assert getattr(kernel._TLS, "pool", None)  # buffers pooled
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("stacked kernel exploded mid-lockstep")
+
+        monkeypatch.setattr(kernel, "_patch_pixel_term", boom)
+        fresh, fresh_entries = _cases(make_random_context, UNIFORM)
+        with pytest.raises(RuntimeError):
+            optimize_sources_batch(fresh, fresh_entries, config)
+        assert not getattr(kernel._TLS, "pool", None)
+
+    def test_empty_and_mismatched_inputs(self):
+        assert optimize_sources_batch([], []) == []
+        with pytest.raises(ValueError):
+            optimize_sources_batch([object()], [])
+
+
+def _cases(make_random_context, specs):
+    """Contexts plus the catalog entries that initialize their solves."""
+    triples = [make_random_context(**spec, with_entry=True)
+               for spec in specs]
+    return [c for c, _, _ in triples], [e for _, _, e in triples]
+
+
+# ---------------------------------------------------------------------------
+# Executor level
+
+
+def _region_scene(n=10, spacing=12.0, seed=3):
+    """A row of alternating star/galaxy sources, close enough that some
+    neighbors conflict (patch boxes overlap) and some do not."""
+    rng = np.random.default_rng(seed)
+    entries = []
+    for i in range(n):
+        x = 14.0 + spacing * i
+        if i % 2 == 0:
+            entries.append(CatalogEntry([x, 14.0], False, 30.0 + i,
+                                        [1.5, 1.1, 0.25, 0.05]))
+        else:
+            entries.append(CatalogEntry(
+                [x, 14.0], True, 50.0 + i, [0.7, 0.45, 0.6, 0.45],
+                gal_radius_px=2.0, gal_axis_ratio=0.6, gal_angle=0.8,
+                gal_frac_dev=0.4))
+    shape = (28, int(28 + spacing * (n - 1)))
+    images = [render_image(entries, ImageMeta(
+        band=2, wcs=AffineWCS.translation(0, 0), psf=default_psf(3.0),
+        sky_level=100.0, calibration=100.0), shape, rng=rng)]
+    return images, entries
+
+
+class TestBatchableRuns:
+    def test_conflicting_sources_never_share_a_run(self):
+        pos = np.array([[0.0, 0.0], [8.0, 0.0], [40.0, 0.0], [80.0, 0.0]])
+        graph = build_conflict_graph(pos, radii=5.0)
+        assert graph.conflicts(0, 1)
+        runs = _batchable_runs([0, 1, 2, 3], graph, limit=4)
+        assert runs == [[0], [1, 2, 3]]
+        # Order is preserved exactly — chunking is a schedule, not a sort.
+        assert [s for run in runs for s in run] == [0, 1, 2, 3]
+
+    def test_size_limit_respected(self):
+        pos = np.array([[40.0 * i, 0.0] for i in range(7)])
+        graph = build_conflict_graph(pos, radii=5.0)
+        runs = _batchable_runs(list(range(7)), graph, limit=3)
+        assert runs == [[0, 1, 2], [3, 4, 5], [6]]
+
+
+class TestExecutorBatching:
+    @pytest.mark.parametrize("elbo_batch_size", [2, 4, 16])
+    def test_region_catalog_bit_for_bit(self, elbo_batch_size):
+        images, entries = _region_scene()
+        priors = default_priors()
+        joint = JointConfig(
+            n_passes=1, single=OptimizeConfig(max_iter=6, grad_tol=2e-3,
+                                              backend="fused"),
+        )
+
+        def run(batch):
+            return optimize_region_parallel(
+                images, entries, priors,
+                ParallelRegionConfig(n_threads=2, n_passes=1, joint=joint,
+                                     elbo_batch_size=batch, seed=0),
+            )
+
+        ref = run(None)
+        out = run(elbo_batch_size)
+        assert len(ref.catalog) == len(out.catalog)
+        for a, b in zip(ref.catalog, out.catalog):
+            np.testing.assert_array_equal(a.position, b.position)
+            assert a.flux_r == b.flux_r
+            assert a.is_galaxy == b.is_galaxy
+            np.testing.assert_array_equal(a.colors, b.colors)
+        assert ref.elbo_total == out.elbo_total
+
+
+# ---------------------------------------------------------------------------
+# Driver level
+
+
+@pytest.fixture(scope="module")
+def batch_survey():
+    rng = np.random.default_rng(5)
+    sky = SyntheticSkyConfig(
+        source_density=140.0, min_separation=6.0, flux_floor=20.0
+    )
+    return generate_survey_fields(
+        2, field_shape_hw=(40, 40), overlap=8.0,
+        config=sky, rng=rng, bands=(2,),
+    )
+
+
+def _driver_config(executor, batch, **kwargs):
+    return DriverConfig(
+        n_nodes=2,
+        executor=executor,
+        target_weight=200.0,
+        elbo_backend="fused",
+        elbo_batch_size=batch,
+        parallel=ParallelRegionConfig(
+            n_threads=2,
+            n_passes=1,
+            joint=JointConfig(
+                n_passes=1,
+                single=OptimizeConfig(max_iter=8, grad_tol=2e-3),
+            ),
+        ),
+        **kwargs,
+    )
+
+
+def _entry_tuple(e):
+    return (tuple(e.position), e.is_galaxy, e.flux_r, tuple(e.colors),
+            e.gal_frac_dev, e.gal_axis_ratio, e.gal_angle, e.gal_radius_px)
+
+
+class TestDriverBatching:
+    def test_batched_catalog_bit_for_bit_both_executors(self, batch_survey):
+        """The acceptance invariant: batched fused catalogs are bit-for-bit
+        identical to scalar fused catalogs under the thread *and* process
+        executors, and the batched path really ran."""
+        _, fields = batch_survey
+        # Explicit 1 pins the scalar path even when CI forces
+        # REPRO_ELBO_BATCH (an explicit config always beats the env var).
+        ref = run_pipeline(fields, _driver_config("thread", 1))
+        assert "elbo_batch_calls" not in ref.counters
+        for executor in ("thread", "process"):
+            out = run_pipeline(fields, _driver_config(executor, 8))
+            assert out.counters["elbo_batch_calls"] > 0
+            assert ([_entry_tuple(e) for e in out.catalog]
+                    == [_entry_tuple(e) for e in ref.catalog])
+
+    def test_env_var_plumbs_batch_size(self, batch_survey, monkeypatch):
+        _, fields = batch_survey
+        monkeypatch.setenv(ELBO_BATCH_ENV_VAR, "8")
+        result = run_pipeline(fields, _driver_config("thread", None))
+        assert result.counters["elbo_batch_calls"] > 0
+
+    def test_batch_size_is_pinned_and_fingerprinted(self, monkeypatch):
+        monkeypatch.delenv(ELBO_BATCH_ENV_VAR, raising=False)
+        config = _pin_elbo_backend(_driver_config("thread", 8))
+        assert config.parallel.elbo_batch_size == 8
+        monkeypatch.setenv(ELBO_BATCH_ENV_VAR, "4")
+        config = _pin_elbo_backend(_driver_config("thread", None))
+        assert config.elbo_batch_size == 4
+        assert config.parallel.elbo_batch_size == 4
+        with pytest.raises(ValueError):
+            _pin_elbo_backend(_driver_config("thread", 0))
+
+    def test_checkpoint_refuses_resume_across_batch_size(self, batch_survey,
+                                                         tmp_path):
+        """elbo_batch_size is result-neutral by invariant, but it is
+        fingerprinted (the issue's contract): a checkpoint written under
+        one evaluation layout refuses resume under another rather than
+        silently mixing layouts across a resume boundary."""
+        import dataclasses
+
+        _, fields = batch_survey
+        path = str(tmp_path / "ckpt.json")
+        first = run_pipeline(fields, dataclasses.replace(
+            _driver_config("thread", 8),
+            checkpoint_path=path, stop_after="stage0"))
+        assert first.stopped_early
+
+        same = run_pipeline(fields, dataclasses.replace(
+            _driver_config("thread", 8), checkpoint_path=path))
+        assert "stage0" in same.resumed_stages
+
+        other = run_pipeline(fields, dataclasses.replace(
+            _driver_config("thread", 4), checkpoint_path=path))
+        assert other.resumed_stages == []

@@ -1,0 +1,115 @@
+"""Golden end-to-end regression: a pinned catalog content hash.
+
+A tiny deterministic two-field synthetic survey runs through
+:func:`run_pipeline` under the production configuration (thread executor,
+fused backend) and the resulting catalog's *content hash* is pinned.  Every
+layer of the system feeds this number — Photo seeding, partitioning, Dtree
+scheduling, Cyclades execution, the fused kernel, merging — so a refactor
+that silently shifts end-to-end results (rather than merely reorganizing
+code) fails here even if every unit test still passes.
+
+The hash is computed over catalog rows *rounded to 1e-3* (positions in
+pixels, fluxes, colors, shape parameters), which is far coarser than any
+real regression and far finer than the optimizer's own tolerance, so the
+pin is robust to last-ulp BLAS/libm differences across machines while still
+catching genuine result shifts.
+
+If this test fails after an *intentional* change to inference behavior
+(new default, better optimizer, changed priors), regenerate the pin by
+running the test with ``REPRO_PRINT_GOLDEN=1`` and updating
+``GOLDEN_CATALOG_SHA256`` — and say why in the commit message.
+"""
+
+import hashlib
+import os
+
+import numpy as np
+import pytest
+
+from repro.core import JointConfig, OptimizeConfig
+from repro.driver import DriverConfig, run_pipeline
+from repro.parallel import ParallelRegionConfig
+from repro.survey import SyntheticSkyConfig, generate_survey_fields
+
+pytestmark = pytest.mark.slow
+
+#: Pinned content hash of the golden run's final catalog (see module
+#: docstring for the regeneration protocol).
+GOLDEN_CATALOG_SHA256 = (
+    "7ce46d9a844ccf84f2bd48be76545b936a26886f32b3a686fa802165d9dc9c55"
+)
+
+
+def _golden_fields():
+    # min_separation is generous so several sources per region are
+    # conflict-free: the batched run must actually exercise lockstep
+    # batches, not degenerate to singleton chunks.
+    rng = np.random.default_rng(20180131)
+    sky = SyntheticSkyConfig(
+        source_density=90.0, min_separation=13.0, flux_floor=25.0
+    )
+    return generate_survey_fields(
+        2, field_shape_hw=(48, 48), overlap=8.0,
+        config=sky, rng=rng, bands=(1, 2),
+    )
+
+
+def _golden_config(elbo_batch_size=1):
+    # Everything result-affecting is pinned explicitly so the golden run is
+    # identical under every CI matrix cell (executor/backend env vars are
+    # overridden by the explicit config).
+    return DriverConfig(
+        n_nodes=2,
+        executor="thread",
+        target_weight=150.0,
+        elbo_backend="fused",
+        elbo_batch_size=elbo_batch_size,
+        parallel=ParallelRegionConfig(
+            n_threads=2,
+            n_passes=1,
+            joint=JointConfig(
+                n_passes=1,
+                single=OptimizeConfig(max_iter=12, grad_tol=1e-3),
+            ),
+        ),
+    )
+
+
+def catalog_content_hash(catalog) -> str:
+    """SHA-256 over the catalog's rounded, canonically-ordered content."""
+    rows = []
+    for e in catalog:
+        rows.append((
+            round(float(e.position[0]), 3), round(float(e.position[1]), 3),
+            bool(e.is_galaxy), round(float(e.flux_r), 3),
+            tuple(round(float(c), 3) for c in e.colors),
+            round(float(e.gal_frac_dev), 3),
+            round(float(e.gal_axis_ratio), 3),
+            round(float(e.gal_angle), 3),
+            round(float(e.gal_radius_px), 3),
+        ))
+    return hashlib.sha256(repr(sorted(rows)).encode()).hexdigest()
+
+
+class TestGoldenPipeline:
+    def test_catalog_hash_pinned(self):
+        _, fields = _golden_fields()
+        result = run_pipeline(fields, _golden_config())
+        assert len(result.catalog) >= 8  # the scene is non-trivial
+        digest = catalog_content_hash(result.catalog)
+        if os.environ.get("REPRO_PRINT_GOLDEN") == "1":
+            print("\nGOLDEN_CATALOG_SHA256 = %r" % digest)
+        assert digest == GOLDEN_CATALOG_SHA256, (
+            "End-to-end catalog content changed (got %s). If this is an "
+            "intentional inference change, regenerate the pin with "
+            "REPRO_PRINT_GOLDEN=1 and document why; otherwise a refactor "
+            "has shifted results." % digest
+        )
+
+    def test_batched_run_matches_same_pin(self):
+        """The batched evaluation path must land on the *same* golden hash
+        — the bit-for-bit invariant, asserted end to end."""
+        _, fields = _golden_fields()
+        result = run_pipeline(fields, _golden_config(elbo_batch_size=8))
+        assert result.counters["elbo_batch_calls"] > 0
+        assert catalog_content_hash(result.catalog) == GOLDEN_CATALOG_SHA256
