@@ -8,6 +8,8 @@ worker time spent in the scheduler (which the paper keeps negligible via
 Dtree's O(log N) request path).
 """
 
+import os
+
 import numpy as np
 import pytest
 
@@ -22,14 +24,16 @@ from conftest import print_header
 
 pytestmark = pytest.mark.slow
 
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+
 
 def _survey(rng):
     sky = SyntheticSkyConfig(
         source_density=60.0, min_separation=7.0, flux_floor=15.0
     )
     return generate_survey_fields(
-        3, field_shape_hw=(40, 40), overlap=8.0,
-        config=sky, rng=rng, bands=(1, 2, 3),
+        2 if SMOKE else 3, field_shape_hw=(40, 40), overlap=8.0,
+        config=sky, rng=rng, bands=(2,) if SMOKE else (1, 2, 3),
     )
 
 
@@ -117,6 +121,44 @@ def test_driver_executor_modes(benchmark, rng):
         process_res.report.sources_per_second
         >= 0.9 * thread_res.report.sources_per_second
     )
+
+
+def test_driver_race_detect_overhead(benchmark, rng):
+    """Cost of the determinism instrumentation: the same run with shadow
+    RMA recording, Cyclades shadow writes, and pre-execution schedule
+    verification enabled.  It is purely observational — identical catalog,
+    zero reports — and must stay cheap enough to leave on in CI."""
+    import dataclasses
+
+    truth, fields = _survey(rng)
+
+    def run():
+        out = {}
+        for detect in (False, True):
+            config = dataclasses.replace(
+                _config(), race_detect=detect, verify_schedule=detect
+            )
+            out[detect] = run_pipeline(fields, config)
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    plain, shadowed = results[False], results[True]
+    overhead = (shadowed.report.wall_seconds / plain.report.wall_seconds
+                - 1.0) if plain.report.wall_seconds > 0 else 0.0
+    print_header("Shadow race detector + schedule verifier overhead")
+    print("  detection off         %8.2f s wall" % plain.report.wall_seconds)
+    print("  detection on          %8.2f s wall  (%+.1f%%)" % (
+        shadowed.report.wall_seconds, 100.0 * overhead))
+    print("  races reported        %8d" % len(shadowed.report.race_reports))
+
+    assert shadowed.report.race_reports == []
+    assert len(plain.catalog) == len(shadowed.catalog)
+    for a, b in zip(plain.catalog, shadowed.catalog):
+        assert np.array_equal(a.position, b.position)
+        assert a.flux_r == b.flux_r
+    # Acceptance: instrumentation costs a fraction of the run, not a
+    # multiple (generous bound — toy-scale wall clocks are noisy).
+    assert shadowed.report.wall_seconds < plain.report.wall_seconds * 1.75
 
 
 def test_driver_node_scaling(benchmark, rng):

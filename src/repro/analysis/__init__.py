@@ -1,0 +1,72 @@
+"""Machine-checked determinism contract.
+
+The reproduction's headline invariants — conflict-free Cyclades scheduling
+and order-independent, bit-reproducible results — have each been broken and
+re-fixed at least once (the PR-1 diagonal patch-box race, the PR-4
+input-order dedup tie-break, the PR-5 padded-reduction discovery).  This
+package turns those hard-won rules into checks that run by machine instead
+of being rediscovered one regression at a time:
+
+``lint``
+    A custom AST lint pass (:mod:`repro.analysis.lint`, CLI
+    ``python -m repro.analysis``) encoding the determinism contract as
+    per-module rules: seeded generators only, no unordered iteration in
+    scheduling paths, pairwise-safe summation, explicit reduction axes on
+    lane-stacked arrays, no wall clock or entropy in fingerprinted paths,
+    paired acquire/release of scratch and shared memory.
+
+``schedule``
+    A static schedule verifier (:mod:`repro.analysis.schedule`) that takes
+    a Cyclades assignment plan and *independently* proves the two
+    properties execution relies on: concurrently scheduled patch boxes are
+    pixel-disjoint, and no conflict-connected component spans two threads.
+    Runs pre-execution from the driver (``REPRO_VERIFY_SCHEDULE=1``) and as
+    a standalone audit.
+
+``race``
+    A shadow-transport race detector (:mod:`repro.analysis.race`): an
+    opt-in wrapper (``REPRO_RACE_DETECT=1``) that tags every one-sided
+    ``get``/``put``/``accumulate`` and every Cyclades patch write with its
+    (window, extent, actor, logical epoch) and reports write/write or
+    read/write overlap between concurrently scheduled work.
+
+See ``docs/determinism.md`` for the contract itself: every rule, the
+invariant it guards, and the PR that motivated it.
+"""
+
+from repro.analysis.lint import RULES, LintViolation, lint_paths, lint_source
+from repro.analysis.race import (
+    AccessLog,
+    RaceDetector,
+    RaceReport,
+    ShadowAccess,
+    ShadowTransport,
+)
+from repro.analysis.schedule import (
+    PatchBox,
+    ScheduleError,
+    ScheduleViolation,
+    audit_random_schedule,
+    boxes_from_plan,
+    verify_batches,
+    verify_plan,
+)
+
+__all__ = [
+    "RULES",
+    "LintViolation",
+    "lint_paths",
+    "lint_source",
+    "PatchBox",
+    "ScheduleError",
+    "ScheduleViolation",
+    "audit_random_schedule",
+    "boxes_from_plan",
+    "verify_batches",
+    "verify_plan",
+    "AccessLog",
+    "RaceDetector",
+    "RaceReport",
+    "ShadowAccess",
+    "ShadowTransport",
+]

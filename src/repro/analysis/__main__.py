@@ -1,0 +1,64 @@
+"""CLI for the determinism contract: ``python -m repro.analysis [paths...]``.
+
+Runs the AST lint over the given files/directories (default: the installed
+``repro`` package sources) and, unless ``--no-audit`` is passed, a seeded
+schedule audit that drives the production conflict graph + Cyclades
+scheduler on random geometry and verifies every emitted batch with the
+independent box checker.  Exit status 0 only if both come back clean —
+this is the CI ``analysis`` job.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from repro.analysis.lint import lint_paths
+from repro.analysis.schedule import ScheduleError, audit_random_schedule
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Determinism-contract checks: AST lint + schedule audit.",
+    )
+    parser.add_argument(
+        "paths", nargs="*",
+        help="files or directories to lint (default: the repro package)")
+    parser.add_argument(
+        "--no-audit", action="store_true",
+        help="skip the seeded schedule audit (lint only)")
+    parser.add_argument(
+        "--audit-seed", type=int, default=20180131,
+        help="seed for the schedule audit's random geometry")
+    args = parser.parse_args(argv)
+
+    paths = args.paths
+    if not paths:
+        paths = [os.path.dirname(os.path.dirname(os.path.abspath(__file__)))]
+
+    failed = False
+    violations = lint_paths(paths)
+    for v in violations:
+        print(v.render())
+    if violations:
+        failed = True
+        print("lint: %d violation(s)" % len(violations))
+    else:
+        print("lint: clean (%s)" % ", ".join(paths))
+
+    if not args.no_audit:
+        try:
+            n = audit_random_schedule(seed=args.audit_seed)
+        except ScheduleError as exc:
+            print("schedule audit: FAILED\n%s" % exc)
+            failed = True
+        else:
+            print("schedule audit: %d batches proven safe" % n)
+
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

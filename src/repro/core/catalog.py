@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Iterator
 
@@ -117,4 +118,5 @@ class Catalog:
         return Catalog(sorted(self.entries, key=lambda e: -e.flux_r))
 
     def total_flux(self, band: int = REFERENCE_BAND) -> float:
-        return float(sum(e.band_fluxes()[band] for e in self.entries))
+        # fsum is exact, so the total is independent of entry order.
+        return math.fsum(e.band_fluxes()[band] for e in self.entries)

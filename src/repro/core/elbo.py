@@ -239,7 +239,7 @@ class SourceContext:
 
     @property
     def n_active_pixels(self) -> int:
-        return sum(p.n_pixels for p in self.patches)
+        return sum(p.n_pixels for p in self.patches)  # det: ignore[DET103] -- integer pixel counts; exact in any order
 
 
 def make_context(

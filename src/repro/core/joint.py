@@ -16,6 +16,7 @@ touch disjoint patch pixels.
 
 from __future__ import annotations
 
+import math
 import threading
 from dataclasses import dataclass, field
 
@@ -23,7 +24,7 @@ import numpy as np
 
 from repro.constants import GALAXY, STAR
 from repro.core.catalog import Catalog, CatalogEntry
-from repro.core.elbo import make_context
+from repro.core.elbo import make_context, release_scratch
 from repro.core.params import SourceParams
 from repro.core.priors import Priors
 from repro.core.single import (
@@ -64,6 +65,10 @@ class RegionResult:
     catalog: Catalog
     results: list[SourceResult]
     elbo_total: float
+    #: Shadow-detector findings (:class:`repro.analysis.race.RaceReport`);
+    #: empty unless the run enabled race detection — and, if the schedule
+    #: is correct, empty even then.
+    race_reports: list = field(default_factory=list)
 
     @property
     def n_converged(self) -> int:
@@ -189,6 +194,14 @@ class RegionOptimizer:
     def n_sources(self) -> int:
         return len(self.params)
 
+    def patch_bounds(self, s: int) -> list[tuple | None]:
+        """Per-image integer patch bounds ``(x0, x1, y0, y1)`` for source
+        ``s`` (``None`` where it is off-image) — the exact pixel extents
+        :meth:`update_source` writes.  Bounds are fixed at construction,
+        so schedule verification and shadow write-recording against them
+        are exact for the whole run."""
+        return list(self._bounds[s])
+
     def backgrounds_for(self, s: int) -> list[np.ndarray | None]:
         """Residual model patches for source ``s``: total model minus its own
         current contribution (so the ELBO treats the rest of the sky as a
@@ -276,7 +289,8 @@ class RegionOptimizer:
         return Catalog([to_catalog_entry(p) for p in self.params])
 
     def total_elbo(self) -> float:
-        return float(sum(r.elbo for r in self.results if r is not None))
+        # fsum is exact, so the total is independent of completion order.
+        return math.fsum(r.elbo for r in self.results if r is not None)
 
 
 def optimize_region(
@@ -293,9 +307,14 @@ def optimize_region(
     opt = RegionOptimizer(images, entries, priors, config, counters,
                           frozen_entries)
     order = np.argsort([-e.flux_r for e in entries])
-    for _ in range(opt.config.n_passes):
-        for s in order:
-            opt.update_source(int(s))
+    try:
+        for _ in range(opt.config.n_passes):
+            for s in order:
+                opt.update_source(int(s))
+    finally:
+        # Return the caller thread's ELBO scratch; same contract as the
+        # Cyclades executor's per-assignment release.
+        release_scratch()
     return RegionResult(
         catalog=opt.catalog(),
         results=list(opt.results),

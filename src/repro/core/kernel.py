@@ -286,7 +286,8 @@ class KlWorkspace:
         kappa, kjac, kh2 = softmax_fixed_last_d012(free[_IDX_K[ty]])
         r = e + self.log_w[:, ty] - np.log(kappa)          # (D,)
         val = (gb + float(kappa @ r)
-               + 0.5 * float(np.sum(np.log(c2v) + _LOG_2PI + 1.0)))
+               + 0.5 * float(np.sum(np.log(c2v) + _LOG_2PI + 1.0,
+                                    axis=None)))
         if order < 1:
             return idx, val, None, None
 
@@ -540,7 +541,7 @@ class _FusedBatchWorkspace:
         #: group reuses the context's own (lane count 1) workspace arrays.
         self.groups = []
         for sig, lanes in by_sig.items():
-            per_lane = sum((k + jd + je) * m for k, jd, je, m in sig)
+            per_lane = sum((k + jd + je) * m for k, jd, je, m in sig)  # det: ignore[DET103] -- integer size signature; exact in any order
             cap = max(1, _LANE_SWEEP_BUDGET // per_lane) if per_lane else \
                 len(lanes)
             for start in range(0, len(lanes), cap):

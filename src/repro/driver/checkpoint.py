@@ -180,7 +180,7 @@ def _cleanup_stale_shards(path: str, keep_generation: str | None) -> None:
     prefix = os.path.basename(path) + ".shard"
     keep = "." + keep_generation if keep_generation is not None else None
     try:
-        names = os.listdir(directory)
+        names = sorted(os.listdir(directory))
     except OSError:  # pragma: no cover - directory vanished
         return
     for name in names:
@@ -202,7 +202,7 @@ def save_checkpoint(path: str, ckpt: Checkpoint, shards: int = 0) -> None:
     """
     data = ckpt.to_json()
     if shards > 0 and ckpt.working_catalog is not None:
-        generation = uuid.uuid4().hex[:12]
+        generation = uuid.uuid4().hex[:12]  # det: ignore[DET108] -- uniqueness is the point: a nonce distinguishing shard generations, never replayed
         entries = data["working_catalog"]  # already serialized by to_json
         n = len(entries)
         block = -(-n // shards) if n else 1

@@ -119,6 +119,17 @@ EXECUTOR_ENV_VAR = "REPRO_DRIVER_EXECUTOR"
 #: source optimization through the batched evaluation path.
 ELBO_BATCH_ENV_VAR = "REPRO_ELBO_BATCH"
 
+#: Environment variable consulted when ``DriverConfig.race_detect`` is None
+#: — lets CI run any driver pipeline under the shadow-transport race
+#: detector without touching the config.
+RACE_DETECT_ENV_VAR = "REPRO_RACE_DETECT"
+
+#: Environment variable consulted when ``DriverConfig.verify_schedule`` is
+#: None — pre-execution static verification of every Cyclades schedule.
+VERIFY_SCHEDULE_ENV_VAR = "REPRO_VERIFY_SCHEDULE"
+
+_TRUTHY = ("1", "true", "yes", "on")
+
 _EXECUTORS = ("thread", "process")
 
 
@@ -190,6 +201,19 @@ class DriverConfig:
     #: enforces rather than assumes, which is why the knob is fingerprinted
     #: like a result-affecting one.
     elbo_batch_size: int | None = None
+    #: Run the whole pipeline under the shadow-transport race detector
+    #: (:mod:`repro.analysis.race`): every one-sided catalog access and
+    #: every Cyclades patch write is tagged with its (actor, logical epoch)
+    #: and cross-checked for same-epoch overlap between different actors.
+    #: Findings land in ``DriverReport.race_reports``.  ``None`` reads
+    #: :data:`RACE_DETECT_ENV_VAR`.  Observational only: results are
+    #: bit-identical with it on or off, so it is not fingerprinted.
+    race_detect: bool | None = None
+    #: Statically verify every Cyclades pass's batches *before executing
+    #: them* with the independent checker (:mod:`repro.analysis.schedule`),
+    #: raising on any cross-thread patch overlap or split component.
+    #: ``None`` reads :data:`VERIFY_SCHEDULE_ENV_VAR`.  Observational only.
+    verify_schedule: bool | None = None
     #: JSON checkpoint file; ``None`` disables checkpointing.  The working
     #: catalog checkpoints as ``n_nodes`` per-rank shard files.
     checkpoint_path: str | None = None
@@ -260,6 +284,30 @@ def _pin_elbo_backend(config: DriverConfig) -> DriverConfig:
             elbo_batch_size=batch_size,
             joint=replace(joint, single=replace(joint.single, backend=backend)),
         ),
+    )
+
+
+def _resolve_opt_flag(value: bool | None, env_var: str) -> bool:
+    if value is not None:
+        return bool(value)
+    return os.environ.get(env_var, "").strip().lower() in _TRUTHY
+
+
+def _pin_analysis_flags(config: DriverConfig) -> DriverConfig:
+    """Resolve the race-detect / verify-schedule opt-ins once (config wins,
+    then environment) and pin the booleans through the config tree, so
+    process node-workers inherit them through the pickled config instead of
+    re-reading their own environment — the same resolve-once discipline as
+    :func:`_pin_elbo_backend`."""
+    race = _resolve_opt_flag(config.race_detect, RACE_DETECT_ENV_VAR)
+    verify = _resolve_opt_flag(config.verify_schedule,
+                               VERIFY_SCHEDULE_ENV_VAR)
+    return replace(
+        config,
+        race_detect=race,
+        verify_schedule=verify,
+        parallel=replace(config.parallel, race_detect=race,
+                         verify_schedule=verify),
     )
 
 
@@ -522,7 +570,7 @@ def _fingerprint(store: _FieldStore, config: DriverConfig) -> dict:
         "halo_margin": config.halo_margin,
         "halo_refresh": config.halo_refresh,
         "photo": dataclasses.asdict(config.photo),
-        "parallel": dataclasses.asdict(config.parallel),
+        "parallel": _parallel_fingerprint(config.parallel),
         # Also recorded inside parallel.joint.single.backend; named at the
         # top level so fingerprint mismatches across default-backend changes
         # are legible in the checkpoint file itself.
@@ -533,6 +581,17 @@ def _fingerprint(store: _FieldStore, config: DriverConfig) -> dict:
         # is recorded next to its backend.
         "elbo_batch_size": config.elbo_batch_size,
     }
+
+
+def _parallel_fingerprint(parallel: ParallelRegionConfig) -> dict:
+    d = dataclasses.asdict(parallel)
+    # Observational-only knobs: detection and verification never change
+    # results (the detector's job is to *prove* that), so a checkpointed
+    # run may legitimately resume with them toggled — like the excluded
+    # scheduling-side knobs.
+    d.pop("race_detect", None)
+    d.pop("verify_schedule", None)
+    return d
 
 
 def _task_seed_config(config: DriverConfig, task: Task) -> ParallelRegionConfig:
@@ -617,6 +676,26 @@ class _StageRunnerBase:
         # the thread executor (parent store) and the process executor
         # (per-worker stores) measure the same thing.
         self._prefetch_applied: dict = dict(store.prefetch_stats())
+        # One detector for the runner's lifetime (it spans stages); the
+        # report only ever receives each finding once (_sync_race_reports).
+        self.race_detector = None
+        self._race_synced = 0
+        if config.race_detect:
+            from repro.analysis.race import RaceDetector
+
+            self.race_detector = RaceDetector()
+
+    def _sync_race_reports(self, report: DriverReport) -> None:
+        """Append findings made since the last sync to the report.
+
+        A checkpoint-resumed report already carries earlier stages'
+        findings; the consumed-count watermark keeps this additive."""
+        if self.race_detector is None:
+            return
+        found = self.race_detector.reports
+        new = found[self._race_synced:]
+        self._race_synced = len(found)
+        report.race_reports.extend(r.as_dict() for r in new)
 
     def _lookahead_hint(self, dtree: Dtree, worker: int, batch: list[int],
                         tasks: list[Task]) -> list[int]:
@@ -675,8 +754,16 @@ class _ThreadStageRunner(_StageRunnerBase):
 
         def node_worker(w: int) -> None:
             try:
-                base_view, base_rec = base.recording_view(w)
-                work_view, work_rec = self.working.recording_view(w)
+                detector = self.race_detector
+                if detector is not None:
+                    base_view, base_rec, base_shadow = base.shadow_view(
+                        w, detector, "cat-base")
+                    work_view, work_rec, work_shadow = \
+                        self.working.shadow_view(w, detector, "cat-work")
+                else:
+                    base_view, base_rec = base.recording_view(w)
+                    work_view, work_rec = self.working.recording_view(w)
+                    base_shadow = work_shadow = None
                 while True:
                     t0 = time.perf_counter()
                     batch = dtree.request(w, max_batch=config.max_batch)
@@ -693,6 +780,14 @@ class _ThreadStageRunner(_StageRunnerBase):
                             positions, set(task.source_indices),
                             task.region, config.halo_margin,
                         )
+                        if base_shadow is not None:
+                            # Concurrently scheduled tasks of one stage
+                            # share a logical epoch: any same-epoch catalog
+                            # overlap between tasks is a race.
+                            actor = ("task", task.task_id)
+                            epoch = ("stage", task.stage)
+                            base_shadow.set_task(actor, epoch)
+                            work_shadow.set_task(actor, epoch)
                         result = _execute_task(
                             task, halo_idx, base_view, work_view, self.store,
                             self.priors, config, self.counters,
@@ -701,6 +796,8 @@ class _ThreadStageRunner(_StageRunnerBase):
                         task_s[w] += seconds
                         if result is None:
                             continue
+                        if detector is not None:
+                            detector.absorb(result.race_reports)
                         with self._lock:
                             stage_elbo[0] += result.elbo_total
                             report.n_source_updates += (
@@ -739,6 +836,7 @@ class _ThreadStageRunner(_StageRunnerBase):
         report.hops += dtree.stats["hops"]
         report.n_tasks += len(tasks)
         self._apply_prefetch_stats(report, self.store.prefetch_stats())
+        self._sync_race_reports(report)
         return stage_elbo[0]
 
 
@@ -764,8 +862,21 @@ def _process_worker_main(
     try:
         store = _FieldStore(fields, config.field_cache_capacity,
                             metadata=metadata)
-        base_view, base_rec = base.recording_view(worker_id)
-        work_view, work_rec = working.recording_view(worker_id)
+        access_log = base_shadow = work_shadow = None
+        if config.race_detect:
+            # Workers cannot see the parent's detector: record into a
+            # local log, ship the (picklable) accesses with each result,
+            # and let the parent's detector cross-check between workers.
+            from repro.analysis.race import AccessLog
+
+            access_log = AccessLog()
+            base_view, base_rec, base_shadow = base.shadow_view(
+                worker_id, access_log, "cat-base")
+            work_view, work_rec, work_shadow = working.shadow_view(
+                worker_id, access_log, "cat-work")
+        else:
+            base_view, base_rec = base.recording_view(worker_id)
+            work_view, work_rec = working.recording_view(worker_id)
         prev_comm: dict = {}
         prev_prefetch: dict = {}
         while True:
@@ -775,6 +886,11 @@ def _process_worker_main(
             task, halo_idx, hint = item
             store.hint_fields(hint)
             counters = Counters()
+            if base_shadow is not None:
+                actor = ("task", task.task_id)
+                epoch = ("stage", task.stage)
+                base_shadow.set_task(actor, epoch)
+                work_shadow.set_task(actor, epoch)
             t0 = time.perf_counter()
             result = _execute_task(
                 task, halo_idx, base_view, work_view, store,
@@ -790,6 +906,8 @@ def _process_worker_main(
                 seconds, counters.snapshot(),
                 _dict_delta(comm, prev_comm),
                 _dict_delta(prefetch, prev_prefetch),
+                list(result.race_reports) if result is not None else [],
+                access_log.drain() if access_log is not None else [],
             ))
             prev_comm, prev_prefetch = comm, prefetch
     except BaseException:  # noqa: BLE001 - forwarded to the parent
@@ -909,7 +1027,11 @@ class _ProcessStageRunner(_StageRunnerBase):
                     ))
                     return
                 (_, w, task_id, stage, executed, n_sources, elbo,
-                 seconds, counter_delta, comm_delta, prefetch_delta) = msg
+                 seconds, counter_delta, comm_delta, prefetch_delta,
+                 region_races, accesses) = msg
+                if self.race_detector is not None:
+                    self.race_detector.absorb(region_races)
+                    self.race_detector.ingest(accesses)
                 for name, value in counter_delta.items():
                     self.counters.add(name, value)
                 report.add_worker_comm(w, **comm_delta)
@@ -981,6 +1103,7 @@ class _ProcessStageRunner(_StageRunnerBase):
         report.messages += dtree.stats["messages"]
         report.hops += dtree.stats["hops"]
         report.n_tasks += len(tasks)
+        self._sync_race_reports(report)
         return stage_elbo[0]
 
     def close(self) -> None:
@@ -1045,6 +1168,8 @@ def run_pipeline(
         config = DriverConfig()
     # Pin the ELBO backend before anything reads or fingerprints the config.
     config = _pin_elbo_backend(config)
+    # Resolve the analysis opt-ins the same way (config, then environment).
+    config = _pin_analysis_flags(config)
     if priors is None:
         priors = default_priors()
     executor = _resolve_executor(config)

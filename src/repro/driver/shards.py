@@ -176,3 +176,22 @@ class ShardedCatalog:
         view = ShardedCatalog(self.n_rows, self.n_ranks, transport=recorder,
                               allocate=False)
         return view, recorder
+
+    def shadow_view(self, local_rank: int, sink, window_name: str):
+        """A recording view whose RMA ops are *also* shadowed into a race
+        detector sink (:mod:`repro.analysis.race`).
+
+        Returns ``(view, recorder, shadow)``: the view behaves exactly like
+        :meth:`recording_view`'s (same storage, same accounting), and every
+        ``get``/``put`` additionally lands in ``sink`` tagged with the
+        shadow's current (actor, epoch) — set per unit of work via
+        ``shadow.set_task``.
+        """
+        from repro.analysis.race import ShadowTransport
+
+        recorder = RecordingTransport(self.array.transport,
+                                      local_rank=local_rank)
+        shadow = ShadowTransport(recorder, sink, window_name)
+        view = ShardedCatalog(self.n_rows, self.n_ranks, transport=shadow,
+                              allocate=False)
+        return view, recorder, shadow

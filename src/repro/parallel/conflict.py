@@ -77,13 +77,13 @@ class ConflictGraph:
         uf = UnionFind(len(nodes))
         node_set = set(nodes)
         for node in nodes:
-            for other in self.adjacency[node]:
+            for other in self.adjacency[node]:  # det: ignore[DET102] -- union() is commutative/associative: the partition is visit-order independent
                 if other in node_set and other > node:
                     uf.union(index[node], index[other])
         groups: dict[int, list[int]] = {}
         for node in nodes:
             groups.setdefault(uf.find(index[node]), []).append(node)
-        return list(groups.values())
+        return list(groups.values())  # det: ignore[DET102] -- insertion order is first-member order in the caller's node order: deterministic
 
 
 def build_conflict_graph(

@@ -74,6 +74,20 @@ class ParallelRegionConfig:
     #: strategy — tested, not assumed); the driver plumbs this from
     #: ``DriverConfig.elbo_batch_size`` / ``REPRO_ELBO_BATCH``.
     elbo_batch_size: int | None = None
+    #: Record every scheduled source's patch-pixel write extents into a
+    #: shadow race detector (:mod:`repro.analysis.race`) and return any
+    #: same-batch cross-thread overlaps in ``RegionResult.race_reports``.
+    #: Observational only — results are bit-identical either way; the
+    #: driver plumbs this from ``DriverConfig.race_detect`` /
+    #: ``REPRO_RACE_DETECT``.
+    race_detect: bool = False
+    #: Prove each pass's batches safe *before executing them* with the
+    #: independent static verifier (:mod:`repro.analysis.schedule`),
+    #: raising :class:`repro.analysis.schedule.ScheduleError` on any
+    #: cross-thread pixel overlap or split component.  Observational only;
+    #: plumbed from ``DriverConfig.verify_schedule`` /
+    #: ``REPRO_VERIFY_SCHEDULE``.
+    verify_schedule: bool = False
 
 
 def optimize_region_parallel(
@@ -102,11 +116,26 @@ def optimize_region_parallel(
     )
     rng = np.random.default_rng(config.seed)
 
+    detector = _patch_boxes = None
+    if config.race_detect or config.verify_schedule:
+        _patch_boxes = _source_patch_boxes(opt)
+    if config.race_detect:
+        from repro.analysis.race import RaceDetector
+
+        detector = RaceDetector()
+
     with ThreadPoolExecutor(max_workers=config.n_threads) as pool:
-        for _ in range(config.n_passes):
-            for batch in cyclades_batches(
+        for pass_idx in range(config.n_passes):
+            batches = cyclades_batches(
                 graph, config.n_threads, config.batch_size, rng=rng
-            ):
+            )
+            if config.verify_schedule:
+                _verify_pass(_patch_boxes, batches)
+            for batch_idx, batch in enumerate(batches):
+                if detector is not None:
+                    _shadow_batch_writes(detector, _patch_boxes, batch,
+                                         ("pass", pass_idx,
+                                          "batch", batch_idx))
                 futures = [
                     pool.submit(_run_assignment, opt, assignment,
                                 config.elbo_batch_size, graph)
@@ -120,7 +149,61 @@ def optimize_region_parallel(
         catalog=opt.catalog(),
         results=list(opt.results),
         elbo_total=opt.total_elbo(),
+        race_reports=list(detector.reports) if detector is not None else [],
     )
+
+
+def _source_patch_boxes(opt: RegionOptimizer) -> list[list]:
+    """Per-source :class:`~repro.analysis.schedule.PatchBox` lists from the
+    optimizer's *actual* (cropped, integer) patch bounds — the exact pixel
+    extents ``update_source`` writes, fixed for the whole region run."""
+    from repro.analysis.schedule import PatchBox
+
+    boxes: list[list] = []
+    for s in range(opt.n_sources):
+        row = []
+        for i, b in enumerate(opt.patch_bounds(s)):
+            if b is None:
+                continue
+            x0, x1, y0, y1 = b
+            row.append(PatchBox(image=i, x0=x0, x1=x1, y0=y0, y1=y1))
+        boxes.append(row)
+    return boxes
+
+
+def _verify_pass(boxes: list[list], batches) -> None:
+    """Statically prove a pass's batches safe before running any of them."""
+    from repro.analysis.schedule import ScheduleError, verify_batches
+
+    violations = verify_batches(
+        boxes, [b.thread_assignments for b in batches]
+    )
+    if violations:
+        raise ScheduleError(violations)
+
+
+def _shadow_batch_writes(detector, boxes: list[list], batch,
+                         epoch: tuple) -> None:
+    """Record one batch's scheduled write extents into the race detector.
+
+    Write sets are static (patch bounds never move during a region run), so
+    they are recorded up front — detection covers the schedule itself and
+    cannot miss a race just because this run's thread timing hid it.
+    """
+    from repro.analysis.race import ShadowAccess
+
+    for t, assignment in enumerate(batch.thread_assignments):
+        for s in assignment:
+            for box in boxes[s]:
+                detector.record(ShadowAccess(
+                    window=("model", box.image), op="put",
+                    x0=box.x0, x1=box.x1, y0=box.y0, y1=box.y1,
+                    actor=("cyclades-thread", t), epoch=epoch,
+                    tag=("source", s),
+                ))
+    # A finished batch's accesses can never race later ones (the batch
+    # barrier is a synchronization point): free them.
+    detector.seal_before(epoch)
 
 
 def _batchable_runs(assignment: list[int], graph, limit: int) -> list[list[int]]:

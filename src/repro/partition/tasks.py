@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -34,7 +35,8 @@ class Task:
 
     def weight(self) -> float:
         """Expected work (bright-pixel proxy)."""
-        return float(sum(bright_pixel_weight(e) for e in self.entries))
+        # fsum is exact, so the weight is independent of entry order.
+        return math.fsum(bright_pixel_weight(e) for e in self.entries)
 
 
 def _tasks_for_partition(

@@ -51,6 +51,11 @@ class DriverReport:
         Field-file prefetcher outcome totals across workers: hits are loads
         the Burst-Buffer-style look-ahead hid, misses are synchronous
         stalls, seconds is background-thread load time (overlapped).
+    race_reports:
+        Findings of the shadow-transport race detector
+        (:mod:`repro.analysis.race`) as serialized dicts — populated only
+        when the run enabled ``race_detect``, and empty on a correct
+        schedule even then.  Any entry here is a real determinism bug.
     """
 
     wall_seconds: float = 0.0
@@ -67,6 +72,7 @@ class DriverReport:
     prefetch_hits: int = 0
     prefetch_misses: int = 0
     prefetch_seconds: float = 0.0
+    race_reports: list = field(default_factory=list)
 
     @property
     def sources_per_second(self) -> float:
@@ -143,6 +149,7 @@ class DriverReport:
             "prefetch_hits": self.prefetch_hits,
             "prefetch_misses": self.prefetch_misses,
             "prefetch_seconds": self.prefetch_seconds,
+            "race_reports": [dict(r) for r in self.race_reports],
         }
 
     @classmethod
@@ -151,7 +158,7 @@ class DriverReport:
         for k, v in d.items():
             if k == "stage_elbo":
                 v = dict(v)
-            elif k == "worker_comm":
+            elif k in ("worker_comm", "race_reports"):
                 v = [dict(w) for w in v]
             setattr(out, k, v)
         return out
@@ -192,4 +199,12 @@ class DriverReport:
             )
         for stage, elbo in sorted(self.stage_elbo.items()):
             lines.append("ELBO after %-10s %12.1f" % (stage, elbo))
+        if self.race_reports:
+            lines.append("RACES DETECTED        %8d" % len(self.race_reports))
+            for r in self.race_reports:
+                lines.append(
+                    "  %s on %s epoch %s: %s vs %s over %s"
+                    % (r.get("kind"), r.get("window"), r.get("epoch"),
+                       r.get("actor_a"), r.get("actor_b"), r.get("extent"))
+                )
         return lines

@@ -239,7 +239,7 @@ class SharedMemoryTransport:
             try:
                 # Attaching re-registers the name with the resource tracker;
                 # unlink() unregisters it, so the net tracker state is clean.
-                shm = shared_memory.SharedMemory(name=name)
+                shm = shared_memory.SharedMemory(name=name)  # det: ignore[DET106] -- straight-line attach/close/unlink; FileNotFoundError means already gone
                 shm.close()
                 shm.unlink()
             except FileNotFoundError:  # pragma: no cover - already gone

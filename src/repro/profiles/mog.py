@@ -110,7 +110,7 @@ def fit_radial_mixture(
     def residuals(params):
         a = np.exp(params[:n_components])
         v = np.exp(params[n_components:])
-        model = sum(ai * _gauss_radial(r, vi) for ai, vi in zip(a, v))
+        model = sum(ai * _gauss_radial(r, vi) for ai, vi in zip(a, v))  # det: ignore[DET103] -- pinned sequential accumulation: fitted MoG profiles feed the golden catalog hash
         return (model - target) * flux_w
 
     x0 = np.concatenate([np.log(amps), np.log(init_vars)])

@@ -113,3 +113,16 @@ class TestGoldenPipeline:
         result = run_pipeline(fields, _golden_config(elbo_batch_size=8))
         assert result.counters["elbo_batch_calls"] > 0
         assert catalog_content_hash(result.catalog) == GOLDEN_CATALOG_SHA256
+
+    def test_race_detected_run_matches_same_pin(self):
+        """Full determinism instrumentation (shadow-transport race
+        detection + static schedule verification) is observational: the
+        golden run under it reports no races and lands on the same pin."""
+        import dataclasses
+
+        _, fields = _golden_fields()
+        config = dataclasses.replace(
+            _golden_config(), race_detect=True, verify_schedule=True)
+        result = run_pipeline(fields, config)
+        assert result.report.race_reports == []
+        assert catalog_content_hash(result.catalog) == GOLDEN_CATALOG_SHA256

@@ -88,6 +88,34 @@ class TestConflictGraph:
         # 0 and 2 only connect through 1, which is not in the sample.
         assert sorted(map(sorted, comps)) == [[0], [2]]
 
+    def test_full_subset_matches_default(self):
+        pos = np.array([[0.0, 0.0], [8.0, 0.0], [16.0, 0.0], [100.0, 0.0]])
+        g = build_conflict_graph(pos, radii=5.0)
+        assert (g.connected_components(subset=range(g.n))
+                == g.connected_components())
+
+    def test_subset_edges_survive_restriction(self):
+        # Dropping a node cuts only *its* edges: the rest of the component
+        # stays connected through the remaining members.
+        pos = np.array([[0.0, 0.0], [8.0, 0.0], [16.0, 0.0], [24.0, 0.0]])
+        g = build_conflict_graph(pos, radii=5.0)
+        comps = g.connected_components(subset=[0, 1, 3])
+        assert sorted(map(sorted, comps)) == [[0, 1], [3]]
+
+    def test_subset_component_order_follows_subset_order(self):
+        # The Cyclades sampler feeds its drawn sample here and relies on
+        # group order being a deterministic function of the sample order
+        # (first-member order), not of hash iteration.
+        pos = np.array([[0.0, 0.0], [50.0, 0.0], [100.0, 0.0]])
+        g = build_conflict_graph(pos, radii=5.0)
+        assert g.connected_components(subset=[2, 0, 1]) == [[2], [0], [1]]
+        assert g.connected_components(subset=[1, 2, 0]) == [[1], [2], [0]]
+
+    def test_empty_subset(self):
+        pos = np.array([[0.0, 0.0], [8.0, 0.0]])
+        g = build_conflict_graph(pos, radii=5.0)
+        assert g.connected_components(subset=[]) == []
+
     def test_empty(self):
         g = build_conflict_graph(np.zeros((0, 2)), radii=5.0)
         assert g.n == 0

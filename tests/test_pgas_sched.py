@@ -66,6 +66,24 @@ class TestGlobalArray:
         assert rec.stats.remote_fraction_ops == 1
         assert rec.stats.modeled_seconds > 0
 
+    def test_recording_transport_accumulate_stats(self):
+        rec = RecordingTransport(LocalTransport(), local_rank=0)
+        rec.allocate(0, 4)
+        rec.allocate(1, 4)
+        rec.put(0, 0, np.ones(4))
+        rec.accumulate(0, 0, np.ones(4))
+        rec.accumulate(1, 0, np.ones(2))  # remote rank
+        assert rec.stats.n_accumulate == 2
+        assert rec.stats.n_put == 1
+        # Accumulates count toward written bytes alongside puts...
+        assert rec.stats.bytes_put == (4 + 4 + 2) * 8
+        # ...but not toward the remote-op fraction: accumulate is modeled
+        # as a fetch-and-op executed at the target, not a round trip.
+        assert rec.stats.remote_fraction_ops == 0
+        # And the values really accumulated.
+        np.testing.assert_array_equal(rec.get(0, 0, 4), 2.0 * np.ones(4))
+        np.testing.assert_array_equal(rec.inner.get(1, 0, 2), np.ones(2))
+
     def test_concurrent_put_get(self):
         ga = GlobalArray(n_rows=40, row_width=4, n_ranks=4)
         errors = []
