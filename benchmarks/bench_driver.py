@@ -8,14 +8,13 @@ worker time spent in the scheduler (which the paper keeps negligible via
 Dtree's O(log N) request path).
 """
 
-import os
-
 import numpy as np
 import pytest
 
 from repro.core.joint import JointConfig
 from repro.core.single import OptimizeConfig
 from repro.driver import DriverConfig, run_pipeline
+from repro.envvars import env_flag
 from repro.parallel import ParallelRegionConfig
 from repro.survey import SyntheticSkyConfig, generate_survey_fields
 from repro.validation import match_catalogs
@@ -24,7 +23,7 @@ from conftest import print_header
 
 pytestmark = pytest.mark.slow
 
-SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+SMOKE = env_flag("REPRO_BENCH_SMOKE")
 
 
 def _survey(rng):
@@ -159,6 +158,44 @@ def test_driver_race_detect_overhead(benchmark, rng):
     # Acceptance: instrumentation costs a fraction of the run, not a
     # multiple (generous bound — toy-scale wall clocks are noisy).
     assert shadowed.report.wall_seconds < plain.report.wall_seconds * 1.75
+
+
+def test_driver_numeric_check_overhead(benchmark, rng):
+    """Cost of the runtime numeric sanitizer: the same run with every ELBO
+    evaluation and trust-region step checked for non-finite values,
+    overflow, Hessian asymmetry, and cancellation.  Purely observational —
+    identical catalog, zero reports on a healthy run — and the hot-path
+    cost when a check fires nothing is one thread-local read plus a few
+    finiteness scans, so it must stay cheap enough to leave on in CI."""
+    import dataclasses
+
+    truth, fields = _survey(rng)
+
+    def run():
+        out = {}
+        for check in (False, True):
+            config = dataclasses.replace(_config(), numeric_check=check)
+            out[check] = run_pipeline(fields, config)
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    plain, checked = results[False], results[True]
+    overhead = (checked.report.wall_seconds / plain.report.wall_seconds
+                - 1.0) if plain.report.wall_seconds > 0 else 0.0
+    print_header("Runtime numeric sanitizer overhead")
+    print("  checking off          %8.2f s wall" % plain.report.wall_seconds)
+    print("  checking on           %8.2f s wall  (%+.1f%%)" % (
+        checked.report.wall_seconds, 100.0 * overhead))
+    print("  findings reported     %8d" % len(checked.report.numeric_reports))
+
+    assert checked.report.numeric_reports == []
+    assert len(plain.catalog) == len(checked.catalog)
+    for a, b in zip(plain.catalog, checked.catalog):
+        assert np.array_equal(a.position, b.position)
+        assert a.flux_r == b.flux_r
+    # Acceptance: sanitizing costs a fraction of the run, not a multiple
+    # (generous bound — toy-scale wall clocks are noisy).
+    assert checked.report.wall_seconds < plain.report.wall_seconds * 1.75
 
 
 def test_driver_node_scaling(benchmark, rng):

@@ -37,6 +37,7 @@ from repro.core import (
 from repro.core.elbo import elbo_kl
 from repro.core.params import canonical_to_free
 from repro.core.single import initial_params
+from repro.envvars import env_flag
 from repro.perf.counters import Counters
 from repro.perf.flops import visit_rate
 from repro.psf import default_psf
@@ -52,7 +53,7 @@ BENCH_JSON = os.path.join(
 
 #: CI wiring check: run everything briefly, record nothing, assert no
 #: machine-dependent thresholds.
-SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+SMOKE = env_flag("REPRO_BENCH_SMOKE")
 
 #: The fused backend must beat the Taylor reference by at least this factor
 #: on per-visit rate at order 2 (ISSUE 3 acceptance criterion).

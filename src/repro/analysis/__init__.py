@@ -30,11 +30,27 @@ of being rediscovered one regression at a time:
     (window, extent, actor, logical epoch) and reports write/write or
     read/write overlap between concurrently scheduled work.
 
+``numeric``
+    A runtime numerical sanitizer (:mod:`repro.analysis.numeric`): an
+    opt-in wrapper (``REPRO_NUMERIC_CHECK=1``) around ELBO/KL evaluation
+    and Newton trust-region stepping that reports non-finite values,
+    overflow-to-inf, asymmetric Hessian blocks, and catastrophic
+    cancellation in ELBO accumulation, each pinned to (source, lane,
+    term, stage, actor).  The static side of the same contract is the
+    ``NUM2xx`` lint rule family.
+
 See ``docs/determinism.md`` for the contract itself: every rule, the
 invariant it guards, and the PR that motivated it.
 """
 
 from repro.analysis.lint import RULES, LintViolation, lint_paths, lint_source
+from repro.analysis.numeric import (
+    NumericReport,
+    NumericSanitizer,
+    current_check,
+    numeric_checking,
+    numeric_source,
+)
 from repro.analysis.race import (
     AccessLog,
     RaceDetector,
@@ -69,4 +85,9 @@ __all__ = [
     "RaceReport",
     "ShadowAccess",
     "ShadowTransport",
+    "NumericReport",
+    "NumericSanitizer",
+    "current_check",
+    "numeric_checking",
+    "numeric_source",
 ]

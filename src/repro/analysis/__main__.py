@@ -4,18 +4,35 @@ Runs the AST lint over the given files/directories (default: the installed
 ``repro`` package sources) and, unless ``--no-audit`` is passed, a seeded
 schedule audit that drives the production conflict graph + Cyclades
 scheduler on random geometry and verifies every emitted batch with the
-independent box checker.  Exit status 0 only if both come back clean —
-this is the CI ``analysis`` job.
+independent box checker.  This is the CI ``analysis`` job.
+
+Exit status is a bitmask so CI can distinguish failure modes:
+
+====  =====================================
+bit   meaning
+====  =====================================
+0     clean (exit 0)
+1     lint violations
+2     schedule audit failure
+====  =====================================
+
+``--json`` emits a machine-readable report on stdout instead of the
+human-readable lines (exit status is unchanged).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 
 from repro.analysis.lint import lint_paths
 from repro.analysis.schedule import ScheduleError, audit_random_schedule
+
+#: exit-code bits (bitwise OR'd into the process status)
+EXIT_LINT = 1
+EXIT_AUDIT = 2
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -32,32 +49,61 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--audit-seed", type=int, default=20180131,
         help="seed for the schedule audit's random geometry")
+    parser.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit a machine-readable JSON report instead of text")
     args = parser.parse_args(argv)
 
     paths = args.paths
     if not paths:
         paths = [os.path.dirname(os.path.dirname(os.path.abspath(__file__)))]
 
-    failed = False
+    status = 0
     violations = lint_paths(paths)
+    if violations:
+        status |= EXIT_LINT
+
+    audit_ran = not args.no_audit
+    audit_error: str | None = None
+    audit_batches = 0
+    if audit_ran:
+        try:
+            audit_batches = audit_random_schedule(seed=args.audit_seed)
+        except ScheduleError as exc:
+            audit_error = str(exc)
+            status |= EXIT_AUDIT
+
+    if args.as_json:
+        report = {
+            "paths": paths,
+            "violations": [
+                {"path": v.path, "line": v.line, "rule": v.rule,
+                 "message": v.message}
+                for v in violations
+            ],
+            "audit": {
+                "ran": audit_ran,
+                "seed": args.audit_seed if audit_ran else None,
+                "batches": audit_batches if audit_error is None else None,
+                "error": audit_error,
+            } if audit_ran else {"ran": False},
+            "exit_code": status,
+        }
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return status
+
     for v in violations:
         print(v.render())
     if violations:
-        failed = True
         print("lint: %d violation(s)" % len(violations))
     else:
         print("lint: clean (%s)" % ", ".join(paths))
-
-    if not args.no_audit:
-        try:
-            n = audit_random_schedule(seed=args.audit_seed)
-        except ScheduleError as exc:
-            print("schedule audit: FAILED\n%s" % exc)
-            failed = True
+    if audit_ran:
+        if audit_error is not None:
+            print("schedule audit: FAILED\n%s" % audit_error)
         else:
-            print("schedule audit: %d batches proven safe" % n)
-
-    return 1 if failed else 0
+            print("schedule audit: %d batches proven safe" % audit_batches)
+    return status
 
 
 if __name__ == "__main__":

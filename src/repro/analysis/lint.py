@@ -31,6 +31,31 @@ DET107    Filesystem listings (``os.listdir``/``glob``) are sorted before
           use — directory order is not deterministic across filesystems.
 DET108    No stdlib entropy (``random``, ``uuid.uuid1/uuid4``,
           ``os.urandom``, ``secrets``) in fingerprinted paths.
+DET109    ``REPRO_*`` environment variables are read only through the
+          :mod:`repro.envvars` registry — one documented, typed source
+          of truth per knob.
+========  ==================================================================
+
+The NUM rules are the *static* half of the numerical-safety contract
+(:mod:`repro.analysis.numeric` is the runtime half): they reject float
+idioms whose failure modes — overflow-to-inf, log-of-zero, catastrophic
+cancellation — the sanitizer would otherwise only catch at runtime.
+
+========  ==================================================================
+NUM200    ``exp`` on a model-parameter path must bound its argument above
+          (a negated/clipped argument, or the max-shift idiom).
+NUM201    ``log`` of a difference or ratio must guard its argument away
+          from zero (clip/maximum/abs, directly or via a guarded name).
+NUM202    No bare magic epsilon literals (powers of ten at or below 1e-3)
+          in guards, comparisons, or module constants — name them in
+          ``constants.py``.
+NUM203    A softmax implementation must max-shift its logits before
+          exponentiating.
+NUM204    No dtype-narrowing float casts (``float32``/``float16``) in
+          lane-stacked modules — batched lanes must carry full float64.
+NUM205    No exact float equality/inequality in convergence logic.
+NUM206    Division by a difference (or by an ``exp``) must guard the
+          denominator away from zero.
 ========  ==================================================================
 
 Suppression syntax (line-scoped, justification mandatory)::
@@ -81,6 +106,24 @@ _FINGERPRINTED_MODULES = (
     "core/", "optim/", "parallel/", "partition/", "transforms/",
     "profiles/", "psf/", "autodiff/", "gaussians.py", "driver/",
 )
+#: Modules whose floats are (transforms of) model parameters the optimizer
+#: steps in — the paths where an unguarded exp/log/divide turns one bad
+#: Newton trial point into inf/nan.  Deliberately narrower than
+#: ``_NUMERIC_MODULES``: diagnostic/IO layers compute on bounded inputs,
+#: and scoping them in would only breed rote suppressions.
+_MODEL_PARAM_MODULES = (
+    "core/elbo.py", "core/elbo_taylor.py", "core/kernel.py",
+    "core/fluxes.py", "core/single.py", "transforms/", "optim/",
+    "gaussians.py",
+)
+#: Modules holding convergence/acceptance logic (NUM205).
+_CONVERGENCE_MODULES = ("optim/", "core/single.py")
+#: Modules where a bare epsilon literal belongs in ``constants.py``
+#: (which is itself outside every scope here — that is where the named
+#: tolerances live).
+_EPSILON_MODULES = (
+    "core/", "optim/", "transforms/", "profiles/", "psf/", "gaussians.py",
+)
 
 RULES: dict[str, tuple[str, tuple | None]] = {
     "DET100": ("inline suppressions must justify themselves and match a "
@@ -101,6 +144,22 @@ RULES: dict[str, tuple[str, tuple | None]] = {
     "DET107": ("sort filesystem listings before iterating them", None),
     "DET108": ("no stdlib entropy (random / uuid1 / uuid4 / urandom / "
                "secrets) in fingerprinted paths", _FINGERPRINTED_MODULES),
+    "DET109": ("read REPRO_* environment variables through repro.envvars, "
+               "never os.environ/os.getenv directly", None),
+    "NUM200": ("exp on a model-parameter path must bound its argument "
+               "above (negate, clip, or max-shift)", _MODEL_PARAM_MODULES),
+    "NUM201": ("log of a difference or ratio must guard its argument away "
+               "from zero", _MODEL_PARAM_MODULES),
+    "NUM202": ("bare magic epsilon literal; give it a name in constants.py",
+               _EPSILON_MODULES),
+    "NUM203": ("softmax implementations must max-shift logits before "
+               "exponentiating", None),
+    "NUM204": ("no dtype-narrowing float casts in lane-stacked modules",
+               _LANE_STACKED_MODULES),
+    "NUM205": ("no exact float equality/inequality in convergence logic",
+               _CONVERGENCE_MODULES),
+    "NUM206": ("division by a difference or by an exp must guard the "
+               "denominator away from zero", _MODEL_PARAM_MODULES),
 }
 
 _SUPPRESSION_RE = re.compile(
@@ -603,6 +662,338 @@ def _check_entropy(tree, path):
     return out
 
 
+# ---------------------------------------------------------------------------
+# DET109 — REPRO_* environment reads outside the registry
+
+
+def _check_env_reads(tree, path):
+    """Direct ``os.environ``/``os.getenv`` reads of a ``REPRO_*`` name —
+    by string literal or by a module constant bound to one."""
+    repro_names: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign) \
+                and isinstance(node.value, ast.Constant) \
+                and isinstance(node.value.value, str) \
+                and node.value.value.startswith("REPRO_"):
+            for target in node.targets:
+                repro_names.update(_assigned_names(target))
+
+    def is_repro(expr: ast.AST) -> bool:
+        if isinstance(expr, ast.Constant):
+            return (isinstance(expr.value, str)
+                    and expr.value.startswith("REPRO_"))
+        return isinstance(expr, ast.Name) and expr.id in repro_names
+
+    out = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            chain = _attr_chain(node.func)
+            reads = (chain[-2:] == ["os", "getenv"]
+                     or (len(chain) >= 3 and chain[-3] == "os"
+                         and chain[-2] == "environ" and chain[-1] == "get"))
+            if reads and node.args and is_repro(node.args[0]):
+                out.append(_violation(
+                    path, node, "DET109",
+                    "direct environment read of a REPRO_* variable; go "
+                    "through repro.envvars (env_raw/env_flag/env_int) so "
+                    "every knob stays registered, typed, and documented",
+                ))
+        elif isinstance(node, ast.Subscript):
+            chain = _attr_chain(node.value)
+            if chain[-2:] == ["os", "environ"] and is_repro(node.slice):
+                out.append(_violation(
+                    path, node, "DET109",
+                    "direct os.environ[] read of a REPRO_* variable; go "
+                    "through repro.envvars instead",
+                ))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# NUM200-NUM206 — the numerical-safety contract's static side
+
+
+#: Calls that bound a value (the guard idioms NUM200/201/206 look for).
+_GUARD_CALLEES = {"clip", "maximum", "minimum", "max", "min", "amax", "amin"}
+_ABS_CALLEES = {"abs", "absolute", "fabs"}
+
+
+def _callee_name(node: ast.Call) -> str | None:
+    return _call_name(node) or (
+        node.func.attr if isinstance(node.func, ast.Attribute) else None)
+
+
+def _contains_call_to(node: ast.AST, names: set[str]) -> bool:
+    return any(
+        isinstance(n, ast.Call) and _callee_name(n) in names
+        for n in ast.walk(node)
+    )
+
+
+def _enclosing_scope(node: ast.AST, tree: ast.AST) -> ast.AST:
+    for a in _ancestors(node):
+        if isinstance(a, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return a
+    return tree
+
+
+def _names_assigned_from(scope: ast.AST, callees: set[str]) -> set[str]:
+    """Names bound anywhere in ``scope`` to an expression containing a call
+    to one of ``callees`` — the mini-dataflow behind the max-shift and
+    clip-guard idioms (``m = max(...)``, ``frac = np.clip(...)``)."""
+    out: set[str] = set()
+    for n in ast.walk(scope):
+        if isinstance(n, ast.Assign) and _contains_call_to(n.value, callees):
+            for target in n.targets:
+                out.update(_assigned_names(target))
+    return out
+
+
+def _is_exp_call(node: ast.Call) -> bool:
+    chain = _attr_chain(node.func)
+    if len(chain) == 2 and chain[0] in ("np", "numpy", "math") \
+            and chain[1] == "exp":
+        return True
+    return _call_name(node) == "texp"
+
+
+def _is_log_call(node: ast.Call) -> bool:
+    chain = _attr_chain(node.func)
+    if len(chain) == 2 and chain[0] in ("np", "numpy", "math") \
+            and chain[1] == "log":
+        return True
+    return _call_name(node) == "tlog"
+
+
+def _exp_arg_guarded(arg: ast.AST, shift_names: set[str]) -> bool:
+    """Is an exp argument provably bounded above?  Negations, clipped/
+    max-shifted expressions, and constants are; a raw model parameter (or
+    a sum of them) is not."""
+    if isinstance(arg, ast.Constant):
+        return True
+    if isinstance(arg, ast.UnaryOp) and isinstance(arg.op, ast.USub):
+        return True
+    if isinstance(arg, ast.Name) and arg.id in shift_names:
+        return True
+    if _contains_call_to(arg, _GUARD_CALLEES):
+        return True
+    if isinstance(arg, ast.BinOp):
+        if isinstance(arg.op, ast.Mult):
+            return any(
+                isinstance(side, ast.UnaryOp)
+                and isinstance(side.op, ast.USub)
+                for side in (arg.left, arg.right)
+            )
+        if isinstance(arg.op, ast.Sub):
+            right = arg.right
+            if isinstance(right, ast.Name) and right.id in shift_names:
+                return True
+            return _exp_arg_guarded(arg.left, shift_names)
+    return False
+
+
+def _check_unguarded_exp(tree, path):
+    out = []
+    cache: dict[int, set[str]] = {}
+    for node in ast.walk(tree):
+        if not (isinstance(node, ast.Call) and _is_exp_call(node)
+                and node.args):
+            continue
+        scope = _enclosing_scope(node, tree)
+        names = cache.get(id(scope))
+        if names is None:
+            names = cache[id(scope)] = _names_assigned_from(
+                scope, _GUARD_CALLEES)
+        if _exp_arg_guarded(node.args[0], names):
+            continue
+        out.append(_violation(
+            path, node, "NUM200",
+            "exp of an unbounded model-parameter expression overflows to "
+            "inf past ~709; negate, clip, or max-shift the argument (or "
+            "justify why the argument is bounded by construction)",
+        ))
+    return out
+
+
+def _log_arg_guarded(arg: ast.AST, guard_names: set[str]) -> bool:
+    if _contains_call_to(arg, _GUARD_CALLEES | _ABS_CALLEES):
+        return True
+    return any(
+        isinstance(n, ast.Name) and n.id in guard_names
+        for n in ast.walk(arg)
+    )
+
+
+def _check_unguarded_log(tree, path):
+    out = []
+    cache: dict[int, set[str]] = {}
+    for node in ast.walk(tree):
+        if not (isinstance(node, ast.Call) and _is_log_call(node)
+                and node.args):
+            continue
+        arg = node.args[0]
+        if not (isinstance(arg, ast.BinOp)
+                and isinstance(arg.op, (ast.Sub, ast.Div))):
+            continue
+        scope = _enclosing_scope(node, tree)
+        names = cache.get(id(scope))
+        if names is None:
+            names = cache[id(scope)] = _names_assigned_from(
+                scope, _GUARD_CALLEES | _ABS_CALLEES)
+        if _log_arg_guarded(arg, names):
+            continue
+        out.append(_violation(
+            path, node, "NUM201",
+            "log of a difference/ratio hits -inf (or nan) when the "
+            "argument reaches zero; clip or bound it away from zero (or "
+            "justify the domain)",
+        ))
+    return out
+
+
+def _check_unguarded_division(tree, path):
+    out = []
+    cache: dict[int, set[str]] = {}
+    for node in ast.walk(tree):
+        if not (isinstance(node, ast.BinOp) and isinstance(node.op, ast.Div)):
+            continue
+        den = node.right
+        is_sub = isinstance(den, ast.BinOp) and isinstance(den.op, ast.Sub)
+        is_exp = isinstance(den, ast.Call) and _is_exp_call(den)
+        if not (is_sub or is_exp):
+            continue
+        scope = _enclosing_scope(node, tree)
+        names = cache.get(id(scope))
+        if names is None:
+            names = cache[id(scope)] = _names_assigned_from(
+                scope, _GUARD_CALLEES | _ABS_CALLEES)
+        if _log_arg_guarded(den, names):
+            continue
+        out.append(_violation(
+            path, node, "NUM206",
+            "denominator is a difference (or an exp that can underflow to "
+            "zero); guard it away from zero or justify why it cannot "
+            "vanish",
+        ))
+    return out
+
+
+#: Exact powers of ten from 1e-3 down — the magic-guard literals NUM202
+#: wants named in constants.py.
+_EPSILON_LITERALS = {float("1e-%d" % k) for k in range(3, 17)}
+
+
+def _is_epsilon_literal(node: ast.AST) -> bool:
+    return (isinstance(node, ast.Constant)
+            and isinstance(node.value, float)
+            and node.value in _EPSILON_LITERALS)
+
+
+def _check_magic_epsilon(tree, path):
+    out = []
+
+    def flag(node):
+        out.append(_violation(
+            path, node, "NUM202",
+            "bare epsilon literal %r used as a guard; name it in "
+            "constants.py so every tolerance has one documented source "
+            "of truth" % (node.value,),
+        ))
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call) \
+                and _callee_name(node) in _GUARD_CALLEES:
+            for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                if _is_epsilon_literal(arg):
+                    flag(arg)
+        elif isinstance(node, ast.Compare):
+            for operand in [node.left] + node.comparators:
+                if _is_epsilon_literal(operand):
+                    flag(operand)
+    for stmt in tree.body:
+        if isinstance(stmt, ast.Assign) and _is_epsilon_literal(stmt.value):
+            flag(stmt.value)
+    return out
+
+
+def _check_softmax_shift(tree, path):
+    out = []
+    for func in ast.walk(tree):
+        if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if "softmax" not in func.name:
+            continue
+        exp_calls = [n for n in ast.walk(func)
+                     if isinstance(n, ast.Call) and _is_exp_call(n)]
+        if not exp_calls or _contains_call_to(func, _GUARD_CALLEES):
+            continue
+        for n in exp_calls:
+            out.append(_violation(
+                path, n, "NUM203",
+                "softmax without a max-shift overflows on large logits; "
+                "subtract the max logit before exponentiating",
+            ))
+    return out
+
+
+_NARROW_FLOATS = {"float32", "float16", "single", "half"}
+
+
+def _is_narrow_dtype(node: ast.AST) -> bool:
+    if isinstance(node, ast.Constant):
+        return node.value in ("float32", "float16")
+    chain = _attr_chain(node)
+    return (len(chain) == 2 and chain[0] in ("np", "numpy")
+            and chain[1] in _NARROW_FLOATS)
+
+
+def _check_dtype_narrowing(tree, path):
+    out = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        narrowing = False
+        if isinstance(node.func, ast.Attribute) \
+                and node.func.attr == "astype" and node.args:
+            narrowing = _is_narrow_dtype(node.args[0])
+        if not narrowing:
+            chain = _attr_chain(node.func)
+            narrowing = (len(chain) == 2 and chain[0] in ("np", "numpy")
+                         and chain[1] in _NARROW_FLOATS)
+        if not narrowing:
+            narrowing = any(
+                kw.arg == "dtype" and _is_narrow_dtype(kw.value)
+                for kw in node.keywords
+            )
+        if narrowing:
+            out.append(_violation(
+                path, node, "NUM204",
+                "dtype-narrowing cast in a lane-stacked module: batched "
+                "lanes must stay float64 to remain bit-identical with the "
+                "scalar path",
+            ))
+    return out
+
+
+def _check_float_equality(tree, path):
+    out = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Compare):
+            continue
+        if not any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+            continue
+        operands = [node.left] + node.comparators
+        if any(isinstance(o, ast.Constant) and isinstance(o.value, float)
+               for o in operands):
+            out.append(_violation(
+                path, node, "NUM205",
+                "exact float equality in convergence logic is one ulp away "
+                "from flipping; compare against a named tolerance (or "
+                "justify the exact-zero sentinel)",
+            ))
+    return out
+
+
 _CHECKS = {
     "DET101": _check_global_numpy_random,
     "DET102": _check_unordered_iteration,
@@ -612,6 +1003,14 @@ _CHECKS = {
     "DET106": _check_acquire_release,
     "DET107": _check_fs_order,
     "DET108": _check_entropy,
+    "DET109": _check_env_reads,
+    "NUM200": _check_unguarded_exp,
+    "NUM201": _check_unguarded_log,
+    "NUM202": _check_magic_epsilon,
+    "NUM203": _check_softmax_shift,
+    "NUM204": _check_dtype_narrowing,
+    "NUM205": _check_float_equality,
+    "NUM206": _check_unguarded_division,
 }
 
 

@@ -57,3 +57,65 @@ FIELD_FILE_BYTES: int = 12 * 1024 * 1024
 #: Constrained parameters per source: a[2] + u[2] + r1[2] + r2[2] + c1[4,2]
 #: + c2[4,2] + e_dev + e_axis + e_angle + e_scale + k[8,2] = 44 (paper, §IV).
 NUM_CANONICAL_PARAMS: int = 44
+
+# --- Numerical guard tolerances ----------------------------------------------
+# Every guard epsilon used on a numeric path lives here under a name that
+# says what it protects; the NUM202 lint rule rejects bare power-of-ten
+# literals in clamps and threshold comparisons anywhere else, so a guard
+# cannot silently drift out of sync between the scalar and batched paths.
+
+#: Floor applied to per-pixel background rates before they enter the Poisson
+#: pixel term (a zero background makes ``log f`` unbounded at dark pixels).
+BACKGROUND_RATE_FLOOR: float = 1e-3
+#: Clip distance from {0, 1} used when inverting unit-interval bijectors
+#: (LogitBox, fixed-last softmax); keeps the inverse logits finite.
+UNIT_INTERVAL_EDGE: float = 1e-6
+#: Trust-region radius below which a Newton solve is declared collapsed.
+TRUST_REGION_MIN_RADIUS: float = 1e-10
+#: Largest magnitude fed to ``exp`` on guarded paths: ``exp(709.0)`` is the
+#: last power that fits in a float64, so clamping an exponent at ±709 turns
+#: overflow-to-inf into a saturated-but-finite value (and is bitwise inert
+#: for every argument that was already in range).
+EXP_ARG_LIMIT: float = 709.0
+#: Floor for catalog fluxes entering a log during seeding (Photo detections
+#: are positive; the floor only matters for degenerate synthetic inputs).
+SEED_FLUX_FLOOR: float = 1e-6
+#: Floor for fluxes entering the color-prior GMM fit's log-ratio features.
+COLOR_FIT_FLUX_FLOOR: float = 1e-9
+#: Floor applied to fluxes before forming colors ``log(f[b+1]/f[b])``;
+#: bitwise inert for any physically plausible positive flux.
+FLUX_RATIO_FLOOR: float = 1e-12
+#: Variance floor when seeding the color-prior GMM fit (degenerate catalogs
+#: would otherwise initialize a component's Gaussian as a delta).
+COLOR_FIT_VAR_FLOOR: float = 1e-3
+#: Variance floor inside the GMM M-step (tighter than the init floor: EM may
+#: legitimately shrink a well-populated component below it).
+COLOR_FIT_EM_VAR_FLOOR: float = 1e-4
+#: Floor on per-component responsibility mass in the GMM E-step (an empty
+#: component would divide by zero in the M-step).
+GMM_RESPONSIBILITY_FLOOR: float = 1e-9
+#: Gradient components below this are "numerically orthogonal" to the bottom
+#: eigenspace in the trust-region hard case (More-Sorensen safeguard).
+HARD_CASE_GRAD_TOL: float = 1e-12
+#: Step norms below this are treated as exactly degenerate when solving the
+#: trust-region secular equation (denormal floor, not a tuning knob).
+DEGENERATE_STEP_NORM: float = 1e-300
+#: Floor on second-moment eigenvalues when recovering an ellipse from
+#: measured moments (a flat source would otherwise yield axis ratio 0/0).
+MOMENT_EIGENVALUE_FLOOR: float = 1e-12
+#: Floor on the total type-probability mass when renormalizing ``a`` out of
+#: a canonical vector (the two entries sum to ~1 on any sane vector).
+TYPE_MASS_FLOOR: float = 1e-12
+#: Clip distance from {0, 1} for probabilities entering an entropy
+#: ``p log p`` (tighter than UNIT_INTERVAL_EDGE: entropy is reported, not
+#: inverted, so the edge only needs to keep the log finite).
+TYPE_PROB_EDGE: float = 1e-12
+#: Floor on the radius argument of the de Vaucouleurs profile (the r^{1/4}
+#: cusp has infinite slope at exactly zero).
+PROFILE_RADIUS_FLOOR: float = 1e-12
+#: Floor on warm-start NNLS amplitudes for the profile mixture fit (zero
+#: amplitudes would start the log-parameterized refinement at -inf).
+NNLS_AMPLITUDE_FLOOR: float = 1e-6
+#: Floor on per-cluster responsibility mass in the PSF EM M-step (an empty
+#: cluster would divide by zero updating its mean and covariance).
+EM_CLUSTER_MASS_FLOOR: float = 1e-12

@@ -80,12 +80,14 @@ returns the Taylor scalar itself, the fused backend an :class:`ElboEval`.
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass, field as dc_field
 
 import numpy as np
 
+from repro.analysis.numeric import current_check
+from repro.constants import BACKGROUND_RATE_FLOOR
 from repro.core.priors import Priors
+from repro.envvars import env_raw
 from repro.perf.counters import Counters, GLOBAL_COUNTERS
 from repro.profiles.mog import dev_mixture, exp_mixture
 from repro.survey.image import Image
@@ -315,7 +317,7 @@ def make_context(
             px=px,
             py=py,
             counts=counts,
-            background=np.maximum(bg, 1e-3),
+            background=np.maximum(bg, BACKGROUND_RATE_FLOOR),
             psf_components=list(image.meta.psf.components()),
             wcs=image.meta.wcs,
             bounds=bounds,
@@ -482,7 +484,7 @@ def resolve_backend_name(name: str | None = None) -> str:
     """The backend a call with ``backend=name`` would use: an explicit name
     wins, else :data:`BACKEND_ENV_VAR`, else :data:`DEFAULT_BACKEND`."""
     if name is None:
-        name = os.environ.get(BACKEND_ENV_VAR) or DEFAULT_BACKEND
+        name = env_raw(BACKEND_ENV_VAR) or DEFAULT_BACKEND
     if name not in _KNOWN_BACKENDS and name not in _BACKENDS:
         raise ValueError(
             "unknown ELBO backend %r; available: %r"
@@ -534,6 +536,9 @@ def elbo(
     """
     bk = get_backend(backend)
     out = bk.evaluate(ctx, free, order, variance_correction)
+    chk = current_check()
+    if chk is not None:
+        chk.check_eval(out, stage="elbo")
     ctx.counters.add_many({
         "active_pixel_visits": float(ctx.n_active_pixels),
         "objective_evaluations": 1.0,
@@ -592,6 +597,11 @@ def elbo_batch(
     bk = get_backend(backend)
     out = bk.evaluate_batch(ctxs, frees, order, variance_correction,
                             compiled=compiled, active=active)
+    chk = current_check()
+    if chk is not None:
+        for i, lane_out in enumerate(out):
+            if lane_out is not None:
+                chk.check_eval(lane_out, stage="elbo-batch", lane=i)
     n_active = 0
     for i, ctx in enumerate(ctxs):
         if active is not None and not active[i]:
@@ -629,6 +639,9 @@ def elbo_kl(
     """
     bk = get_backend(backend)
     out = bk.evaluate_kl(ctx, np.asarray(free, dtype=np.float64), order)
+    chk = current_check()
+    if chk is not None:
+        chk.check_eval(out, stage="kl")
     ctx.counters.add_many({
         "kl_evaluations": 1.0,
         "kl_evaluations_" + bk.name: 1.0,

@@ -58,7 +58,7 @@ def _kl_bernoulli(params: TaylorParams, priors: Priors) -> Taylor:
     phi = priors.prob_galaxy
     return -1.0 * (
         pg * (tlog(pg) - float(np.log(phi)))
-        + ps * (tlog(ps) - float(np.log(1.0 - phi)))
+        + ps * (tlog(ps) - float(np.log(1.0 - phi)))  # det: ignore[NUM201] -- phi is validated in (0, 1) by Priors.__post_init__
     )
 
 

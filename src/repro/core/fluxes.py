@@ -21,7 +21,12 @@ from __future__ import annotations
 import numpy as np
 
 from repro.autodiff import Taylor, texp, lift
-from repro.constants import NUM_BANDS, NUM_COLORS, REFERENCE_BAND
+from repro.constants import (
+    FLUX_RATIO_FLOOR,
+    NUM_BANDS,
+    NUM_COLORS,
+    REFERENCE_BAND,
+)
 
 __all__ = ["COLOR_COEFFS", "flux_moments", "flux_from_colors", "colors_from_fluxes"]
 
@@ -62,8 +67,8 @@ def flux_moments(r1, r2, c1: list, c2: list, band: int) -> tuple[Taylor, Taylor]
         if w != 0.0:
             m = m + w * lift(c1[i])
             v = v + (w * w) * lift(c2[i])
-    first = texp(m + 0.5 * v)
-    second = texp(2.0 * m + 2.0 * v)
+    first = texp(m + 0.5 * v)  # det: ignore[NUM200] -- log-flux moment is unbounded by design; the runtime NumericSanitizer watches this path
+    second = texp(2.0 * m + 2.0 * v)  # det: ignore[NUM200] -- log-flux moment is unbounded by design; the runtime NumericSanitizer watches this path
     return first, second
 
 
@@ -72,11 +77,11 @@ def flux_from_colors(flux_ref: float, colors: np.ndarray) -> np.ndarray:
     path, used by the renderer and catalog code)."""
     colors = np.asarray(colors, dtype=float)
     log_ref = np.log(flux_ref)
-    return np.exp(log_ref + COLOR_COEFFS @ colors)
+    return np.exp(log_ref + COLOR_COEFFS @ colors)  # det: ignore[NUM200] -- log-flux is unbounded by design; the runtime NumericSanitizer watches this path
 
 
 def colors_from_fluxes(fluxes: np.ndarray) -> np.ndarray:
     """Invert :func:`flux_from_colors`: colors are log ratios of adjacent
     band fluxes."""
-    fluxes = np.maximum(np.asarray(fluxes, dtype=float), 1e-12)
+    fluxes = np.maximum(np.asarray(fluxes, dtype=float), FLUX_RATIO_FLOOR)
     return np.log(fluxes[1:] / fluxes[:-1])

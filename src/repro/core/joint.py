@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.analysis.numeric import current_check, numeric_source
 from repro.constants import GALAXY, STAR
 from repro.core.catalog import Catalog, CatalogEntry
 from repro.core.elbo import make_context, release_scratch
@@ -69,6 +70,10 @@ class RegionResult:
     #: empty unless the run enabled race detection — and, if the schedule
     #: is correct, empty even then.
     race_reports: list = field(default_factory=list)
+    #: Numeric-sanitizer findings (:class:`repro.analysis.numeric
+    #: .NumericReport`); empty unless the run enabled numeric checking —
+    #: and, on a healthy model, empty even then.
+    numeric_reports: list = field(default_factory=list)
 
     @property
     def n_converged(self) -> int:
@@ -231,8 +236,9 @@ class RegionOptimizer:
         This is the unit of work distributed by Cyclades; it is safe to run
         concurrently for sources whose patches do not overlap.
         """
-        ctx = self._make_context(s)
-        result = optimize_source(ctx, self.params[s], self.config.single)
+        with numeric_source(s):
+            ctx = self._make_context(s)
+            result = optimize_source(ctx, self.params[s], self.config.single)
         with self._lock:
             self._fold_back(s, result)
         return result
@@ -275,10 +281,11 @@ class RegionOptimizer:
         updated before or after it, so this is bit-for-bit equivalent to
         calling :meth:`update_source` on each source in order.
         """
-        ctxs = [self._make_context(s) for s in sources]
-        results = optimize_sources_batch(
-            ctxs, [self.params[s] for s in sources], self.config.single
-        )
+        with numeric_source(sources):
+            ctxs = [self._make_context(s) for s in sources]
+            results = optimize_sources_batch(
+                ctxs, [self.params[s] for s in sources], self.config.single
+            )
         with self._lock:
             for s, result in zip(sources, results):
                 self._fold_back(s, result)
@@ -290,7 +297,12 @@ class RegionOptimizer:
 
     def total_elbo(self) -> float:
         # fsum is exact, so the total is independent of completion order.
-        return math.fsum(r.elbo for r in self.results if r is not None)
+        parts = [r.elbo for r in self.results if r is not None]
+        total = math.fsum(parts)
+        chk = current_check()
+        if chk is not None:
+            chk.check_accumulation(total, parts)
+        return total
 
 
 def optimize_region(

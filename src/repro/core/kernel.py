@@ -241,7 +241,7 @@ class KlWorkspace:
     def __init__(self, priors: Priors):
         phi = float(priors.prob_galaxy)
         self.log_phi = float(np.log(phi))
-        self.log_1mphi = float(np.log(1.0 - phi))
+        self.log_1mphi = float(np.log(1.0 - phi))  # det: ignore[NUM201] -- phi is validated in (0, 1) by Priors.__post_init__
         self.logit_phi = self.log_phi - self.log_1mphi
         self.r_loc = np.asarray(priors.r_loc, dtype=float)
         self.r_ivar = 1.0 / np.asarray(priors.r_var, dtype=float)
@@ -724,11 +724,11 @@ class _FluxChain:
             v += w * w * c2v
             dv[6 + i] = w * w * c2d1
             ddv[6 + i] = w * w * c2d2
-        self.ef = float(np.exp(m + 0.5 * v))
+        self.ef = float(np.exp(m + 0.5 * v))  # det: ignore[NUM200] -- log-flux moment is unbounded by design; the runtime NumericSanitizer watches this path
         self.dl1 = dm + 0.5 * dv
         self.ddl1 = 0.5 * ddv
         if variance_correction:
-            self.ef2 = float(np.exp(2.0 * m + 2.0 * v))
+            self.ef2 = float(np.exp(2.0 * m + 2.0 * v))  # det: ignore[NUM200] -- log-flux moment is unbounded by design; the runtime NumericSanitizer watches this path
             self.dl2 = 2.0 * dm + 2.0 * dv
             self.ddl2 = 2.0 * ddv
         else:

@@ -25,6 +25,7 @@ from repro.constants import (
     NUM_COLORS,
     NUM_TYPES,
     STAR,
+    TYPE_MASS_FLOOR,
 )
 from repro.transforms import (
     LogitBox,
@@ -163,7 +164,7 @@ class SourceParams:
         vec = np.asarray(vec, dtype=float)
         a = vec[CANONICAL["a"]]
         return SourceParams(
-            prob_galaxy=float(a[GALAXY] / max(a.sum(), 1e-12)),
+            prob_galaxy=float(a[GALAXY] / max(a.sum(), TYPE_MASS_FLOOR)),
             u=vec[CANONICAL["u"]].copy(),
             r1=vec[CANONICAL["r1"]].copy(),
             r2=vec[CANONICAL["r2"]].copy(),
@@ -220,7 +221,7 @@ def canonical_to_free(canonical: np.ndarray, u_center: np.ndarray) -> np.ndarray
     canonical = np.asarray(canonical, dtype=float)
     out = np.empty(FREE.size)
     a = canonical[CANONICAL["a"]]
-    out[FREE["a"]] = _BIJ_PROB.inverse_np(a[GALAXY] / max(a.sum(), 1e-12))
+    out[FREE["a"]] = _BIJ_PROB.inverse_np(a[GALAXY] / max(a.sum(), TYPE_MASS_FLOOR))
     ub = LogitBox(-U_BOX_HALFWIDTH, U_BOX_HALFWIDTH)
     out[FREE["u"]] = ub.inverse_np(canonical[CANONICAL["u"]] - np.asarray(u_center))
     out[FREE["r1"]] = canonical[CANONICAL["r1"]]

@@ -16,7 +16,11 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.constants import (
+    COLOR_FIT_EM_VAR_FLOOR,
+    COLOR_FIT_FLUX_FLOOR,
+    COLOR_FIT_VAR_FLOOR,
     GALAXY,
+    GMM_RESPONSIBILITY_FLOOR,
     NUM_COLOR_COMPONENTS,
     NUM_COLORS,
     NUM_TYPES,
@@ -125,12 +129,15 @@ def _fit_color_mixture(
     if n < n_components:
         # Degenerate catalog: replicate the empirical moments.
         mu = np.tile(colors.mean(axis=0)[:, None], (1, n_components))
-        var = np.tile(np.maximum(colors.var(axis=0), 1e-3)[:, None], (1, n_components))
+        var = np.tile(
+            np.maximum(colors.var(axis=0), COLOR_FIT_VAR_FLOOR)[:, None],
+            (1, n_components),
+        )
         return np.full(n_components, 1.0 / n_components), mu, var
 
     picks = rng.choice(n, size=n_components, replace=False)
     means = colors[picks].T.copy()                      # (dim, D)
-    var0 = np.maximum(colors.var(axis=0), 1e-3)
+    var0 = np.maximum(colors.var(axis=0), COLOR_FIT_VAR_FLOOR)
     variances = np.tile(var0[:, None], (1, n_components))
     weights = np.full(n_components, 1.0 / n_components)
 
@@ -146,13 +153,14 @@ def _fit_color_mixture(
         m = log_r.max(axis=1, keepdims=True)
         r = np.exp(log_r - m)
         r /= r.sum(axis=1, keepdims=True)
-        nk = np.maximum(r.sum(axis=0), 1e-9)
+        nk = np.maximum(r.sum(axis=0), GMM_RESPONSIBILITY_FLOOR)
         weights = nk / nk.sum()
         for d in range(n_components):
             means[:, d] = (r[:, d][:, None] * colors).sum(axis=0) / nk[d]
             diff2 = (colors - means[:, d]) ** 2
             variances[:, d] = np.maximum(
-                (r[:, d][:, None] * diff2).sum(axis=0) / nk[d], 1e-4
+                (r[:, d][:, None] * diff2).sum(axis=0) / nk[d],
+                COLOR_FIT_EM_VAR_FLOOR,
             )
     return weights, means, variances
 
@@ -166,7 +174,9 @@ def fit_priors(catalog, n_components: int = NUM_COLOR_COMPONENTS) -> Priors:
     if len(entries) < 4:
         raise ValueError("need at least 4 catalog entries to fit priors")
     is_gal = np.array([e.is_galaxy for e in entries], dtype=bool)
-    log_flux = np.log(np.maximum([e.flux_r for e in entries], 1e-9))
+    log_flux = np.log(
+        np.maximum([e.flux_r for e in entries], COLOR_FIT_FLUX_FLOOR)
+    )
     colors = np.array([e.colors for e in entries], dtype=float)
 
     frac = float(np.clip(is_gal.mean(), 0.02, 0.98))

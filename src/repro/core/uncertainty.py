@@ -15,7 +15,7 @@ from dataclasses import dataclass
 import numpy as np
 from scipy.stats import norm
 
-from repro.constants import BANDS, GALAXY, STAR
+from repro.constants import BANDS, GALAXY, STAR, TYPE_PROB_EDGE
 from repro.core.fluxes import COLOR_COEFFS
 from repro.core.params import SourceParams
 
@@ -59,7 +59,7 @@ class PosteriorSummary:
 
 
 def _type_entropy(p: float) -> float:
-    p = float(np.clip(p, 1e-12, 1 - 1e-12))
+    p = float(np.clip(p, TYPE_PROB_EDGE, 1 - TYPE_PROB_EDGE))
     return float(-(p * np.log(p) + (1 - p) * np.log(1 - p)))
 
 

@@ -90,6 +90,7 @@ from repro.driver.checkpoint import (
 )
 from repro.driver.merge import dedup_catalog, merge_catalogs
 from repro.driver.shards import ShardedCatalog
+from repro.envvars import env_flag, env_int, env_raw
 from repro.parallel import ParallelRegionConfig, optimize_region_parallel
 from repro.partition import Region, Task, generate_tasks
 from repro.perf.counters import Counters
@@ -128,7 +129,10 @@ RACE_DETECT_ENV_VAR = "REPRO_RACE_DETECT"
 #: None — pre-execution static verification of every Cyclades schedule.
 VERIFY_SCHEDULE_ENV_VAR = "REPRO_VERIFY_SCHEDULE"
 
-_TRUTHY = ("1", "true", "yes", "on")
+#: Environment variable consulted when ``DriverConfig.numeric_check`` is
+#: None — lets CI run any driver pipeline under the runtime float
+#: sanitizer without touching the config.
+NUMERIC_CHECK_ENV_VAR = "REPRO_NUMERIC_CHECK"
 
 _EXECUTORS = ("thread", "process")
 
@@ -214,6 +218,15 @@ class DriverConfig:
     #: raising on any cross-thread patch overlap or split component.
     #: ``None`` reads :data:`VERIFY_SCHEDULE_ENV_VAR`.  Observational only.
     verify_schedule: bool | None = None
+    #: Run the whole pipeline under the runtime float sanitizer
+    #: (:mod:`repro.analysis.numeric`): every ELBO evaluation and
+    #: trust-region step is checked for non-finite values, overflow,
+    #: asymmetric Hessian blocks, and catastrophic cancellation, with
+    #: findings attributed (source, lane, term, stage, actor) in
+    #: ``DriverReport.numeric_reports``.  ``None`` reads
+    #: :data:`NUMERIC_CHECK_ENV_VAR`.  Observational only: results are
+    #: bit-identical with it on or off, so it is not fingerprinted.
+    numeric_check: bool | None = None
     #: JSON checkpoint file; ``None`` disables checkpointing.  The working
     #: catalog checkpoints as ``n_nodes`` per-rank shard files.
     checkpoint_path: str | None = None
@@ -226,7 +239,7 @@ class DriverConfig:
 def _resolve_executor(config: DriverConfig) -> str:
     mode = config.executor
     if mode is None:
-        mode = os.environ.get(EXECUTOR_ENV_VAR) or "thread"
+        mode = env_raw(EXECUTOR_ENV_VAR) or "thread"
     if mode not in _EXECUTORS:
         raise ValueError(
             "executor must be one of %r, got %r" % (_EXECUTORS, mode)
@@ -243,9 +256,7 @@ def _resolve_elbo_batch_size(config: DriverConfig) -> int | None:
     if size is None:
         size = config.parallel.elbo_batch_size
     if size is None:
-        env = os.environ.get(ELBO_BATCH_ENV_VAR)
-        if env:
-            size = int(env)
+        size = env_int(ELBO_BATCH_ENV_VAR)
     if size is not None and size < 1:
         raise ValueError(
             "elbo_batch_size must be a positive integer, got %r" % (size,)
@@ -290,7 +301,7 @@ def _pin_elbo_backend(config: DriverConfig) -> DriverConfig:
 def _resolve_opt_flag(value: bool | None, env_var: str) -> bool:
     if value is not None:
         return bool(value)
-    return os.environ.get(env_var, "").strip().lower() in _TRUTHY
+    return env_flag(env_var)
 
 
 def _pin_analysis_flags(config: DriverConfig) -> DriverConfig:
@@ -302,12 +313,14 @@ def _pin_analysis_flags(config: DriverConfig) -> DriverConfig:
     race = _resolve_opt_flag(config.race_detect, RACE_DETECT_ENV_VAR)
     verify = _resolve_opt_flag(config.verify_schedule,
                                VERIFY_SCHEDULE_ENV_VAR)
+    numeric = _resolve_opt_flag(config.numeric_check, NUMERIC_CHECK_ENV_VAR)
     return replace(
         config,
         race_detect=race,
         verify_schedule=verify,
+        numeric_check=numeric,
         parallel=replace(config.parallel, race_detect=race,
-                         verify_schedule=verify),
+                         verify_schedule=verify, numeric_check=numeric),
     )
 
 
@@ -591,6 +604,7 @@ def _parallel_fingerprint(parallel: ParallelRegionConfig) -> dict:
     # scheduling-side knobs.
     d.pop("race_detect", None)
     d.pop("verify_schedule", None)
+    d.pop("numeric_check", None)
     return d
 
 
@@ -684,6 +698,30 @@ class _StageRunnerBase:
             from repro.analysis.race import RaceDetector
 
             self.race_detector = RaceDetector()
+        # Same lifetime/watermark discipline for the numeric sanitizer: one
+        # sink spanning stages, findings shipped to the report exactly once.
+        self.numeric_sink = None
+        self._numeric_shipped: set[tuple] = set()
+        if config.numeric_check:
+            from repro.analysis.numeric import NumericSanitizer
+
+            self.numeric_sink = NumericSanitizer()
+
+    def _sync_numeric_reports(self, report: DriverReport) -> None:
+        """Append sanitizer findings made since the last sync to the report
+        (checkpoint-resumed reports already carry earlier stages').  The
+        sink's report list is sorted rather than arrival-ordered, so the
+        additive guarantee uses the dedup key, not a count watermark."""
+        if self.numeric_sink is None:
+            return
+        for r in self.numeric_sink.reports:
+            d = r.as_dict()
+            key = (d["kind"], d["stage"], d["term"], d["source"], d["lane"],
+                   tuple(d["actor"]))
+            if key in self._numeric_shipped:
+                continue
+            self._numeric_shipped.add(key)
+            report.numeric_reports.append(d)
 
     def _sync_race_reports(self, report: DriverReport) -> None:
         """Append findings made since the last sync to the report.
@@ -798,6 +836,8 @@ class _ThreadStageRunner(_StageRunnerBase):
                             continue
                         if detector is not None:
                             detector.absorb(result.race_reports)
+                        if self.numeric_sink is not None:
+                            self.numeric_sink.absorb(result.numeric_reports)
                         with self._lock:
                             stage_elbo[0] += result.elbo_total
                             report.n_source_updates += (
@@ -837,6 +877,7 @@ class _ThreadStageRunner(_StageRunnerBase):
         report.n_tasks += len(tasks)
         self._apply_prefetch_stats(report, self.store.prefetch_stats())
         self._sync_race_reports(report)
+        self._sync_numeric_reports(report)
         return stage_elbo[0]
 
 
@@ -908,6 +949,7 @@ def _process_worker_main(
                 _dict_delta(prefetch, prev_prefetch),
                 list(result.race_reports) if result is not None else [],
                 access_log.drain() if access_log is not None else [],
+                list(result.numeric_reports) if result is not None else [],
             ))
             prev_comm, prev_prefetch = comm, prefetch
     except BaseException:  # noqa: BLE001 - forwarded to the parent
@@ -1028,10 +1070,12 @@ class _ProcessStageRunner(_StageRunnerBase):
                     return
                 (_, w, task_id, stage, executed, n_sources, elbo,
                  seconds, counter_delta, comm_delta, prefetch_delta,
-                 region_races, accesses) = msg
+                 region_races, accesses, region_numeric) = msg
                 if self.race_detector is not None:
                     self.race_detector.absorb(region_races)
                     self.race_detector.ingest(accesses)
+                if self.numeric_sink is not None:
+                    self.numeric_sink.absorb(region_numeric)
                 for name, value in counter_delta.items():
                     self.counters.add(name, value)
                 report.add_worker_comm(w, **comm_delta)
@@ -1104,6 +1148,7 @@ class _ProcessStageRunner(_StageRunnerBase):
         report.hops += dtree.stats["hops"]
         report.n_tasks += len(tasks)
         self._sync_race_reports(report)
+        self._sync_numeric_reports(report)
         return stage_elbo[0]
 
     def close(self) -> None:

@@ -1,0 +1,132 @@
+"""The central registry of ``REPRO_*`` environment variables.
+
+Every knob the reproduction reads from the environment is declared here —
+name, type, default, and the one-line contract a run can rely on — and every
+read goes through this module (:func:`env_raw` / :func:`env_flag` /
+:func:`env_int`).  The DET109 lint rule rejects any other ``os.environ``
+access to a ``REPRO_*`` name, so a grep of this file *is* the complete
+inventory, and the table in ``docs/determinism.md`` is generated from it
+(:func:`registry_markdown`; a test keeps the two in sync).
+
+Reading a name that is not registered raises ``KeyError`` — an unregistered
+variable is a contract violation, not a feature.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+__all__ = [
+    "ENV_REGISTRY",
+    "EnvVar",
+    "env_flag",
+    "env_int",
+    "env_raw",
+    "registry_markdown",
+]
+
+#: Strings accepted as "on" for flag-typed variables (case-insensitive,
+#: surrounding whitespace ignored).  Anything else — including unset — is off.
+TRUTHY = ("1", "true", "yes", "on")
+
+
+@dataclass(frozen=True)
+class EnvVar:
+    """One registered environment variable."""
+
+    name: str
+    #: "flag" (truthy strings enable), "int", or "str".
+    kind: str
+    #: Rendered in the generated table; the *effective* default when unset.
+    default: str
+    #: One-line contract, used verbatim in the generated docs table.
+    doc: str
+
+
+_VARS = (
+    EnvVar(
+        "REPRO_ELBO_BACKEND", "str", "fused",
+        "ELBO backend when no config pins one: `fused` (production closed "
+        "forms) or `taylor` (the correctness oracle).",
+    ),
+    EnvVar(
+        "REPRO_DRIVER_EXECUTOR", "str", "thread",
+        "Node-worker executor when `DriverConfig.executor` is unset: "
+        "`thread` or `process`.",
+    ),
+    EnvVar(
+        "REPRO_ELBO_BATCH", "int", "unset (scalar path)",
+        "Lockstep evaluation batch size when no config sets one; forces "
+        "every source optimization through the batched path.",
+    ),
+    EnvVar(
+        "REPRO_RACE_DETECT", "flag", "off",
+        "Shadow-transport race detection when `DriverConfig.race_detect` "
+        "is unset; findings surface in `DriverReport.race_reports`.",
+    ),
+    EnvVar(
+        "REPRO_VERIFY_SCHEDULE", "flag", "off",
+        "Pre-execution static verification of every Cyclades schedule when "
+        "`DriverConfig.verify_schedule` is unset (`ScheduleError` on "
+        "violation).",
+    ),
+    EnvVar(
+        "REPRO_NUMERIC_CHECK", "flag", "off",
+        "Runtime float sanitizer over ELBO evaluations and trust-region "
+        "steps when `DriverConfig.numeric_check` is unset; findings surface "
+        "in `DriverReport.numeric_reports`.",
+    ),
+    EnvVar(
+        "REPRO_BENCH_SMOKE", "flag", "off",
+        "Benchmark smoke mode: exercise every benchmark code path on CI "
+        "hardware without trusting timings or rewriting committed JSON.",
+    ),
+    EnvVar(
+        "REPRO_PRINT_GOLDEN", "flag", "off",
+        "Make the golden-pipeline test print the catalog content hash it "
+        "computed (used once to regenerate the pin after an intentional "
+        "numeric change).",
+    ),
+)
+
+#: Registered variables by name, in declaration order.
+ENV_REGISTRY: dict[str, EnvVar] = {v.name: v for v in _VARS}
+
+
+def env_raw(name: str) -> str | None:
+    """The raw string value of a registered variable (None when unset)."""
+    if name not in ENV_REGISTRY:
+        raise KeyError(
+            "unregistered environment variable %r; declare it in "
+            "repro.envvars.ENV_REGISTRY" % (name,)
+        )
+    return os.environ.get(name)
+
+
+def env_flag(name: str) -> bool:
+    """True when a registered flag variable is set to a truthy string."""
+    raw = env_raw(name)
+    return raw is not None and raw.strip().lower() in TRUTHY
+
+
+def env_int(name: str) -> int | None:
+    """A registered integer variable, or None when unset/empty."""
+    raw = env_raw(name)
+    if not raw:
+        return None
+    return int(raw)
+
+
+def registry_markdown() -> str:
+    """The docs table, one row per registered variable (generated, so the
+    documentation cannot drift from the registry)."""
+    lines = [
+        "| Variable | Type | Default | Meaning |",
+        "|----------|------|---------|---------|",
+    ]
+    for v in ENV_REGISTRY.values():
+        lines.append(
+            "| `%s` | %s | %s | %s |" % (v.name, v.kind, v.default, v.doc)
+        )
+    return "\n".join(lines)

@@ -14,6 +14,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.autodiff import Taylor, lift, texp, tsqrt
+from repro.constants import MOMENT_EIGENVALUE_FLOOR
 
 TWO_PI = 2.0 * np.pi
 
@@ -108,7 +109,7 @@ def moments_to_ellipse(mxx: float, mxy: float, myy: float):
     scale)`` from second moments.  Used by the Photo shape pipeline."""
     m = np.array([[mxx, mxy], [mxy, myy]])
     evals, evecs = np.linalg.eigh(m)
-    evals = np.maximum(evals, 1e-12)
+    evals = np.maximum(evals, MOMENT_EIGENVALUE_FLOOR)
     minor2, major2 = evals[0], evals[1]
     scale = np.sqrt(major2)
     axis_ratio = float(np.sqrt(minor2 / major2))

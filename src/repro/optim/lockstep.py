@@ -33,6 +33,8 @@ from typing import Callable
 
 import numpy as np
 
+from repro.analysis.numeric import current_check
+from repro.constants import TRUST_REGION_MIN_RADIUS
 from repro.optim.result import OptimResult
 from repro.optim.trust_region import solve_trust_region
 
@@ -71,7 +73,7 @@ def newton_trust_region_batch(
     max_iter: int = 60,
     initial_radius: float = 1.0,
     max_radius: float = 16.0,
-    min_radius: float = 1e-10,
+    min_radius: float = TRUST_REGION_MIN_RADIUS,
     eta_accept: float = 0.1,
     eta_expand: float = 0.75,
 ) -> list[OptimResult]:
@@ -132,8 +134,12 @@ def newton_trust_region_batch(
             break
         outs = fgh_batch([s.index for s in pending],
                          [s.x_try for s in pending])
+        chk = current_check()
         for s, (f_new, g_new, h_new) in zip(pending, outs):
             s.n_eval += 1
+            if chk is not None:
+                chk.check_step(s.step, f_new, lane=s.index)
+                chk.check_reduction(s.f, f_new, s.predicted, lane=s.index)
             if not np.isfinite(f_new):
                 s.radius *= 0.25
             else:

@@ -13,6 +13,8 @@ from typing import Callable
 
 import numpy as np
 
+from repro.analysis.numeric import current_check
+from repro.constants import TRUST_REGION_MIN_RADIUS
 from repro.optim.result import OptimResult
 from repro.optim.trust_region import solve_trust_region
 
@@ -26,7 +28,7 @@ def newton_trust_region(
     max_iter: int = 60,
     initial_radius: float = 1.0,
     max_radius: float = 16.0,
-    min_radius: float = 1e-10,
+    min_radius: float = TRUST_REGION_MIN_RADIUS,
     eta_accept: float = 0.1,
     eta_expand: float = 0.75,
 ) -> OptimResult:
@@ -59,6 +61,10 @@ def newton_trust_region(
         x_new = x + step
         f_new, g_new, h_new = fgh(x_new)
         n_eval += 1
+        chk = current_check()
+        if chk is not None:
+            chk.check_step(step, f_new)
+            chk.check_reduction(f, f_new, predicted)
         if not np.isfinite(f_new):
             radius *= 0.25
             continue

@@ -15,6 +15,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.constants import DEGENERATE_STEP_NORM, HARD_CASE_GRAD_TOL
+
 __all__ = ["solve_trust_region"]
 
 
@@ -55,7 +57,7 @@ def solve_trust_region(
     # Hard case: gradient (numerically) orthogonal to the bottom eigenspace
     # and the boundary unreachable by shrinking nu towards the floor.
     bottom = np.abs(evals - lam_min) <= 1e-10 * max(1.0, abs(lam_min))
-    if np.all(np.abs(g_tilde[bottom]) < 1e-12):
+    if np.all(np.abs(g_tilde[bottom]) < HARD_CASE_GRAD_TOL):
         p = -g_tilde / np.where(bottom, np.inf, evals - lam_min + tol)
         norm_p = np.linalg.norm(p)
         if norm_p < radius:
@@ -78,7 +80,7 @@ def solve_trust_region(
     for _ in range(max_iter):
         p = step_for(nu)
         norm_p = np.linalg.norm(p)
-        if norm_p < 1e-300:
+        if norm_p < DEGENERATE_STEP_NORM:
             break
         phi = 1.0 / norm_p - 1.0 / radius
         if abs(phi) < tol / radius:
@@ -90,7 +92,7 @@ def solve_trust_region(
             hi = min(hi, nu)
         else:             # step too long -> increase nu
             lo = max(lo, nu)
-        if dphi != 0.0:
+        if dphi != 0.0:  # det: ignore[NUM205] -- exact-zero sentinel guarding the Newton division below, not a convergence tolerance
             nu_newton = nu - phi / dphi
         else:
             nu_newton = 0.5 * (lo + hi)

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.analysis.numeric import NumericSanitizer, numeric_checking
 from repro.core.catalog import CatalogEntry
 from repro.core.elbo import release_scratch
 from repro.core.joint import (
@@ -88,6 +89,15 @@ class ParallelRegionConfig:
     #: plumbed from ``DriverConfig.verify_schedule`` /
     #: ``REPRO_VERIFY_SCHEDULE``.
     verify_schedule: bool = False
+    #: Install the runtime float sanitizer
+    #: (:mod:`repro.analysis.numeric`) on every worker thread: ELBO
+    #: evaluations and trust-region steps are checked for non-finite
+    #: values, overflow, asymmetric Hessian blocks, and catastrophic
+    #: cancellation, with findings returned in
+    #: ``RegionResult.numeric_reports``.  Observational only — results
+    #: are bit-identical either way; the driver plumbs this from
+    #: ``DriverConfig.numeric_check`` / ``REPRO_NUMERIC_CHECK``.
+    numeric_check: bool = False
 
 
 def optimize_region_parallel(
@@ -123,6 +133,7 @@ def optimize_region_parallel(
         from repro.analysis.race import RaceDetector
 
         detector = RaceDetector()
+    sanitizer = NumericSanitizer() if config.numeric_check else None
 
     with ThreadPoolExecutor(max_workers=config.n_threads) as pool:
         for pass_idx in range(config.n_passes):
@@ -138,18 +149,22 @@ def optimize_region_parallel(
                                           "batch", batch_idx))
                 futures = [
                     pool.submit(_run_assignment, opt, assignment,
-                                config.elbo_batch_size, graph)
-                    for assignment in batch.thread_assignments
+                                config.elbo_batch_size, graph,
+                                sanitizer, ("cyclades-thread", t))
+                    for t, assignment in enumerate(batch.thread_assignments)
                     if assignment
                 ]
                 for f in futures:
                     f.result()  # barrier; re-raise worker exceptions
 
+    with numeric_checking(sanitizer, ("region-total", 0)):
+        elbo_total = opt.total_elbo()
     return RegionResult(
         catalog=opt.catalog(),
         results=list(opt.results),
-        elbo_total=opt.total_elbo(),
+        elbo_total=elbo_total,
         race_reports=list(detector.reports) if detector is not None else [],
+        numeric_reports=sanitizer.reports if sanitizer is not None else [],
     )
 
 
@@ -234,7 +249,8 @@ def _batchable_runs(assignment: list[int], graph, limit: int) -> list[list[int]]
 
 def _run_assignment(opt: RegionOptimizer, assignment: list[int],
                     elbo_batch_size: int | None = None,
-                    graph=None) -> None:
+                    graph=None, sanitizer=None,
+                    actor: tuple = ("cyclades-thread", 0)) -> None:
     """One thread's Cyclades assignment.
 
     All of an assignment's sources run on one thread, so the fused ELBO
@@ -250,15 +266,17 @@ def _run_assignment(opt: RegionOptimizer, assignment: list[int],
     sweeps.
     """
     try:
-        if elbo_batch_size is not None and elbo_batch_size > 1 \
-                and graph is not None:
-            for run in _batchable_runs(assignment, graph, elbo_batch_size):
-                if len(run) == 1:
-                    opt.update_source(run[0])
-                else:
-                    opt.update_sources_batch(run)
-        else:
-            for s in assignment:
-                opt.update_source(s)
+        with numeric_checking(sanitizer, actor):
+            if elbo_batch_size is not None and elbo_batch_size > 1 \
+                    and graph is not None:
+                for run in _batchable_runs(assignment, graph,
+                                           elbo_batch_size):
+                    if len(run) == 1:
+                        opt.update_source(run[0])
+                    else:
+                        opt.update_sources_batch(run)
+            else:
+                for s in assignment:
+                    opt.update_source(s)
     finally:
         release_scratch()

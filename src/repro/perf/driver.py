@@ -56,6 +56,12 @@ class DriverReport:
         (:mod:`repro.analysis.race`) as serialized dicts — populated only
         when the run enabled ``race_detect``, and empty on a correct
         schedule even then.  Any entry here is a real determinism bug.
+    numeric_reports:
+        Findings of the runtime float sanitizer
+        (:mod:`repro.analysis.numeric`) as serialized dicts — populated
+        only when the run enabled ``numeric_check``, and empty on a
+        numerically healthy model even then.  Each entry pinpoints
+        (kind, stage, term, source, lane, actor) of one float pathology.
     """
 
     wall_seconds: float = 0.0
@@ -73,6 +79,7 @@ class DriverReport:
     prefetch_misses: int = 0
     prefetch_seconds: float = 0.0
     race_reports: list = field(default_factory=list)
+    numeric_reports: list = field(default_factory=list)
 
     @property
     def sources_per_second(self) -> float:
@@ -150,6 +157,7 @@ class DriverReport:
             "prefetch_misses": self.prefetch_misses,
             "prefetch_seconds": self.prefetch_seconds,
             "race_reports": [dict(r) for r in self.race_reports],
+            "numeric_reports": [dict(r) for r in self.numeric_reports],
         }
 
     @classmethod
@@ -158,7 +166,7 @@ class DriverReport:
         for k, v in d.items():
             if k == "stage_elbo":
                 v = dict(v)
-            elif k in ("worker_comm", "race_reports"):
+            elif k in ("worker_comm", "race_reports", "numeric_reports"):
                 v = [dict(w) for w in v]
             setattr(out, k, v)
         return out
@@ -206,5 +214,15 @@ class DriverReport:
                     "  %s on %s epoch %s: %s vs %s over %s"
                     % (r.get("kind"), r.get("window"), r.get("epoch"),
                        r.get("actor_a"), r.get("actor_b"), r.get("extent"))
+                )
+        if self.numeric_reports:
+            lines.append("NUMERIC FINDINGS      %8d"
+                         % len(self.numeric_reports))
+            for r in self.numeric_reports:
+                lines.append(
+                    "  %s in %s/%s source=%s lane=%s actor=%s: %s"
+                    % (r.get("kind"), r.get("stage"), r.get("term"),
+                       r.get("source"), r.get("lane"), r.get("actor"),
+                       r.get("detail"))
                 )
         return lines

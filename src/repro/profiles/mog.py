@@ -27,6 +27,8 @@ from functools import lru_cache
 import numpy as np
 from scipy.optimize import nnls
 
+from repro.constants import NNLS_AMPLITUDE_FLOOR, PROFILE_RADIUS_FLOOR
+
 __all__ = [
     "profile_exp",
     "profile_dev",
@@ -59,7 +61,7 @@ def profile_dev(r: np.ndarray) -> np.ndarray:
     """Unit-total-flux de Vaucouleurs surface brightness at radius ``r``
     (units of the half-light radius), truncated at ``DEV_TRUNCATION``."""
     r = np.asarray(r, dtype=float)
-    x = np.maximum(r, 1e-12)
+    x = np.maximum(r, PROFILE_RADIUS_FLOOR)
     raw = np.exp(-B4 * (x ** 0.25 - 1.0))
     raw = np.where(r > DEV_TRUNCATION, 0.0, raw)
     # Normalize numerically to unit total flux over the truncated disk.
@@ -105,7 +107,7 @@ def fit_radial_mixture(
     init_vars = np.geomspace(var_min * 4, var_max / 2, n_components)
     design = np.stack([_gauss_radial(r, v) for v in init_vars], axis=1)
     amps, _ = nnls(design * flux_w[:, None], target * flux_w)
-    amps = np.maximum(amps, 1e-6)
+    amps = np.maximum(amps, NNLS_AMPLITUDE_FLOOR)
 
     def residuals(params):
         a = np.exp(params[:n_components])

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.constants import EM_CLUSTER_MASS_FLOOR
 from repro.psf.gmm import MixturePSF
 
 __all__ = ["fit_psf"]
@@ -97,7 +98,7 @@ def fit_psf(
         # M-step with pixel-intensity weights.
         wr = r * weights_px[:, None]
         nk = wr.sum(axis=0)
-        nk = np.maximum(nk, 1e-12)
+        nk = np.maximum(nk, EM_CLUSTER_MASS_FLOOR)
         mix_w = nk / nk.sum()
         for k in range(n_components):
             mu = (wr[:, k][:, None] * pts).sum(axis=0) / nk[k]

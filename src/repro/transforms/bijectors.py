@@ -14,6 +14,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.autodiff import Taylor, lift, texp
+from repro.constants import EXP_ARG_LIMIT, UNIT_INTERVAL_EDGE
 
 __all__ = [
     "Identity",
@@ -26,7 +27,7 @@ __all__ = [
 
 #: Clip probabilities this far away from {0, 1} when inverting logistic maps,
 #: so catalog initializations at the boundary stay finite.
-_EDGE = 1e-6
+_EDGE = UNIT_INTERVAL_EDGE
 
 
 class Identity:
@@ -52,10 +53,14 @@ class LogitBox:
         self.hi = float(hi)
 
     def forward_np(self, u):
-        return self.lo + (self.hi - self.lo) / (1.0 + np.exp(-np.asarray(u, dtype=float)))
+        # Clamping the logit at -EXP_ARG_LIMIT keeps exp finite (saturating
+        # at lo) instead of overflowing to inf; bitwise inert for any u the
+        # optimizer can reach, since exp(709) is the last finite power.
+        u = np.maximum(np.asarray(u, dtype=float), -EXP_ARG_LIMIT)
+        return self.lo + (self.hi - self.lo) / (1.0 + np.exp(-u))
 
     def inverse_np(self, y):
-        frac = (np.asarray(y, dtype=float) - self.lo) / (self.hi - self.lo)
+        frac = (np.asarray(y, dtype=float) - self.lo) / (self.hi - self.lo)  # det: ignore[NUM206] -- hi > lo is validated in the constructor
         frac = np.clip(frac, _EDGE, 1.0 - _EDGE)
         return np.log(frac / (1.0 - frac))
 
@@ -82,7 +87,8 @@ class LogitBox:
         (means/variances of every color of one type) through the bijector
         in one shot.
         """
-        s = 1.0 / (1.0 + np.exp(-np.asarray(u, dtype=float)))
+        u = np.maximum(np.asarray(u, dtype=float), -EXP_ARG_LIMIT)
+        s = 1.0 / (1.0 + np.exp(-u))
         r = self.hi - self.lo
         d1 = r * s * (1.0 - s)
         return self.lo + r * s, d1, d1 * (1.0 - 2.0 * s)
@@ -143,11 +149,20 @@ def softmax_fixed_last_inverse(probs: np.ndarray) -> np.ndarray:
 def softmax_fixed_last_taylor(free: list) -> list:
     """Taylor version of :func:`softmax_fixed_last`; takes/returns lists of
     Taylor scalars."""
-    exps = [texp(lift(u)) for u in free]
-    denom = lift(1.0)
+    lifted = [lift(u) for u in free]
+    # Max-shift like the NumPy path.  The shift is a plain float constant at
+    # the evaluation point, so derivatives with respect to the free logits
+    # are untouched, while every exp argument is bounded above by zero —
+    # no overflow however large a logit gets.  When all logits are <= 0 the
+    # shift is zero and the expression reduces bit-for-bit to the unshifted
+    # form, so results in the ordinary regime are unchanged.
+    m = max(0.0, *(float(u.val) for u in lifted)) if lifted else 0.0
+    exps = [texp(u - m) for u in lifted]
+    pinned = float(np.exp(-m))
+    denom = lift(pinned)
     for e in exps:
         denom = denom + e
     inv = denom.reciprocal()
     probs = [e * inv for e in exps]
-    probs.append(inv)
+    probs.append(pinned * inv)
     return probs

@@ -7,6 +7,7 @@ lint is run over the real source tree, which must be clean — that the
 ``python -m repro.analysis`` gate stays green is itself under test.
 """
 
+import json
 import os
 import subprocess
 import sys
@@ -339,6 +340,352 @@ class TestEntropy:
         assert out == []
 
 
+class TestEnvVarRegistry:
+    def test_environ_get_flagged(self):
+        out = _lint("""
+            import os
+            def f():
+                return os.environ.get("REPRO_DEMO", "0")
+        """)
+        assert _rules(out) == ["DET109"]
+
+    def test_getenv_flagged(self):
+        out = _lint("""
+            import os
+            def f():
+                return os.getenv("REPRO_DEMO")
+        """)
+        assert _rules(out) == ["DET109"]
+
+    def test_environ_subscript_flagged(self):
+        out = _lint("""
+            import os
+            def f():
+                return os.environ["REPRO_DEMO"]
+        """)
+        assert _rules(out) == ["DET109"]
+
+    def test_module_bound_name_flagged(self):
+        out = _lint("""
+            import os
+            DEMO_ENV_VAR = "REPRO_DEMO"
+            def f():
+                return os.environ.get(DEMO_ENV_VAR)
+        """)
+        assert _rules(out) == ["DET109"]
+
+    def test_non_repro_var_clean(self):
+        out = _lint("""
+            import os
+            def f():
+                return os.environ.get("HOME", "")
+        """)
+        assert out == []
+
+    def test_registry_route_clean(self):
+        out = _lint("""
+            from repro.envvars import env_flag
+            def f():
+                return env_flag("REPRO_DEMO")
+        """)
+        assert out == []
+
+    def test_applies_everywhere(self):
+        # DET109 is unscoped: a stray env read anywhere bypasses the registry.
+        out = _lint("import os\nos.getenv(\"REPRO_DEMO\")\n",
+                    rel="validation/mod.py")
+        assert _rules(out) == ["DET109"]
+
+
+class TestUnguardedExp:
+    def test_unbounded_argument_flagged(self):
+        out = _lint("""
+            import numpy as np
+            def f(m, v):
+                return np.exp(m + 0.5 * v)
+        """, rel="core/fluxes.py")
+        assert _rules(out) == ["NUM200"]
+
+    def test_negated_quadratic_clean(self):
+        out = _lint("""
+            import numpy as np
+            def f(q):
+                return np.exp(-0.5 * q)
+        """, rel="core/fluxes.py")
+        assert out == []
+
+    def test_max_shift_clean(self):
+        out = _lint("""
+            import numpy as np
+            def f(logits):
+                m = np.max(logits)
+                return np.exp(logits - m)
+        """, rel="core/fluxes.py")
+        assert out == []
+
+    def test_clipped_argument_clean(self):
+        out = _lint("""
+            import numpy as np
+            from repro.constants import EXP_ARG_LIMIT
+            def f(x):
+                return np.exp(np.minimum(x, EXP_ARG_LIMIT))
+        """, rel="core/fluxes.py")
+        assert out == []
+
+    def test_out_of_scope_module_exempt(self):
+        out = _lint("""
+            import numpy as np
+            def f(m):
+                return np.exp(m)
+        """, rel="validation/mod.py")
+        assert out == []
+
+
+class TestUnguardedLog:
+    def test_log_of_difference_flagged(self):
+        out = _lint("""
+            import numpy as np
+            def f(phi):
+                return np.log(1.0 - phi)
+        """, rel="core/elbo_taylor.py")
+        assert _rules(out) == ["NUM201"]
+
+    def test_log_of_ratio_flagged(self):
+        out = _lint("""
+            import numpy as np
+            def f(a, b):
+                return np.log(a / b)
+        """, rel="core/elbo_taylor.py")
+        assert _rules(out) == ["NUM201"]
+
+    def test_guard_call_in_argument_clean(self):
+        out = _lint("""
+            import numpy as np
+            from repro.constants import UNIT_INTERVAL_EDGE
+            def f(phi):
+                return np.log(np.maximum(1.0 - phi, UNIT_INTERVAL_EDGE))
+        """, rel="core/elbo_taylor.py")
+        assert out == []
+
+    def test_guarded_name_clean(self):
+        out = _lint("""
+            import numpy as np
+            from repro.constants import UNIT_INTERVAL_EDGE
+            def f(p, total):
+                frac = np.clip(p, UNIT_INTERVAL_EDGE, None)
+                return np.log(frac / total)
+        """, rel="core/elbo_taylor.py")
+        assert out == []
+
+    def test_plain_name_argument_clean(self):
+        # Only structurally risky arguments (differences, ratios) are
+        # flagged; a bare name carries no evidence either way.
+        out = _lint("""
+            import numpy as np
+            def f(x):
+                return np.log(x)
+        """, rel="core/elbo_taylor.py")
+        assert out == []
+
+
+class TestMagicEpsilon:
+    def test_guard_literal_flagged(self):
+        out = _lint("""
+            import numpy as np
+            def f(x):
+                return np.maximum(x, 1e-12)
+        """, rel="core/mod.py")
+        assert _rules(out) == ["NUM202"]
+
+    def test_comparison_literal_flagged(self):
+        out = _lint("""
+            def f(err):
+                return err < 1e-9
+        """, rel="optim/mod.py")
+        assert _rules(out) == ["NUM202"]
+
+    def test_module_level_alias_flagged(self):
+        # Shadow tolerance tables drift; the literal belongs in constants.py.
+        out = _lint("_EPS = 1e-8\n", rel="transforms/mod.py")
+        assert _rules(out) == ["NUM202"]
+
+    def test_named_constant_clean(self):
+        out = _lint("""
+            import numpy as np
+            from repro.constants import FLUX_RATIO_FLOOR
+            def f(x):
+                return np.maximum(x, FLUX_RATIO_FLOOR)
+        """, rel="core/mod.py")
+        assert out == []
+
+    def test_ordinary_float_literal_clean(self):
+        out = _lint("""
+            def f(x):
+                return max(x, 0.5)
+        """, rel="core/mod.py")
+        assert out == []
+
+    def test_out_of_scope_module_exempt(self):
+        out = _lint("def f(x):\n    return max(x, 1e-12)\n",
+                    rel="validation/mod.py")
+        assert out == []
+
+
+class TestSoftmaxShift:
+    def test_unshifted_softmax_flagged(self):
+        out = _lint("""
+            import numpy as np
+            def softmax(z):
+                e = np.exp(z)
+                return e / e.sum()
+        """, rel="validation/mod.py")
+        assert _rules(out) == ["NUM203"]
+
+    def test_max_shifted_softmax_clean(self):
+        out = _lint("""
+            import numpy as np
+            def softmax(z):
+                e = np.exp(z - np.max(z))
+                return e / e.sum()
+        """, rel="validation/mod.py")
+        assert out == []
+
+    def test_non_softmax_function_exempt(self):
+        out = _lint("""
+            import numpy as np
+            def normalize(z):
+                e = np.exp(z)
+                return e / e.sum()
+        """, rel="validation/mod.py")
+        assert out == []
+
+
+class TestDtypeNarrowing:
+    def test_astype_flagged(self):
+        out = _lint("""
+            import numpy as np
+            def f(x):
+                return x.astype(np.float32)
+        """, rel="core/kernel.py")
+        assert _rules(out) == ["NUM204"]
+
+    def test_constructor_flagged(self):
+        out = _lint("""
+            import numpy as np
+            def f(x):
+                return np.float32(x)
+        """, rel="optim/lockstep.py")
+        assert _rules(out) == ["NUM204"]
+
+    def test_dtype_kwarg_flagged(self):
+        out = _lint("""
+            import numpy as np
+            def f(n):
+                return np.zeros(n, dtype=np.float16)
+        """, rel="core/kernel.py")
+        assert _rules(out) == ["NUM204"]
+
+    def test_float64_clean(self):
+        out = _lint("""
+            import numpy as np
+            def f(x, n):
+                return x.astype(np.float64), np.zeros(n, dtype=float)
+        """, rel="core/kernel.py")
+        assert out == []
+
+    def test_only_lane_stacked_modules_in_scope(self):
+        out = _lint("""
+            import numpy as np
+            def f(x):
+                return x.astype(np.float32)
+        """, rel="core/elbo.py")
+        assert out == []
+
+
+class TestFloatEquality:
+    def test_float_equality_flagged(self):
+        out = _lint("""
+            def converged(f_new):
+                return f_new == 0.0
+        """, rel="optim/mod.py")
+        assert _rules(out) == ["NUM205"]
+
+    def test_float_inequality_flagged(self):
+        out = _lint("""
+            def f(x):
+                if x != 1.5:
+                    return x
+        """, rel="optim/mod.py")
+        assert _rules(out) == ["NUM205"]
+
+    def test_integer_equality_clean(self):
+        out = _lint("""
+            def f(n):
+                return n == 0
+        """, rel="optim/mod.py")
+        assert out == []
+
+    def test_tolerance_comparison_clean(self):
+        out = _lint("""
+            from repro.constants import HARD_CASE_GRAD_TOL
+            def f(g):
+                return abs(g) < HARD_CASE_GRAD_TOL
+        """, rel="optim/mod.py")
+        assert out == []
+
+    def test_out_of_scope_module_exempt(self):
+        out = _lint("def f(x):\n    return x == 0.0\n", rel="core/elbo.py")
+        assert out == []
+
+
+class TestUnguardedDivision:
+    def test_difference_denominator_flagged(self):
+        out = _lint("""
+            def f(y, lo, hi):
+                return (y - lo) / (hi - lo)
+        """, rel="transforms/mod.py")
+        assert _rules(out) == ["NUM206"]
+
+    def test_exp_denominator_flagged(self):
+        out = _lint("""
+            import numpy as np
+            def f(x, t):
+                return x / np.exp(-t)
+        """, rel="transforms/mod.py")
+        assert _rules(out) == ["NUM206"]
+
+    def test_guard_call_in_denominator_clean(self):
+        out = _lint("""
+            import numpy as np
+            from repro.constants import UNIT_INTERVAL_EDGE
+            def f(y, lo, hi):
+                return (y - lo) / np.maximum(hi - lo, UNIT_INTERVAL_EDGE)
+        """, rel="transforms/mod.py")
+        assert out == []
+
+    def test_guarded_name_clean(self):
+        out = _lint("""
+            import numpy as np
+            from repro.constants import UNIT_INTERVAL_EDGE
+            def f(y, lo, hi):
+                width = np.maximum(hi - lo, UNIT_INTERVAL_EDGE)
+                return (y - lo) / width
+        """, rel="transforms/mod.py")
+        assert out == []
+
+    def test_plain_name_denominator_clean(self):
+        out = _lint("""
+            def f(x, y):
+                return x / y
+        """, rel="transforms/mod.py")
+        assert out == []
+
+    def test_out_of_scope_module_exempt(self):
+        out = _lint("def f(a, b):\n    return 1.0 / (a - b)\n",
+                    rel="validation/mod.py")
+        assert out == []
+
+
 class TestSuppressions:
     def test_justified_suppression_silences(self):
         out = _lint("""
@@ -415,7 +762,9 @@ class TestEngine:
     def test_every_rule_has_fixture_coverage(self):
         # The rule table and this test file grow together.
         covered = {"DET100", "DET101", "DET102", "DET103", "DET104",
-                   "DET105", "DET106", "DET107", "DET108"}
+                   "DET105", "DET106", "DET107", "DET108", "DET109",
+                   "NUM200", "NUM201", "NUM202", "NUM203", "NUM204",
+                   "NUM205", "NUM206"}
         assert set(RULES) == covered
 
     def test_violation_is_hashable_record(self):
@@ -436,3 +785,34 @@ class TestSourceTreeClean:
             capture_output=True, text=True, env=env,
         )
         assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    def test_module_cli_json_clean(self):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.join(SRC_ROOT, os.pardir)
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.analysis", SRC_ROOT,
+             "--no-audit", "--json"],
+            capture_output=True, text=True, env=env,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        report = json.loads(proc.stdout)
+        assert report["violations"] == []
+        assert report["exit_code"] == 0
+        assert report["audit"] == {"ran": False}
+
+    def test_module_cli_lint_exit_code(self, tmp_path):
+        # Lint violations set bit 1 of the exit status (bit 2 is the
+        # schedule audit), and the JSON report mirrors the findings.
+        bad = tmp_path / "bad.py"
+        bad.write_text('import os\nos.getenv("REPRO_DEMO")\n')
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.join(SRC_ROOT, os.pardir)
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.analysis", str(bad),
+             "--no-audit", "--json"],
+            capture_output=True, text=True, env=env,
+        )
+        assert proc.returncode == 1, proc.stdout + proc.stderr
+        report = json.loads(proc.stdout)
+        assert [v["rule"] for v in report["violations"]] == ["DET109"]
+        assert report["exit_code"] == 1

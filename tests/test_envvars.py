@@ -1,0 +1,100 @@
+"""Tests for the central ``REPRO_*`` environment-variable registry
+(:mod:`repro.envvars`): typed reads, the unregistered-name contract, and
+the generated docs table staying in sync with ``docs/determinism.md``."""
+
+import os
+
+import pytest
+
+from repro.envvars import (
+    ENV_REGISTRY,
+    EnvVar,
+    env_flag,
+    env_int,
+    env_raw,
+    registry_markdown,
+)
+
+DOCS = os.path.join(os.path.dirname(__file__), os.pardir, "docs",
+                    "determinism.md")
+
+
+class TestRegistry:
+    def test_every_name_is_repro_prefixed(self):
+        for name, var in ENV_REGISTRY.items():
+            assert name.startswith("REPRO_")
+            assert var.name == name
+            assert var.kind in ("flag", "int", "str")
+            assert var.doc  # the contract line is mandatory
+
+    def test_known_knobs_registered(self):
+        expected = {
+            "REPRO_ELBO_BACKEND", "REPRO_DRIVER_EXECUTOR",
+            "REPRO_ELBO_BATCH", "REPRO_RACE_DETECT",
+            "REPRO_VERIFY_SCHEDULE", "REPRO_NUMERIC_CHECK",
+            "REPRO_BENCH_SMOKE", "REPRO_PRINT_GOLDEN",
+        }
+        assert expected <= set(ENV_REGISTRY)
+
+    def test_unregistered_read_raises(self):
+        with pytest.raises(KeyError, match="unregistered"):
+            env_raw("REPRO_NOT_A_KNOB")
+
+    def test_entries_are_frozen_records(self):
+        var = ENV_REGISTRY["REPRO_NUMERIC_CHECK"]
+        assert isinstance(var, EnvVar)
+        with pytest.raises(AttributeError):
+            var.kind = "str"
+
+
+class TestTypedReads:
+    def test_raw_unset_is_none(self, monkeypatch):
+        monkeypatch.delenv("REPRO_ELBO_BACKEND", raising=False)
+        assert env_raw("REPRO_ELBO_BACKEND") is None
+
+    def test_raw_returns_string(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ELBO_BACKEND", "taylor")
+        assert env_raw("REPRO_ELBO_BACKEND") == "taylor"
+
+    @pytest.mark.parametrize("value", ["1", "true", "YES", " on "])
+    def test_flag_truthy_values(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_NUMERIC_CHECK", value)
+        assert env_flag("REPRO_NUMERIC_CHECK") is True
+
+    @pytest.mark.parametrize("value", ["0", "false", "off", "", "2"])
+    def test_flag_other_values_off(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_NUMERIC_CHECK", value)
+        assert env_flag("REPRO_NUMERIC_CHECK") is False
+
+    def test_flag_unset_off(self, monkeypatch):
+        monkeypatch.delenv("REPRO_NUMERIC_CHECK", raising=False)
+        assert env_flag("REPRO_NUMERIC_CHECK") is False
+
+    def test_int_parses(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ELBO_BATCH", "8")
+        assert env_int("REPRO_ELBO_BATCH") == 8
+
+    def test_int_unset_or_empty_is_none(self, monkeypatch):
+        monkeypatch.delenv("REPRO_ELBO_BATCH", raising=False)
+        assert env_int("REPRO_ELBO_BATCH") is None
+        monkeypatch.setenv("REPRO_ELBO_BATCH", "")
+        assert env_int("REPRO_ELBO_BATCH") is None
+
+
+class TestGeneratedDocs:
+    def test_markdown_covers_every_variable(self):
+        table = registry_markdown()
+        for name in ENV_REGISTRY:
+            assert "`%s`" % name in table
+        assert table.splitlines()[0].startswith("| Variable |")
+
+    def test_docs_table_in_sync(self):
+        """The table in docs/determinism.md is generated from the registry;
+        regenerate it (repro.envvars.registry_markdown()) when a variable
+        is added or its contract line changes."""
+        with open(DOCS) as f:
+            docs = f.read()
+        assert registry_markdown() in docs, (
+            "docs/determinism.md env-var table is stale; regenerate with "
+            "repro.envvars.registry_markdown()"
+        )

@@ -21,13 +21,13 @@ running the test with ``REPRO_PRINT_GOLDEN=1`` and updating
 """
 
 import hashlib
-import os
 
 import numpy as np
 import pytest
 
 from repro.core import JointConfig, OptimizeConfig
 from repro.driver import DriverConfig, run_pipeline
+from repro.envvars import env_flag
 from repro.parallel import ParallelRegionConfig
 from repro.survey import SyntheticSkyConfig, generate_survey_fields
 
@@ -97,7 +97,7 @@ class TestGoldenPipeline:
         result = run_pipeline(fields, _golden_config())
         assert len(result.catalog) >= 8  # the scene is non-trivial
         digest = catalog_content_hash(result.catalog)
-        if os.environ.get("REPRO_PRINT_GOLDEN") == "1":
+        if env_flag("REPRO_PRINT_GOLDEN"):
             print("\nGOLDEN_CATALOG_SHA256 = %r" % digest)
         assert digest == GOLDEN_CATALOG_SHA256, (
             "End-to-end catalog content changed (got %s). If this is an "
@@ -125,4 +125,17 @@ class TestGoldenPipeline:
             _golden_config(), race_detect=True, verify_schedule=True)
         result = run_pipeline(fields, config)
         assert result.report.race_reports == []
+        assert catalog_content_hash(result.catalog) == GOLDEN_CATALOG_SHA256
+
+    def test_numeric_checked_run_matches_same_pin(self):
+        """The runtime numeric sanitizer is observational: the golden run
+        under full checking (scalar and batched paths both feed the same
+        pin) reports no findings and lands on the same hash."""
+        import dataclasses
+
+        _, fields = _golden_fields()
+        config = dataclasses.replace(
+            _golden_config(elbo_batch_size=8), numeric_check=True)
+        result = run_pipeline(fields, config)
+        assert result.report.numeric_reports == []
         assert catalog_content_hash(result.catalog) == GOLDEN_CATALOG_SHA256
