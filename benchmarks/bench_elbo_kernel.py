@@ -6,12 +6,14 @@ backends — the Taylor reference path and the fused analytic kernel —
 splits each evaluation's cost into its pixel term and its
 (pixel-count-independent) KL terms, sweeps the lockstep evaluation batch
 size (the paper's AVX-512 many-sources-at-once analogue; B in
-{1, 4, 16, 64}), reports the implied single-thread DP FLOP rate under the
-paper's accounting, records the numbers in ``BENCH_elbo_backend.json``
-(sections ``backend_comparison`` and ``batch_sweep``, merged so the perf
-trajectory of the objective layer is tracked across PRs), and checks the
-ablation that the variance-correction (delta approximation) term is a
-material part of the objective.
+{1, 4, 16, 64, 128}) crossed with the kernel execution target
+(``numpy``/``array_api``/``numba``), reports the implied single-thread DP
+FLOP rate under the paper's accounting, records the numbers in
+``BENCH_elbo_backend.json`` (sections ``backend_comparison``,
+``batch_sweep``, and ``batch_plateau``, merged so the perf trajectory of
+the objective layer is tracked across PRs), and checks the ablation that
+the variance-correction (delta approximation) term is a material part of
+the objective.
 
 **Smoke mode** (``REPRO_BENCH_SMOKE=1``): a seconds-long wiring check run
 in CI — every backend/order/term combination is exercised end to end, but
@@ -67,8 +69,15 @@ REQUIRED_SPEEDUP_ORDER1 = 5.0
 #: factor over the B=1 fused rate on the sweep context (ISSUE 5 criterion).
 REQUIRED_BATCH_SPEEDUP = 1.5
 
+#: Wide batches must stay within chunk-boundary overhead of the B=16 peak
+#: per-visit rate instead of regressing (ISSUE 8 criterion: the old global
+#: sweep budget let B=64 spill the cache and fall well below this).  With
+#: cache-sized sweeps B=64 runs as back-to-back ~16-lane chunks, so its
+#: ideal ratio is 1.0 minus a few percent of per-chunk bookkeeping.
+REQUIRED_PLATEAU_RATIO = 0.9
+
 #: Lockstep batch sizes the sweep records.
-BATCH_SIZES = (1, 4, 16, 64)
+BATCH_SIZES = (1, 4, 16, 64, 128)
 
 
 def _merge_into_json(section: str, payload) -> None:
@@ -103,20 +112,58 @@ def star_context():
     return ctx, free, counters
 
 
-def _timed(fn, min_seconds=0.4, min_iters=3):
-    """Mean seconds per call of ``fn`` (after one warm-up call, which also
-    compiles any fused workspace)."""
+def _timed(fn, min_seconds=0.4, min_iters=3, repeats=1):
+    """Seconds per call of ``fn`` (after one warm-up call, which also
+    compiles any fused workspace).
+
+    With ``repeats`` > 1 the measurement is the *fastest* of ``repeats``
+    independent timing windows — the standard ``timeit`` noise rejection:
+    background load only ever makes a window slower, so the minimum is the
+    best estimate of the undisturbed rate on a shared machine."""
     if SMOKE:
-        min_seconds, min_iters = 0.01, 1
+        min_seconds, min_iters, repeats = 0.01, 1, 1
+
+    def window():
+        n = 0
+        t0 = time.perf_counter()
+        while True:
+            fn()
+            n += 1
+            elapsed = time.perf_counter() - t0
+            if elapsed >= min_seconds and n >= min_iters:
+                return elapsed / n
+
     fn()
-    n = 0
-    t0 = time.perf_counter()
-    while True:
-        fn()
-        n += 1
-        elapsed = time.perf_counter() - t0
-        if elapsed >= min_seconds and n >= min_iters:
-            return elapsed / n
+    return min(window() for _ in range(max(repeats, 1)))
+
+
+def _timed_grid(fns, min_seconds=0.25, min_iters=2, repeats=5):
+    """Best-window seconds per call for several measurands at once,
+    *interleaved*: each round times one window of every entry before any
+    entry gets its next window.  On a shared machine the effective speed
+    drifts over minutes; interleaving makes a slow epoch hit all entries
+    alike instead of biasing whichever key happened to be on the clock,
+    which matters when the recorded quantity is a *ratio* of two entries
+    (the B=64/B=16 plateau criterion).  Per key the fastest window wins,
+    as in ``_timed``."""
+    if SMOKE:
+        min_seconds, min_iters, repeats = 0.01, 1, 1
+    for fn in fns.values():
+        fn()  # warm-up: compile workspaces, fault in buffers
+    best = {}
+    for _ in range(max(repeats, 1)):
+        for key, fn in fns.items():
+            n = 0
+            t0 = time.perf_counter()
+            while True:
+                fn()
+                n += 1
+                elapsed = time.perf_counter() - t0
+                if elapsed >= min_seconds and n >= min_iters:
+                    break
+            sec = elapsed / n
+            best[key] = min(best.get(key, sec), sec)
+    return best
 
 
 def _time_backend(ctx, free, backend, order, **kwargs):
@@ -214,6 +261,14 @@ def test_backend_comparison_records_json():
         assert speedup["order1"] >= REQUIRED_SPEEDUP_ORDER1
 
 
+#: One prior configuration for every sweep lane, as in production — a
+#: survey run holds a single ``Priors``.  Sharing the instance is what
+#: lets the batched KL path stack lanes (it groups by prior workspace);
+#: per-lane copies would silently demote the KL term to scalar loops and
+#: the sweep would understate real batched throughput.
+SWEEP_PRIORS = default_priors()
+
+
 def sweep_context(seed: int):
     """One lane of the batch sweep: a survey-typical *small* source — three
     visits of a 16x16 patch.  Small patches are where per-evaluation
@@ -229,38 +284,54 @@ def sweep_context(seed: int):
             sky_level=100.0, calibration=100.0), (16, 16), rng=rng)
         for b in (1, 2, 3)
     ]
-    ctx = make_context(images, truth.position, default_priors(),
+    ctx = make_context(images, truth.position, SWEEP_PRIORS,
                        counters=Counters())
     free = canonical_to_free(
-        initial_params(truth, default_priors()).to_canonical(), ctx.u_center
+        initial_params(truth, SWEEP_PRIORS).to_canonical(), ctx.u_center
     )
     return ctx, free
 
 
 def test_batch_sweep_records_json():
-    """Sweep the lockstep evaluation batch size (B in {1, 4, 16, 64}) on
-    the fused backend, record per-visit rates into the committed JSON, and
-    enforce the batching criterion: the B=16 per-visit rate must be at
-    least 1.5x the B=1 fused rate.  Batched results are bit-for-bit equal
-    to scalar ones (asserted here too — the benchmark must never record a
-    speedup bought with a different answer)."""
+    """Sweep the lockstep evaluation batch size (B in {1, 4, 16, 64, 128})
+    on the fused backend, record per-visit rates into the committed JSON,
+    and enforce the batching criteria: the B=16 per-visit rate must be at
+    least 1.5x the B=1 fused rate, and the B=64 rate must stay within a
+    few percent of B=16 instead of regressing (the plateau the
+    cache-blocking autotune removed — one global sweep budget used to let
+    64-lane stacks spill the cache; with cache-sized sweeps a 64-lane
+    batch runs as back-to-back 16-lane chunks, so its per-visit rate
+    tracks B=16 to within chunk-boundary overhead).  Batched results are
+    bit-for-bit equal to scalar ones (asserted here too — the benchmark
+    must never record a speedup bought with a different answer)."""
     pairs = [sweep_context(seed) for seed in range(max(BATCH_SIZES))]
     visits = pairs[0][0].n_active_pixels
 
-    sweep = {"visits_per_lane": visits, "order": 2, "rates": {}}
+    handles = {}
     for b in BATCH_SIZES:
         ctxs = [c for c, _ in pairs[:b]]
         frees = [f for _, f in pairs[:b]]
         compiled = compile_elbo_batch(ctxs, backend="fused")
-        sec = _timed(lambda: elbo_batch(ctxs, frees, order=2,
-                                        backend="fused", compiled=compiled))
+        handles[b] = (ctxs, frees, compiled)
+    # Interleaved best-of-5 windows: the plateau criterion (B=64 vs B=16)
+    # is a ratio, and measuring the two ends minutes apart would fold
+    # machine-speed drift into it.
+    secs = _timed_grid({
+        b: (lambda h=handles[b]: elbo_batch(
+            h[0], h[1], order=2, backend="fused", compiled=h[2]))
+        for b in BATCH_SIZES
+    })
+
+    sweep = {"visits_per_lane": visits, "order": 2, "rates": {}}
+    for b in BATCH_SIZES:
         sweep["rates"]["B%d" % b] = {
-            "seconds_per_batch": sec,
-            "visit_rate_per_s": visit_rate(b * visits, sec),
+            "seconds_per_batch": secs[b],
+            "visit_rate_per_s": visit_rate(b * visits, secs[b]),
         }
     rate = {b: sweep["rates"]["B%d" % b]["visit_rate_per_s"]
             for b in BATCH_SIZES}
     sweep["batch16_speedup"] = rate[16] / rate[1]
+    sweep["batch64_over_16"] = rate[64] / rate[16]
 
     # The wiring check smoke mode also asserts: batched == scalar, exactly.
     ctx, free = pairs[0]
@@ -281,10 +352,75 @@ def test_batch_sweep_records_json():
                  1e3 * sweep["rates"]["B%d" % b]["seconds_per_batch"]))
     print("B=16 speedup over B=1: %.2fx (criterion >= %.1fx)"
           % (sweep["batch16_speedup"], REQUIRED_BATCH_SPEEDUP))
+    print("B=64 over B=16: %.2fx (criterion >= %.2fx)"
+          % (sweep["batch64_over_16"], REQUIRED_PLATEAU_RATIO))
     print("recorded to %s" % ("(smoke: not recorded)" if SMOKE else BENCH_JSON))
 
     if not SMOKE:
         assert sweep["batch16_speedup"] >= REQUIRED_BATCH_SPEEDUP
+        # The plateau criterion: wider batches must not regress the rate.
+        assert sweep["batch64_over_16"] >= REQUIRED_PLATEAU_RATIO
+
+
+def test_batch_plateau_by_target_records_json():
+    """The batch sweep crossed with the kernel execution target, recorded
+    as the ``batch_plateau`` section: per-target per-B visit rates plus
+    each target's B=64/B=16 ratio.  The numpy target is the production
+    path and the one the plateau criterion binds; alternative targets are
+    recorded for trajectory (array_api trades throughput for portability;
+    numba appears when its dependency is installed)."""
+    from repro.core.kernel import get_kernel_target
+
+    targets = ["numpy", "array_api"]
+    try:
+        get_kernel_target("numba")
+        targets.append("numba")
+    except ValueError:
+        pass
+
+    pairs = [sweep_context(seed) for seed in range(max(BATCH_SIZES))]
+    visits = pairs[0][0].n_active_pixels
+
+    handles = {}
+    for b in BATCH_SIZES:
+        ctxs = [c for c, _ in pairs[:b]]
+        frees = [f for _, f in pairs[:b]]
+        compiled = compile_elbo_batch(ctxs, backend="fused")
+        handles[b] = (ctxs, frees, compiled)
+    # One interleaved grid across target x B: both the per-target plateau
+    # ratios and the cross-target comparison are ratios, so every cell
+    # must sample the same machine epochs (see ``_timed_grid``).
+    secs = _timed_grid({
+        (target, b): (lambda h=handles[b], t=target: elbo_batch(
+            h[0], h[1], order=2, backend="fused", compiled=h[2],
+            kernel_target=t))
+        for target in targets
+        for b in BATCH_SIZES
+    }, min_seconds=0.2, repeats=4)
+
+    plateau = {"visits_per_lane": visits, "order": 2, "targets": {},
+               "plateau_ratio_b64_over_b16": {}}
+    for target in targets:
+        rates = {"B%d" % b: visit_rate(b * visits, secs[(target, b)])
+                 for b in BATCH_SIZES}
+        plateau["targets"][target] = rates
+        plateau["plateau_ratio_b64_over_b16"][target] = (
+            rates["B64"] / rates["B16"])
+
+    print_header("ELBO batch plateau: per-visit rate vs B x kernel target")
+    for target in targets:
+        rates = plateau["targets"][target]
+        print("%-10s %s  (B64/B16 %.2fx)" % (
+            target,
+            "  ".join("B%d %8.0f" % (b, rates["B%d" % b])
+                      for b in BATCH_SIZES),
+            plateau["plateau_ratio_b64_over_b16"][target]))
+    print("recorded to %s" % ("(smoke: not recorded)" if SMOKE else BENCH_JSON))
+
+    if not SMOKE:
+        _merge_into_json("batch_plateau", plateau)
+        assert (plateau["plateau_ratio_b64_over_b16"]["numpy"]
+                >= REQUIRED_PLATEAU_RATIO)
 
 
 def test_variance_correction_ablation(benchmark):

@@ -72,12 +72,27 @@ Cyclades worker thread re-uses the same buffers across every iteration of
 every source it updates (see :mod:`repro.parallel.cyclades`); pools are
 bounded and released by the executor when an assignment completes.
 
+**Execution targets.**  The two hot inner loops — the per-patch pixel term
+and the closed-form KL term — are factored behind the small
+:class:`KernelTarget` interface.  The shipped default is
+:class:`NumpyKernelTarget` (this module's stacked NumPy sweeps, the
+bit-for-bit reference); :mod:`repro.core.kernel_targets` ships an
+array-API-generic target (CuPy/torch namespaces drop in) and a Numba-JIT
+target registered only when numba is importable.  Targets are selected per
+call, via :class:`repro.core.single.OptimizeConfig`, or via the registered
+``REPRO_KERNEL_TARGET`` environment variable, and the driver fingerprints
+the resolved name into checkpoints exactly like ``elbo_backend``
+(non-default targets promise only tolerance-level parity, pinned by the
+randomized harness, so resuming across targets is refused).
+
 Only affine WCS maps are supported (the survey's are); the workspace probes
 the map numerically rather than reaching into its attributes.
 """
 
 from __future__ import annotations
 
+import importlib
+import os
 import threading
 import weakref
 
@@ -102,11 +117,18 @@ from repro.core.params import (
     _BIJ_SCALE,
 )
 from repro.core.priors import Priors
+from repro.envvars import env_int, env_raw
 from repro.transforms import LogitBox
-from repro.transforms.bijectors import softmax_fixed_last_d012
+from repro.transforms.bijectors import (
+    softmax_fixed_last_d012,
+    softmax_fixed_last_d012_stacked,
+)
 
-__all__ = ["FusedBackend", "KlWorkspace", "elbo_fused", "elbo_fused_batch",
-           "release_scratch"]
+__all__ = ["FusedBackend", "KernelTarget", "KlWorkspace",
+           "NumpyKernelTarget", "available_kernel_targets", "elbo_fused",
+           "elbo_fused_batch", "get_kernel_target", "register_kernel_target",
+           "release_scratch", "resolve_kernel_target_name",
+           "DEFAULT_KERNEL_TARGET", "KERNEL_TARGET_ENV_VAR"]
 
 _TWO_PI = 2.0 * np.pi
 
@@ -158,6 +180,12 @@ _IDX_C2 = np.asarray(FREE.indices("c2")).reshape(2, NUM_COLORS)
 _IDX_K = np.asarray(FREE.indices("k")).reshape(2, NUM_COLOR_COMPONENTS - 1)
 _LOG_2PI = float(np.log(2.0 * np.pi))
 
+#: Diagonal index vectors for the stacked KL Hessian's separable color
+#: blocks (``h[:, _DIAG_C1, _DIAG_C1]`` is the lane-stacked image of
+#: ``np.fill_diagonal(h[2:6, 2:6], ...)``).
+_DIAG_C1 = np.arange(2, 6)
+_DIAG_C2 = np.arange(6, 10)
+
 
 # ---------------------------------------------------------------------------
 # Per-thread scratch pool
@@ -166,14 +194,104 @@ _LOG_2PI = float(np.log(2.0 * np.pi))
 _TLS = threading.local()
 _POOL_CAP = 512
 
-#: Max ``(lane, component, pixel)`` elements per stacked batch sweep —
-#: roughly one ~3.5 MB float64 temporary, sized (empirically, via the
-#: bench_elbo_kernel batch sweep) so the handful of live per-sweep
-#: temporaries stay cache-resident: small sources batch ~8-25 wide, big
-#: five-band sources batch ~4 wide, and no shape regresses below its
-#: scalar rate.  Batch groups larger than this split into several sweeps
-#: (see :class:`_FusedBatchWorkspace`).
+#: Fallback max ``(lane, component, pixel)`` elements per stacked batch
+#: sweep, used only when the host's cache sizes cannot be read (and no
+#: ``REPRO_SWEEP_BUDGET`` override is set).  The historical hand-tuned
+#: value: roughly one ~3.5 MB float64 temporary, sized (empirically, via
+#: the bench_elbo_kernel batch sweep) so the handful of live per-sweep
+#: temporaries stay cache-resident.  Batch groups larger than the derived
+#: lane cap split into several sweeps (see :class:`_FusedBatchWorkspace`
+#: and :func:`_lane_sweep_cap`).
 _LANE_SWEEP_BUDGET = 450_000
+
+#: Live float64 temporaries per ``(lane, component, pixel)`` element in the
+#: widest (order-2, variance-corrected) stacked sweep: offsets, whitened
+#: offsets, the density, and the handful of polynomial rows the feature
+#: contractions read concurrently.  Counted from :func:`_group_features`;
+#: deliberately a little generous so the working-set estimate errs toward
+#: smaller, cache-friendlier sweeps.
+_SWEEP_TEMPS = 12
+
+#: Lazily-detected ``(l2_bytes, last_level_bytes)`` — ``None`` before the
+#: first probe, ``(0, 0)`` when the sysfs probe failed.
+_CACHE_BYTES: tuple | None = None
+
+
+def _detect_cache_bytes() -> tuple:
+    """Probe ``(L2, last-level)`` cache sizes in bytes from sysfs.
+
+    Returns ``(0, 0)`` when the hierarchy cannot be read (non-Linux, or a
+    stripped container); callers fall back to the hand-tuned
+    :data:`_LANE_SWEEP_BUDGET`.
+    """
+    base = "/sys/devices/system/cpu/cpu0/cache"
+    sizes: dict[int, int] = {}
+    try:
+        for entry in sorted(os.listdir(base)):
+            if not entry.startswith("index"):
+                continue
+            with open(os.path.join(base, entry, "level")) as f:
+                level = int(f.read())
+            with open(os.path.join(base, entry, "size")) as f:
+                text = f.read().strip()
+            if text.endswith("K"):
+                nbytes = int(text[:-1]) * 1024
+            elif text.endswith("M"):
+                nbytes = int(text[:-1]) * 1024 * 1024
+            else:
+                nbytes = int(text)
+            # Unified/data caches win over same-level instruction caches
+            # (L1i precedes L1d alphabetically either way; only L2+ is used).
+            sizes[level] = max(nbytes, sizes.get(level, 0))
+    except (OSError, ValueError):
+        return (0, 0)
+    if not sizes:
+        return (0, 0)
+    last = sizes[max(sizes)]
+    return (sizes.get(2, last), last)
+
+
+def _cache_bytes() -> tuple:
+    global _CACHE_BYTES
+    if _CACHE_BYTES is None:
+        _CACHE_BYTES = _detect_cache_bytes()
+    return _CACHE_BYTES
+
+
+def _lane_sweep_cap(per_lane: int) -> int:
+    """Max lanes per stacked sweep for a shape group whose per-lane
+    ``(component, pixel)`` element count is ``per_lane``.
+
+    The cache-blocking knob behind the batch throughput curve: too few
+    lanes per sweep pays NumPy dispatch overhead per lane, too many spills
+    the sweep's live temporaries out of cache and throughput *regresses*
+    (the old global 450k-element budget was tuned for one machine and one
+    patch shape, which is exactly why B=64 plateaued below B=16).  The
+    heuristic sizes each group's sweep from the *measured* hierarchy:
+    ``max(L2, LLC/8)`` bytes — a single sweep may own L2 outright but
+    only a slice of the (shared, partitioned) last-level cache — divided
+    by the sweep working set (``8 * _SWEEP_TEMPS * per_lane`` bytes per
+    lane).  Groups small enough to be L2-resident get a wide cap, big
+    five-band groups a narrow one.  The LLC/8 share matched the measured
+    throughput optimum on both a desktop-class and a large-LLC
+    virtualized host (the bench batch sweep regresses within noise by
+    cap 2x in either direction).  ``REPRO_SWEEP_BUDGET`` overrides with
+    an explicit element budget, and the hand-tuned fallback budget
+    applies when cache probing fails.
+
+    Result-invariant by construction: lanes are independent, so any
+    split of a group into sweeps is bit-identical (pinned by the knob
+    sweep in ``tests/test_elbo_batch.py``) — which is why this knob is
+    *not* checkpoint-fingerprinted.
+    """
+    budget = env_int("REPRO_SWEEP_BUDGET")
+    if budget is not None:
+        return max(1, budget // per_lane)
+    l2, llc = _cache_bytes()
+    if not llc:
+        return max(1, _LANE_SWEEP_BUDGET // per_lane)
+    working = 8 * _SWEEP_TEMPS * per_lane
+    return min(1024, max(1, max(l2, llc // 8) // working))
 
 
 def _buf(name: str, shape: tuple) -> np.ndarray:
@@ -360,6 +478,122 @@ class KlWorkspace:
                 hess[_IDX_A, _IDX_A] += pa2 * tval
         return val, grad, hess
 
+    def _type_term_stacked(self, frees: np.ndarray, ty: int, order: int):
+        """Lane-stacked :meth:`_type_term`: ``frees`` is ``(G, 41)`` and
+        every output carries a leading lane axis.  Each operation is the
+        per-lane image of the scalar one — elementwise ufuncs, reductions
+        over non-lane axes, and stacked ``matmul`` (which dispatches the
+        identical per-lane product) — so lane ``i`` is bit-for-bit the
+        scalar ``_type_term(frees[i])``, which the batched-vs-scalar parity
+        tests pin."""
+        ic1 = _IDX_C1[ty]
+        ic2 = _IDX_C2[ty]
+        idx = np.concatenate(([_IDX_R1[ty], _IDX_R2[ty]], ic1, ic2,
+                              _IDX_K[ty]))
+        gsz = frees.shape[0]
+
+        m = frees[:, _IDX_R1[ty]]
+        v, v1, v2 = _BIJ_R2.forward_d012_vec(frees[:, _IDX_R2[ty]])
+        diff = m - self.r_loc[ty]
+        iv0 = self.r_ivar[ty]
+        gb = -0.5 * ((v + diff * diff) * iv0 - 1.0 + self.log_r_var[ty]
+                     - np.log(v))
+
+        c1 = frees[:, ic1]                                   # (G, C)
+        c2v, c2d1, c2d2 = _BIJ_C2.forward_d012_vec(frees[:, ic2])
+        dif = c1[:, :, None] - self.c_mean[None, :, :, ty]   # (G, C, D)
+        iv = self.c_ivar[:, :, ty]
+        e = self.e_const[None, :, ty] - 0.5 * (
+            (c2v[:, :, None] + dif * dif) * iv[None]).sum(axis=1)
+        de_c1 = -dif * iv[None]
+        de_c2 = -0.5 * iv                                    # lane-free
+
+        kappa, kjac, kh2 = softmax_fixed_last_d012_stacked(
+            frees[:, _IDX_K[ty]])
+        r = e + self.log_w[None, :, ty] - np.log(kappa)      # (G, D)
+        val = (gb + np.matmul(kappa[:, None, :], r[:, :, None])[:, 0, 0]
+               + 0.5 * np.sum(np.log(c2v) + _LOG_2PI + 1.0, axis=1))
+        if order < 1:
+            return idx, val, None, None
+
+        dv = 0.5 / v - 0.5 * iv0
+        gc2 = (np.matmul(de_c2[None], kappa[:, :, None])[:, :, 0]
+               + 0.5 / c2v)
+        s = r - 1.0
+        g = np.empty((gsz, idx.size))
+        g[:, 0] = -diff * iv0
+        g[:, 1] = dv * v1
+        g[:, 2:6] = np.matmul(de_c1, kappa[:, :, None])[:, :, 0]
+        g[:, 6:10] = gc2 * c2d1
+        g[:, 10:] = np.matmul(kjac.transpose(0, 2, 1), s[:, :, None])[:, :, 0]
+        if order < 2:
+            return idx, val, g, None
+
+        h = np.zeros((gsz, idx.size, idx.size))
+        h[:, 0, 0] = -iv0
+        h[:, 1, 1] = -0.5 / (v * v) * v1 * v1 + dv * v2
+        h[:, _DIAG_C1, _DIAG_C1] = np.matmul(
+            (-iv)[None], kappa[:, :, None])[:, :, 0]
+        h[:, _DIAG_C2, _DIAG_C2] = (-0.5 / (c2v * c2v) * c2d1 * c2d1
+                                    + gc2 * c2d2)
+        c1k = np.matmul(de_c1, kjac)
+        c2k = np.matmul(de_c2[None], kjac) * c2d1[:, :, None]
+        h[:, 2:6, 10:] = c1k
+        h[:, 10:, 2:6] = c1k.transpose(0, 2, 1)
+        h[:, 6:10, 10:] = c2k
+        h[:, 10:, 6:10] = c2k.transpose(0, 2, 1)
+        h[:, 10:, 10:] = (np.einsum("gd,gdjl->gjl", s, kh2)
+                          - np.matmul(
+                              (kjac / kappa[:, :, None]).transpose(0, 2, 1),
+                              kjac))
+        return idx, val, g, h
+
+    def evaluate_stacked(self, frees: np.ndarray, order: int):
+        """Lane-stacked :meth:`evaluate`: ``(G, 41)`` free vectors to
+        ``(value (G,), gradient (G, 41), hessian (G, 41, 41))`` with the
+        derivative slots ``None`` beyond ``order``.
+
+        Lane ``i`` of every output is bit-for-bit ``evaluate(frees[i])``
+        (the lane-independence argument in :meth:`_type_term_stacked`), so
+        the batched fused path can amortize the KL term's many-small-ops
+        dispatch cost across a whole lane group without breaking the
+        batched==scalar contract."""
+        frees = np.asarray(frees, dtype=np.float64)
+        gsz = frees.shape[0]
+        grad = np.zeros((gsz, FREE.size)) if order >= 1 else None
+        hess = (np.zeros((gsz, FREE.size, FREE.size))
+                if order >= 2 else None)
+
+        pg, pg1, pg2 = _BIJ_PROB.forward_d012_vec(frees[:, _IDX_A])
+        ps = 1.0 - pg
+        log_pg = np.log(pg)
+        log_ps = np.log(ps)
+        val = -(pg * (log_pg - self.log_phi)
+                + ps * (log_ps - self.log_1mphi))
+        db = self.logit_phi - (log_pg - log_ps)
+        if order >= 1:
+            grad[:, _IDX_A] = db * pg1
+        if order >= 2:
+            hess[:, _IDX_A, _IDX_A] = (-(1.0 / pg + 1.0 / ps) * pg1 * pg1
+                                       + db * pg2)
+
+        for ty, p, pa1, pa2 in ((STAR, ps, -pg1, -pg2),
+                                (GALAXY, pg, pg1, pg2)):
+            idx, tval, tgrad, thess = self._type_term_stacked(
+                frees, ty, order)
+            val += p * tval
+            if order >= 1:
+                grad[:, idx] += p[:, None] * tgrad
+                grad[:, _IDX_A] += pa1 * tval
+            if order >= 2:
+                hess[:, idx[:, None], idx[None, :]] += (
+                    p[:, None, None] * thess)
+                cross = pa1[:, None] * tgrad
+                hess[:, _IDX_A, idx] += cross
+                hess[:, idx, _IDX_A] += cross
+                hess[:, _IDX_A, _IDX_A] += pa2 * tval
+        return val, grad, hess
+
 
 #: Compiled KL workspaces, keyed by prior-object identity (weakly, so a
 #: dropped Priors does not pin its workspace).  A production run uses one
@@ -525,9 +759,11 @@ class _FusedBatchWorkspace:
     ``(G, components, pixels)`` temporaries; letting ``G`` grow unbounded
     trades the dispatch-overhead win for cache thrash (a 64-lane stack of
     30x30 five-band contexts is slower than scalar).  Groups are therefore
-    split so each sweep stays under :data:`_LANE_SWEEP_BUDGET` elements —
-    small sources batch wide, big sources batch narrow.  Splitting is
-    result-invisible: lane-independence makes every grouping bit-identical.
+    split so each sweep's working set stays cache-resident, with the lane
+    cap autotuned per shape group from the measured cache hierarchy
+    (:func:`_lane_sweep_cap`) — small sources batch wide, big sources
+    batch narrow.  Splitting is result-invisible: lane-independence makes
+    every grouping bit-identical.
     """
 
     __slots__ = ("ctxs", "groups")
@@ -542,10 +778,14 @@ class _FusedBatchWorkspace:
         self.groups = []
         for sig, lanes in by_sig.items():
             per_lane = sum((k + jd + je) * m for k, jd, je, m in sig)  # det: ignore[DET103] -- integer size signature; exact in any order
-            cap = max(1, _LANE_SWEEP_BUDGET // per_lane) if per_lane else \
-                len(lanes)
-            for start in range(0, len(lanes), cap):
-                chunk = lanes[start:start + cap]
+            cap = _lane_sweep_cap(per_lane) if per_lane else len(lanes)
+            # Balance the split: 64 lanes at cap 19 sweep as 16/16/16/16,
+            # not 19/19/19/7 — a ragged tail sweep pays the same dispatch
+            # overhead as a full one over a fraction of the lanes.
+            n_sweeps = -(-len(lanes) // cap) if lanes else 1
+            size = -(-len(lanes) // n_sweeps)
+            for start in range(0, len(lanes), size):
+                chunk = lanes[start:start + size]
                 if len(chunk) == 1:
                     stacks = _context_workspace(self.ctxs[chunk[0]]).patches
                 else:
@@ -699,74 +939,103 @@ class _FluxChain:
     ``E[f] = exp(L1)`` with ``L1 = m + v/2`` and ``E[f^2] = exp(L2)`` with
     ``L2 = 2m + 2v``; ``m`` is linear in (r1, c1) and ``v`` is a sum of
     per-parameter bijector images, so ``dL`` is a vector and ``d2L`` a
-    diagonal."""
+    diagonal.
+
+    Lane-stacked: ``frees`` is ``(G, 41)`` and every moment/derivative
+    carries a leading lane axis (the constant sparsity pattern ``dm``
+    stays a plain 10-vector and broadcasts).  Each lane's arithmetic is
+    the elementwise image of the scalar formulas, so a 1-lane chain is
+    bit-for-bit the scalar chain."""
 
     __slots__ = ("ef", "dl1", "ddl1", "ef2", "dl2", "ddl2")
 
-    def __init__(self, free, ty: int, band: int, variance_correction: bool):
+    def __init__(self, frees: np.ndarray, ty: int, band: int,
+                 variance_correction: bool):
         idx = _FLUX_IDX[ty]
         coeff = COLOR_COEFFS[band]
-        m = float(free[idx[0]])
+        gsz = frees.shape[0]
+        m = frees[:, idx[0]].copy()
         dm = np.zeros(10)
         dm[0] = 1.0
-        v = 0.0
-        dv = np.zeros(10)
-        ddv = np.zeros(10)
-        r2v, r2d1, r2d2 = _BIJ_R2.forward_d012(free[idx[1]])
+        v = np.zeros(gsz)
+        dv = np.zeros((gsz, 10))
+        ddv = np.zeros((gsz, 10))
+        r2v, r2d1, r2d2 = _BIJ_R2.forward_d012_vec(frees[:, idx[1]])
         v += r2v
-        dv[1] = r2d1
-        ddv[1] = r2d2
+        dv[:, 1] = r2d1
+        ddv[:, 1] = r2d2
         for i in range(NUM_COLORS):
             w = coeff[i]
-            m += w * float(free[idx[2 + i]])
+            m += w * frees[:, idx[2 + i]]
             dm[2 + i] = w
-            c2v, c2d1, c2d2 = _BIJ_C2.forward_d012(free[idx[6 + i]])
+            c2v, c2d1, c2d2 = _BIJ_C2.forward_d012_vec(frees[:, idx[6 + i]])
             v += w * w * c2v
-            dv[6 + i] = w * w * c2d1
-            ddv[6 + i] = w * w * c2d2
-        self.ef = float(np.exp(m + 0.5 * v))  # det: ignore[NUM200] -- log-flux moment is unbounded by design; the runtime NumericSanitizer watches this path
+            dv[:, 6 + i] = w * w * c2d1
+            ddv[:, 6 + i] = w * w * c2d2
+        self.ef = np.exp(m + 0.5 * v)  # det: ignore[NUM200] -- log-flux moment is unbounded by design; the runtime NumericSanitizer watches this path
         self.dl1 = dm + 0.5 * dv
         self.ddl1 = 0.5 * ddv
         if variance_correction:
-            self.ef2 = float(np.exp(2.0 * m + 2.0 * v))  # det: ignore[NUM200] -- log-flux moment is unbounded by design; the runtime NumericSanitizer watches this path
+            self.ef2 = np.exp(2.0 * m + 2.0 * v)  # det: ignore[NUM200] -- log-flux moment is unbounded by design; the runtime NumericSanitizer watches this path
             self.dl2 = 2.0 * dm + 2.0 * dv
             self.ddl2 = 2.0 * ddv
         else:
             self.ef2 = None
 
 
+_DIAG10 = np.arange(10)
+
+
 class _AmpChain:
     """One z amplitude without the per-patch calibration factor:
     ``prob(type) * moment`` with gradient/Hessian over the 11 amplitude
-    indices (type logit + flux block)."""
+    indices (type logit + flux block).
+
+    Lane-stacked: ``val`` is ``(G,)``, ``grad`` ``(G, 11)``, ``hess``
+    ``(G, 11, 11)``.  The flux block of the Hessian adds the ``ddl``
+    diagonal as a full zero-filled array (not a per-lane ``np.diag``
+    scatter): the scalar formula's ``np.outer(dl, dl) + np.diag(ddl)``
+    adds an explicit ``+0.0`` to every off-diagonal entry, and the
+    stacked path must replicate that add bit-for-bit (``-0.0 + 0.0``
+    is ``+0.0``)."""
 
     __slots__ = ("val", "grad", "hess")
 
     def __init__(self, p, p1, p2, moment, dl, ddl, order: int):
+        gsz = moment.shape[0]
         self.val = p * moment
-        self.grad = np.empty(11)
-        self.grad[0] = p1 * moment
-        self.grad[1:] = self.val * dl
+        self.grad = np.empty((gsz, 11))
+        self.grad[:, 0] = p1 * moment
+        self.grad[:, 1:] = self.val[:, None] * dl
         self.hess = None
         if order >= 2:
-            h = np.empty((11, 11))
-            h[0, 0] = p2 * moment
-            h[0, 1:] = h[1:, 0] = p1 * moment * dl
-            h[1:, 1:] = self.val * (np.outer(dl, dl) + np.diag(ddl))
+            h = np.empty((gsz, 11, 11))
+            h[:, 0, 0] = p2 * moment
+            cross = (p1 * moment)[:, None] * dl
+            h[:, 0, 1:] = cross
+            h[:, 1:, 0] = cross
+            dd = np.zeros((gsz, 10, 10))
+            dd[:, _DIAG10, _DIAG10] = ddl
+            h[:, 1:, 1:] = self.val[:, None, None] * (
+                dl[:, :, None] * dl[:, None, :] + dd)
             self.hess = h
 
 
-def _shape_chain(free, order: int):
+def _shape_chain(frees, order: int):
     """Galaxy shape covariance ``(sxx, sxy, syy)`` and its derivatives over
-    the free shape parameters ``[axis, angle, scale]``.
+    the free shape parameters ``[axis, angle, scale]``, lane-stacked:
+    ``vals`` is a triple of ``(G,)`` arrays, ``jac`` is ``(G, 3, 3)`` and
+    ``hess`` ``(G, 3, 3, 3)``.
 
     With ``M = scale^2`` and ``m = (scale*axis)^2`` (major/minor variances)
     and position angle ``phi``: ``sxx = c^2 M + s^2 m``,
     ``sxy = sin(2 phi)(M - m)/2``, ``syy = s^2 M + c^2 m``; the axis/scale
-    dependence chains through the LogitBox bijectors."""
-    av, a1, a2 = _BIJ_AXIS.forward_d012(free[_SHAPE_IDX[0]])
-    phi = float(free[_SHAPE_IDX[1]])
-    sv, sd1, sd2 = _BIJ_SCALE.forward_d012(free[_SHAPE_IDX[2]])
+    dependence chains through the LogitBox bijectors.  Every entry is the
+    elementwise image of the scalar formula (symmetric entries share one
+    computed array — identical expressions give identical bits)."""
+    av, a1, a2 = _BIJ_AXIS.forward_d012_vec(frees[:, _SHAPE_IDX[0]])
+    phi = frees[:, _SHAPE_IDX[1]]
+    sv, sd1, sd2 = _BIJ_SCALE.forward_d012_vec(frees[:, _SHAPE_IDX[2]])
 
     c, s = np.cos(phi), np.sin(phi)
     c2p, s2p = np.cos(2.0 * phi), np.sin(2.0 * phi)
@@ -785,63 +1054,115 @@ def _shape_chain(free, order: int):
     vals = (c2 * big + s2 * sml,
             0.5 * s2p * (big - sml),
             s2 * big + c2 * sml)
-    jac = np.array([
-        [s2 * sml_a, s2p * (sml - big), c2 * big_s + s2 * sml_s],
-        [-0.5 * s2p * sml_a, c2p * (big - sml), 0.5 * s2p * (big_s - sml_s)],
-        [c2 * sml_a, s2p * (big - sml), s2 * big_s + c2 * sml_s],
-    ])
+    gsz = frees.shape[0]
+    jac = np.empty((gsz, 3, 3))
+    jac[:, 0, 0] = s2 * sml_a
+    jac[:, 0, 1] = s2p * (sml - big)
+    jac[:, 0, 2] = c2 * big_s + s2 * sml_s
+    jac[:, 1, 0] = -0.5 * s2p * sml_a
+    jac[:, 1, 1] = c2p * (big - sml)
+    jac[:, 1, 2] = 0.5 * s2p * (big_s - sml_s)
+    jac[:, 2, 0] = c2 * sml_a
+    jac[:, 2, 1] = s2p * (big - sml)
+    jac[:, 2, 2] = s2 * big_s + c2 * sml_s
     if order < 2:
         return vals, jac, None
-    hess = np.array([
-        [[s2 * sml_aa, s2p * sml_a, s2 * sml_as],
-         [s2p * sml_a, 2.0 * c2p * (sml - big), s2p * (sml_s - big_s)],
-         [s2 * sml_as, s2p * (sml_s - big_s), c2 * big_ss + s2 * sml_ss]],
-        [[-0.5 * s2p * sml_aa, -c2p * sml_a, -0.5 * s2p * sml_as],
-         [-c2p * sml_a, -2.0 * s2p * (big - sml), c2p * (big_s - sml_s)],
-         [-0.5 * s2p * sml_as, c2p * (big_s - sml_s),
-          0.5 * s2p * (big_ss - sml_ss)]],
-        [[c2 * sml_aa, -s2p * sml_a, c2 * sml_as],
-         [-s2p * sml_a, 2.0 * c2p * (big - sml), s2p * (big_s - sml_s)],
-         [c2 * sml_as, s2p * (big_s - sml_s), s2 * big_ss + c2 * sml_ss]],
-    ])
+
+    hess = np.empty((gsz, 3, 3, 3))
+    # sxx block.
+    e01 = s2p * sml_a
+    e02 = s2 * sml_as
+    e12 = s2p * (sml_s - big_s)
+    hess[:, 0, 0, 0] = s2 * sml_aa
+    hess[:, 0, 0, 1] = e01
+    hess[:, 0, 0, 2] = e02
+    hess[:, 0, 1, 0] = e01
+    hess[:, 0, 1, 1] = 2.0 * c2p * (sml - big)
+    hess[:, 0, 1, 2] = e12
+    hess[:, 0, 2, 0] = e02
+    hess[:, 0, 2, 1] = e12
+    hess[:, 0, 2, 2] = c2 * big_ss + s2 * sml_ss
+    # sxy block.
+    e01 = -c2p * sml_a
+    e02 = -0.5 * s2p * sml_as
+    e12 = c2p * (big_s - sml_s)
+    hess[:, 1, 0, 0] = -0.5 * s2p * sml_aa
+    hess[:, 1, 0, 1] = e01
+    hess[:, 1, 0, 2] = e02
+    hess[:, 1, 1, 0] = e01
+    hess[:, 1, 1, 1] = -2.0 * s2p * (big - sml)
+    hess[:, 1, 1, 2] = e12
+    hess[:, 1, 2, 0] = e02
+    hess[:, 1, 2, 1] = e12
+    hess[:, 1, 2, 2] = 0.5 * s2p * (big_ss - sml_ss)
+    # syy block.
+    e01 = -s2p * sml_a
+    e02 = c2 * sml_as
+    e12 = s2p * (big_s - sml_s)
+    hess[:, 2, 0, 0] = c2 * sml_aa
+    hess[:, 2, 0, 1] = e01
+    hess[:, 2, 0, 2] = e02
+    hess[:, 2, 1, 0] = e01
+    hess[:, 2, 1, 1] = 2.0 * c2p * (big - sml)
+    hess[:, 2, 1, 2] = e12
+    hess[:, 2, 2, 0] = e02
+    hess[:, 2, 2, 1] = e12
+    hess[:, 2, 2, 2] = s2 * big_ss + c2 * sml_ss
     return vals, jac, hess
 
 
-class _EvalChain:
-    """Every pixel-independent piece of one evaluation: bijector images of
-    the free vector with their first two derivatives, the shape-covariance
-    chain, and per-band amplitude chains (built lazily per band)."""
+#: Broadcast index pairs for the shape 3x3 Jacobian block of the (10, 27)
+#: patch Jacobian, lane-stacked: ``jac[:, _JAC_SHAPE_ROWS, _JAC_SHAPE_COLS]``.
+_JAC_SHAPE_ROWS, _JAC_SHAPE_COLS = np.ix_([2, 3, 4], _SHAPE_IDX)
+_AMP_COLS = (np.asarray(_AMP_IDX[STAR]), np.asarray(_AMP_IDX[GALAXY]))
 
-    def __init__(self, ctx: SourceContext, free: np.ndarray, order: int,
+
+class _EvalChain:
+    """Every pixel-independent piece of one lane group's evaluation:
+    bijector images of the free vectors with their first two derivatives,
+    the shape-covariance chain, and per-band amplitude chains (built lazily
+    per band) — all lane-stacked, ``frees`` being ``(G, 41)``.
+
+    This stage used to loop per lane; it is now one stack of elementwise
+    sweeps, which is what lifted the batch plateau (at B=64 the per-lane
+    Python chain loop cost as much as the stacked pixel sweeps it fed).
+    Ufunc loops are length-invariant elementwise, so each lane's bits are
+    unchanged — the scalar path simply runs this chain at ``G = 1``."""
+
+    def __init__(self, u_centers: np.ndarray, frees: np.ndarray, order: int,
                  variance_correction: bool):
         self.order = order
         self.vc = variance_correction
-        self.free = free
+        self.frees = frees
+        self.n_lanes = frees.shape[0]
+        self._lanes = np.arange(self.n_lanes)
 
-        pg, pg1, pg2 = _BIJ_PROB.forward_d012(free[_IDX_A])
+        pg, pg1, pg2 = _BIJ_PROB.forward_d012_vec(frees[:, _IDX_A])
         self.pg, self.pg1, self.pg2 = pg, pg1, pg2
         self.ps, self.ps1, self.ps2 = 1.0 - pg, -pg1, -pg2
 
-        u0v, u0d1, u0d2 = _BIJ_U.forward_d012(free[_IDX_U[0]])
-        u1v, u1d1, u1d2 = _BIJ_U.forward_d012(free[_IDX_U[1]])
-        self.ux = float(ctx.u_center[0]) + u0v
-        self.uy = float(ctx.u_center[1]) + u1v
+        u0v, u0d1, u0d2 = _BIJ_U.forward_d012_vec(frees[:, _IDX_U[0]])
+        u1v, u1d1, u1d2 = _BIJ_U.forward_d012_vec(frees[:, _IDX_U[1]])
+        self.ux = u_centers[:, 0] + u0v
+        self.uy = u_centers[:, 1] + u1v
         self.ud1 = (u0d1, u1d1)
         self.ud2 = (u0d2, u1d2)
 
-        self.dev, self.dev1, self.dev2 = _BIJ_DEV.forward_d012(free[_IDX_DEV])
+        self.dev, self.dev1, self.dev2 = _BIJ_DEV.forward_d012_vec(
+            frees[:, _IDX_DEV])
         self.shape_vals, self.shape_jac, self.shape_hess = _shape_chain(
-            free, order
+            frees, order
         )
         self._bands: dict[int, tuple] = {}
+        self._slots: dict[tuple, tuple] = {}
 
     def band_chains(self, band: int):
-        """``(A_star, A_gal, B_star, B_gal)`` amplitude chains for one band
-        (B entries are None without the variance correction)."""
+        """``(A_star, A_gal, B_star, B_gal)`` lane-stacked amplitude chains
+        for one band (B entries are None without the variance correction)."""
         out = self._bands.get(band)
         if out is None:
-            fs = _FluxChain(self.free, STAR, band, self.vc)
-            fg = _FluxChain(self.free, GALAXY, band, self.vc)
+            fs = _FluxChain(self.frees, STAR, band, self.vc)
+            fg = _FluxChain(self.frees, GALAXY, band, self.vc)
             a_s = _AmpChain(self.ps, self.ps1, self.ps2,
                             fs.ef, fs.dl1, fs.ddl1, self.order)
             a_g = _AmpChain(self.pg, self.pg1, self.pg2,
@@ -855,59 +1176,91 @@ class _EvalChain:
             out = self._bands[band] = (a_s, a_g, b_s, b_g)
         return out
 
-    def patch_geometry(self, wa: np.ndarray, wt: np.ndarray):
-        """Pixel-frame source position for one patch lane (``wa``/``wt``
-        are that lane's affine WCS coefficients)."""
-        upx = wa[0, 0] * self.ux + wa[0, 1] * self.uy + wt[0]
-        upy = wa[1, 0] * self.ux + wa[1, 1] * self.uy + wt[1]
-        return upx, upy
+    def slot_amps(self, bands: tuple):
+        """Amplitude chains for one patch slot's per-lane band tuple.
 
-    def patch_jacobian(self, band: int, iota: float,
-                       wa: np.ndarray) -> np.ndarray:
-        """dz/dfree for one patch lane: ``(10, 27)``."""
-        a_s, a_g, b_s, b_g = self.band_chains(band)
-        jac = np.zeros((10, _N_ACTIVE))
-        jac[0, _IDX_U[0]] = wa[0, 0] * self.ud1[0]
-        jac[0, _IDX_U[1]] = wa[0, 1] * self.ud1[1]
-        jac[1, _IDX_U[0]] = wa[1, 0] * self.ud1[0]
-        jac[1, _IDX_U[1]] = wa[1, 1] * self.ud1[1]
-        jac[np.ix_([2, 3, 4], _SHAPE_IDX)] = self.shape_jac
-        jac[5, _AMP_IDX[STAR]] = iota * a_s.grad
-        jac[6, _AMP_IDX[GALAXY]] = iota * a_g.grad
+        The common case — every lane of the slot observed the same band —
+        returns that band's stacked chains directly.  A mixed-band slot
+        gathers each lane's rows out of its own band's stacked chains
+        (a pure copy, so still bit-exact per lane)."""
+        out = self._slots.get(bands)
+        if out is not None:
+            return out
+        first = bands[0]
+        if all(b == first for b in bands):
+            out = self.band_chains(first)
+        else:
+            per_band = {b: self.band_chains(b) for b in dict.fromkeys(bands)}
+            slots = []
+            for slot in range(4):
+                rows = [per_band[b][slot] for b in bands]
+                if rows[0] is None:
+                    slots.append(None)
+                    continue
+                a = object.__new__(_AmpChain)
+                a.val = np.array([r.val[l] for l, r in enumerate(rows)])
+                a.grad = np.array([r.grad[l] for l, r in enumerate(rows)])
+                a.hess = (np.array([r.hess[l] for l, r in enumerate(rows)])
+                          if self.order >= 2 else None)
+                slots.append(a)
+            out = tuple(slots)
+        self._slots[bands] = out
+        return out
+
+    def patch_jacobians(self, pws: _PatchWorkspace) -> np.ndarray:
+        """dz/dfree for one patch slot, lane-stacked: ``(G, 10, 27)``."""
+        a_s, a_g, b_s, b_g = self.slot_amps(pws.bands)
+        jac = np.zeros((self.n_lanes, 10, _N_ACTIVE))
+        jac[:, 0, _IDX_U[0]] = pws.wa[:, 0, 0] * self.ud1[0]
+        jac[:, 0, _IDX_U[1]] = pws.wa[:, 0, 1] * self.ud1[1]
+        jac[:, 1, _IDX_U[0]] = pws.wa[:, 1, 0] * self.ud1[0]
+        jac[:, 1, _IDX_U[1]] = pws.wa[:, 1, 1] * self.ud1[1]
+        jac[:, _JAC_SHAPE_ROWS, _JAC_SHAPE_COLS] = self.shape_jac
+        jac[:, 5, _AMP_COLS[STAR]] = pws.iota[:, None] * a_s.grad
+        jac[:, 6, _AMP_COLS[GALAXY]] = pws.iota[:, None] * a_g.grad
         if self.vc:
-            iota2 = iota * iota
-            jac[7, _AMP_IDX[STAR]] = iota2 * b_s.grad
-            jac[8, _AMP_IDX[GALAXY]] = iota2 * b_g.grad
-        jac[9, _IDX_DEV] = self.dev1
+            iota2 = pws.iota * pws.iota
+            jac[:, 7, _AMP_COLS[STAR]] = iota2[:, None] * b_s.grad
+            jac[:, 8, _AMP_COLS[GALAXY]] = iota2[:, None] * b_g.grad
+        jac[:, 9, _IDX_DEV] = self.dev1
         return jac
 
-    def add_z_curvature(self, h27: np.ndarray, band: int, iota: float,
-                        wa: np.ndarray, gz: np.ndarray) -> None:
-        """Accumulate ``sum_m gz[m] * d2 z_m / dfree2`` into ``h27`` (the
-        chain rule's second term; z components are nonlinear in free)."""
-        a_s, a_g, b_s, b_g = self.band_chains(band)
+    def add_z_curvature(self, h27: np.ndarray, pws: _PatchWorkspace,
+                        gz: np.ndarray) -> None:
+        """Accumulate ``sum_m gz[:, m] * d2 z_m / dfree2`` into the stacked
+        ``(G, 27, 27)`` Hessian (the chain rule's second term; z components
+        are nonlinear in free).  Statement order matches the old per-lane
+        path exactly — the star and galaxy amplitude blocks overlap at the
+        type logit, so their accumulation order is part of the bit
+        contract."""
+        a_s, a_g, b_s, b_g = self.slot_amps(pws.bands)
         # Position: upx/upy are affine in the bijector images of u.
         for j in (0, 1):
             ui = _IDX_U[j]
-            h27[ui, ui] += (
-                gz[0] * wa[0, j] + gz[1] * wa[1, j]
+            h27[:, ui, ui] += (
+                gz[:, 0] * pws.wa[:, 0, j] + gz[:, 1] * pws.wa[:, 1, j]
             ) * self.ud2[j]
-        # Shape covariance entries.
-        sh = np.ix_(_SHAPE_IDX, _SHAPE_IDX)
+        # Shape covariance entries.  The scalar path skipped lanes whose
+        # gz entry is exactly zero; replicate the skip (and the resulting
+        # absence of a ``+= 0.0`` on those lanes) with a nonzero gather —
+        # ``np.nonzero`` and ``!= 0.0`` agree on -0.0 and NaN.
         for m in range(3):
-            if gz[2 + m] != 0.0:
-                h27[sh] += gz[2 + m] * self.shape_hess[m]
+            gm = gz[:, 2 + m]
+            nz = np.nonzero(gm)[0]
+            if nz.size:
+                h27[np.ix_(nz, _SHAPE_IDX, _SHAPE_IDX)] += (
+                    gm[nz, None, None] * self.shape_hess[nz, m])
         # Amplitudes.
-        star_ix = np.ix_(_AMP_IDX[STAR], _AMP_IDX[STAR])
-        gal_ix = np.ix_(_AMP_IDX[GALAXY], _AMP_IDX[GALAXY])
-        h27[star_ix] += (gz[5] * iota) * a_s.hess
-        h27[gal_ix] += (gz[6] * iota) * a_g.hess
+        star_ix = np.ix_(self._lanes, _AMP_IDX[STAR], _AMP_IDX[STAR])
+        gal_ix = np.ix_(self._lanes, _AMP_IDX[GALAXY], _AMP_IDX[GALAXY])
+        h27[star_ix] += (gz[:, 5] * pws.iota)[:, None, None] * a_s.hess
+        h27[gal_ix] += (gz[:, 6] * pws.iota)[:, None, None] * a_g.hess
         if self.vc:
-            iota2 = iota * iota
-            h27[star_ix] += (gz[7] * iota2) * b_s.hess
-            h27[gal_ix] += (gz[8] * iota2) * b_g.hess
+            iota2 = pws.iota * pws.iota
+            h27[star_ix] += (gz[:, 7] * iota2)[:, None, None] * b_s.hess
+            h27[gal_ix] += (gz[:, 8] * iota2)[:, None, None] * b_g.hess
         # Mixing fraction.
-        h27[_IDX_DEV, _IDX_DEV] += gz[9] * self.dev2
+        h27[:, _IDX_DEV, _IDX_DEV] += gz[:, 9] * self.dev2
 
 
 # ---------------------------------------------------------------------------
@@ -922,38 +1275,31 @@ def _mv(a: np.ndarray, w: np.ndarray) -> np.ndarray:
     return np.matmul(a, w[:, :, None])[:, :, 0]
 
 
-def _patch_pixel_term(pws: _PatchWorkspace, chains: list):
+def _patch_pixel_term(pws: _PatchWorkspace, chain: _EvalChain):
     """Value ``(G,)``, z-gradient ``(G, 10)``, and z-Hessian ``(G, 10, 10)``
     of one patch slot's expected Poisson log-likelihood across a lane group
-    (Hessian ``None`` at order 1).  ``chains`` holds one
-    :class:`_EvalChain` per lane; all lanes share this patch slot's array
-    shapes, so the per-pixel stage is a single stacked sweep."""
-    order, vc = chains[0].order, chains[0].vc
-    gsz = len(chains)
+    (Hessian ``None`` at order 1).  ``chain`` is the group's lane-stacked
+    :class:`_EvalChain`; all lanes share this patch slot's array shapes, so
+    the whole term is a single stacked sweep."""
+    order, vc = chain.order, chain.vc
+    gsz = chain.n_lanes
     m = pws.n_pixels
 
-    # Per-lane chain scalars, gathered once per patch slot.
-    upx = np.empty(gsz)
-    upy = np.empty(gsz)
-    s1 = np.empty(gsz)
-    s2 = np.empty(gsz)
-    s3 = np.empty(gsz)
-    amp_s = np.empty(gsz)
-    amp_g = np.empty(gsz)
-    amp2_s = np.empty(gsz) if vc else None
-    amp2_g = np.empty(gsz) if vc else None
-    dev = np.empty(gsz)
-    for l, chain in enumerate(chains):
-        upx[l], upy[l] = chain.patch_geometry(pws.wa[l], pws.wt[l])
-        s1[l], s2[l], s3[l] = chain.shape_vals
-        a_s, a_g, b_s, b_g = chain.band_chains(pws.bands[l])
-        iota = pws.iota[l]
-        amp_s[l] = iota * a_s.val
-        amp_g[l] = iota * a_g.val
-        if vc:
-            amp2_s[l] = iota * iota * b_s.val
-            amp2_g[l] = iota * iota * b_g.val
-        dev[l] = chain.dev
+    # Per-lane chain inputs for this slot.  upx/upy mirror the old scalar
+    # patch_geometry: left-associated multiply-adds through this lane's
+    # affine WCS coefficients.
+    upx = pws.wa[:, 0, 0] * chain.ux + pws.wa[:, 0, 1] * chain.uy \
+        + pws.wt[:, 0]
+    upy = pws.wa[:, 1, 0] * chain.ux + pws.wa[:, 1, 1] * chain.uy \
+        + pws.wt[:, 1]
+    s1, s2, s3 = chain.shape_vals
+    a_s, a_g, b_s, b_g = chain.slot_amps(pws.bands)
+    amp_s = pws.iota * a_s.val
+    amp_g = pws.iota * a_g.val
+    if vc:
+        amp2_s = pws.iota * pws.iota * b_s.val
+        amp2_g = pws.iota * pws.iota * b_g.val
+    dev = chain.dev
 
     gs, dgs, hgs = _star_features(pws, upx, upy, order)
     gd, dgd, hgd = _group_features(pws.dev, upx, upy, s1, s2, s3, order, "d")
@@ -1090,38 +1436,173 @@ def _patch_pixel_term(pws: _PatchWorkspace, chains: list):
 
 
 # ---------------------------------------------------------------------------
+# Execution targets
+
+class KernelTarget:
+    """One execution strategy for the fused kernel's two inner loops.
+
+    The fused backend's compile-once workspaces, lane grouping, scratch
+    pool, and chain-rule bookkeeping are target-independent; what varies
+    is *how* the per-patch pixel term and the closed-form KL term are
+    executed.  A target supplies exactly those two hooks:
+
+    - :meth:`pixel_term` — one patch slot's expected Poisson
+      log-likelihood value / z-gradient / z-Hessian over a lane group,
+      given the slot's pixel-static stacks and the group's
+      :class:`_EvalChain`.
+    - :meth:`kl_term` — one lane's KL value / 41-gradient / 41x41-Hessian
+      from a compiled :class:`KlWorkspace`.
+    - :meth:`kl_term_batch` — the same for a stack of lanes sharing one
+      workspace (defaults to a per-lane loop; the NumPy target overrides
+      it with the lane-stacked closed forms).
+
+    :class:`NumpyKernelTarget` is the default and the bit-for-bit
+    reference (batched == scalar exactly); other targets
+    (:mod:`repro.core.kernel_targets`) promise tolerance-level parity
+    only, pinned by the randomized harness, and are therefore
+    checkpoint-fingerprinted so a resume never mixes targets.
+    """
+
+    name = "base"
+
+    def pixel_term(self, pws, chain):
+        raise NotImplementedError
+
+    def kl_term(self, klws, free, order):
+        raise NotImplementedError
+
+    def kl_term_batch(self, klws, frees, order):
+        """KL terms for a stack of ``(G, 41)`` free vectors sharing one
+        :class:`KlWorkspace`: ``(values (G,), gradients (G, 41) or None,
+        hessians (G, 41, 41) or None)``.  Each lane must match what
+        :meth:`kl_term` returns for that vector alone; this default loops,
+        which satisfies the contract by construction."""
+        outs = [self.kl_term(klws, free, order) for free in frees]
+        vals = np.array([o[0] for o in outs])
+        grads = np.stack([o[1] for o in outs]) if order >= 1 else None
+        hesses = np.stack([o[2] for o in outs]) if order >= 2 else None
+        return vals, grads, hesses
+
+
+class NumpyKernelTarget(KernelTarget):
+    """The reference target: this module's stacked NumPy sweeps."""
+
+    name = "numpy"
+
+    def pixel_term(self, pws, chain):
+        # Late module-global lookup, so tests can monkeypatch
+        # _patch_pixel_term and instrumentation can wrap it.
+        return _patch_pixel_term(pws, chain)
+
+    def kl_term(self, klws, free, order):
+        return klws.evaluate(free, order)
+
+    def kl_term_batch(self, klws, frees, order):
+        # Lane-stacked closed forms; bit-for-bit the per-lane evaluate()
+        # results (pinned by the batched-vs-scalar parity tests).
+        return klws.evaluate_stacked(frees, order)
+
+
+KERNEL_TARGET_ENV_VAR = "REPRO_KERNEL_TARGET"
+DEFAULT_KERNEL_TARGET = "numpy"
+
+#: Known target names mapped to the module whose import registers them
+#: (mirrors the elbo backend registry's lazy-import pattern).
+_KNOWN_KERNEL_TARGETS = {
+    "numpy": "repro.core.kernel",
+    "array_api": "repro.core.kernel_targets",
+    "numba": "repro.core.kernel_targets",
+}
+
+_KERNEL_TARGETS: dict[str, KernelTarget] = {}
+
+
+def register_kernel_target(target: KernelTarget) -> None:
+    """Register an execution target instance under its ``name``."""
+    _KERNEL_TARGETS[target.name] = target
+
+
+def available_kernel_targets() -> list[str]:
+    """Selectable target names (a name may still fail to load if its
+    optional dependency is absent — see :func:`get_kernel_target`)."""
+    return sorted(_KNOWN_KERNEL_TARGETS)
+
+
+def resolve_kernel_target_name(name: str | None = None) -> str:
+    """The effective target name: explicit argument, else the registered
+    ``REPRO_KERNEL_TARGET`` environment variable, else the default.
+
+    Validates against the known-name table *without importing* the
+    target's module, so the driver can pin and fingerprint a name cheaply
+    at config time.
+    """
+    if name is None:
+        name = env_raw(KERNEL_TARGET_ENV_VAR) or DEFAULT_KERNEL_TARGET
+    if name not in _KNOWN_KERNEL_TARGETS:
+        raise ValueError(
+            "unknown kernel target %r; available: %s"
+            % (name, ", ".join(available_kernel_targets()))
+        )
+    return name
+
+
+def get_kernel_target(name: str) -> KernelTarget:
+    """The registered target instance, importing its module on first use."""
+    target = _KERNEL_TARGETS.get(name)
+    if target is None:
+        if name not in _KNOWN_KERNEL_TARGETS:
+            raise ValueError(
+                "unknown kernel target %r; available: %s"
+                % (name, ", ".join(available_kernel_targets()))
+            )
+        importlib.import_module(_KNOWN_KERNEL_TARGETS[name])
+        target = _KERNEL_TARGETS.get(name)
+        if target is None:
+            raise ValueError(
+                "kernel target %r is known but unavailable on this host "
+                "(its optional dependency is not installed)" % (name,)
+            )
+    return target
+
+
+register_kernel_target(NumpyKernelTarget())
+
+
+# ---------------------------------------------------------------------------
 # The backend
 
 
-def _evaluate_lanes(stacks: list, chains: list, order: int):
+def _evaluate_lanes(stacks: list, chain: _EvalChain, order: int,
+                    target: KernelTarget):
     """Pixel term over one lane group: per-lane value ``(G,)``, dense
     27-gradient ``(G, 27)``, and 27x27 Hessian (``None`` at order 1).
 
-    The stacked per-pixel stage runs once per patch slot for all lanes; the
-    pixel-count-independent chain-rule stage (jacobians, z curvature) loops
-    per lane, exactly as the scalar path does."""
-    gsz = len(chains)
+    Both stages are lane-stacked: the per-pixel sweep runs once per patch
+    slot for all lanes, and the pixel-count-independent chain-rule stage
+    contracts the whole group's ``(G, 10, 27)`` Jacobian stack in one
+    ``matmul`` (which dispatches the identical per-lane GEMV/GEMM the old
+    per-lane loop issued, so bits are unchanged)."""
+    gsz = chain.n_lanes
     val = np.zeros(gsz)
     g27 = np.zeros((gsz, _N_ACTIVE))
     h27 = np.zeros((gsz, _N_ACTIVE, _N_ACTIVE)) if order >= 2 else None
     for pws in stacks:
-        pval, gz, hz = _patch_pixel_term(pws, chains)
+        pval, gz, hz = target.pixel_term(pws, chain)
         val += pval
-        for l, chain in enumerate(chains):
-            jac = chain.patch_jacobian(pws.bands[l], pws.iota[l], pws.wa[l])
-            g27[l] += jac.T @ gz[l]
-            if order >= 2:
-                h27[l] += jac.T @ (hz[l] @ jac)
-                chain.add_z_curvature(h27[l], pws.bands[l], pws.iota[l],
-                                      pws.wa[l], gz[l])
+        jac = chain.patch_jacobians(pws)
+        jacT = jac.transpose(0, 2, 1)
+        g27 += np.matmul(jacT, gz[:, :, None])[:, :, 0]
+        if order >= 2:
+            h27 += np.matmul(jacT, np.matmul(hz, jac))
+            chain.add_z_curvature(h27, pws, gz)
     return val, g27, h27
 
 
 def _finalize_lane(ws: _FusedWorkspace, free: np.ndarray, order: int,
-                   val, g27, h27) -> ElboEval:
+                   val, g27, h27, target: KernelTarget) -> ElboEval:
     """Add the closed-form KL terms and scatter the pixel term's dense
     27-block into the full free space."""
-    kl_val, grad, hess = ws.kl.evaluate(free, order)
+    kl_val, grad, hess = target.kl_term(ws.kl, free, order)
     if order >= 1:
         grad[:_N_ACTIVE] += g27
     if order >= 2:
@@ -1134,24 +1615,29 @@ def elbo_fused(
     free,
     order: int = 2,
     variance_correction: bool = True,
+    kernel_target: str | None = None,
 ) -> ElboEval:
     """Evaluate the full ELBO with the fused analytic kernel.
 
     This is the lane-count-1 case of :func:`elbo_fused_batch`: both paths
     run the identical stacked code, which is what makes batched evaluation
-    bit-for-bit equal to scalar evaluation."""
+    bit-for-bit equal to scalar evaluation.  ``kernel_target`` picks the
+    execution target (explicit name, else ``REPRO_KERNEL_TARGET``, else
+    the NumPy reference)."""
+    target = get_kernel_target(resolve_kernel_target_name(kernel_target))
     ws = _context_workspace(ctx)
     free = np.asarray(free, dtype=np.float64)
-    chain = _EvalChain(ctx, free, order, variance_correction)
+    chain = _EvalChain(np.asarray(ctx.u_center, dtype=float)[None, :],
+                       free[None, :], order, variance_correction)
     if ws.patches:
-        val, g27, h27 = _evaluate_lanes(ws.patches, [chain], order)
+        val, g27, h27 = _evaluate_lanes(ws.patches, chain, order, target)
         val, g27 = val[0], g27[0]
         h27 = h27[0] if h27 is not None else None
     else:
         val = 0.0
         g27 = np.zeros(_N_ACTIVE)
         h27 = np.zeros((_N_ACTIVE, _N_ACTIVE)) if order >= 2 else None
-    return _finalize_lane(ws, free, order, val, g27, h27)
+    return _finalize_lane(ws, free, order, val, g27, h27, target)
 
 
 def elbo_fused_batch(
@@ -1161,6 +1647,7 @@ def elbo_fused_batch(
     variance_correction: bool = True,
     compiled: _FusedBatchWorkspace | None = None,
     active=None,
+    kernel_target: str | None = None,
 ) -> list:
     """Evaluate many sources' ELBOs in one stacked sweep.
 
@@ -1175,6 +1662,7 @@ def elbo_fused_batch(
     order, each bit-for-bit equal to what :func:`elbo_fused` returns for
     that context and free vector alone.
     """
+    target = get_kernel_target(resolve_kernel_target_name(kernel_target))
     if compiled is None:
         compiled = _FusedBatchWorkspace(ctxs)
     elif not compiled.matches(ctxs):
@@ -1184,26 +1672,41 @@ def elbo_fused_batch(
         )
     out: list = [None] * len(ctxs)
     for lanes, stacks in compiled.groups:
-        chains = [
-            _EvalChain(ctxs[l], np.asarray(frees[l], dtype=np.float64),
-                       order, variance_correction)
-            for l in lanes
-        ]
+        frees_g = np.array([np.asarray(frees[l], dtype=np.float64)
+                            for l in lanes])
+        u_centers = np.array([np.asarray(ctxs[l].u_center, dtype=float)
+                              for l in lanes])
+        chain = _EvalChain(u_centers, frees_g, order, variance_correction)
         if stacks:
-            val, g27, h27 = _evaluate_lanes(stacks, chains, order)
+            val, g27, h27 = _evaluate_lanes(stacks, chain, order, target)
         else:
             gsz = len(lanes)
             val = np.zeros(gsz)
             g27 = np.zeros((gsz, _N_ACTIVE))
             h27 = (np.zeros((gsz, _N_ACTIVE, _N_ACTIVE))
                    if order >= 2 else None)
+        # KL terms, stacked per shared prior workspace: lanes under one
+        # Priors (the production case — a survey uses one) evaluate their
+        # KL values/gradients/Hessians in one lane-stacked sweep instead
+        # of G per-lane calls, amortizing the many-small-ops dispatch cost
+        # the same way the pixel sweep amortizes per-patch dispatch.
+        by_kl: dict[int, tuple] = {}
         for j, l in enumerate(lanes):
             if active is not None and not active[l]:
                 continue
-            out[l] = _finalize_lane(
-                _context_workspace(ctxs[l]), chains[j].free, order,
-                val[j], g27[j], h27[j] if h27 is not None else None,
-            )
+            klws = _context_workspace(ctxs[l]).kl
+            by_kl.setdefault(id(klws), (klws, []))[1].append(j)
+        for klws, js in by_kl.values():
+            kvals, kgrads, khesses = target.kl_term_batch(
+                klws, frees_g[js], order)
+            for i, j in enumerate(js):
+                grad = kgrads[i] if kgrads is not None else None
+                hess = khesses[i] if khesses is not None else None
+                if order >= 1:
+                    grad[:_N_ACTIVE] += g27[j]
+                if order >= 2:
+                    hess[:_N_ACTIVE, :_N_ACTIVE] += h27[j]
+                out[lanes[j]] = ElboEval(val[j] + kvals[i], grad, hess)
     return out
 
 
@@ -1211,13 +1714,20 @@ class FusedBackend(ElboBackend):
     """Production backend: compile-once workspaces + closed-form blocks."""
 
     name = "fused"
+    #: The objective front end forwards ``kernel_target`` only to backends
+    #: that advertise support (the Taylor oracle has no target concept).
+    supports_kernel_targets = True
 
-    def evaluate(self, ctx, free, order, variance_correction):
+    def evaluate(self, ctx, free, order, variance_correction,
+                 kernel_target=None):
         return elbo_fused(ctx, free, order=order,
-                          variance_correction=variance_correction)
+                          variance_correction=variance_correction,
+                          kernel_target=kernel_target)
 
-    def evaluate_kl(self, ctx, free, order):
-        val, grad, hess = _kl_workspace(ctx.priors).evaluate(free, order)
+    def evaluate_kl(self, ctx, free, order, kernel_target=None):
+        target = get_kernel_target(resolve_kernel_target_name(kernel_target))
+        val, grad, hess = target.kl_term(_kl_workspace(ctx.priors), free,
+                                         order)
         return ElboEval(val, grad, hess)
 
     def compile_batch(self, ctxs):
@@ -1227,10 +1737,11 @@ class FusedBackend(ElboBackend):
         return _FusedBatchWorkspace(ctxs)
 
     def evaluate_batch(self, ctxs, frees, order, variance_correction,
-                       compiled=None, active=None):
+                       compiled=None, active=None, kernel_target=None):
         return elbo_fused_batch(ctxs, frees, order=order,
                                 variance_correction=variance_correction,
-                                compiled=compiled, active=active)
+                                compiled=compiled, active=active,
+                                kernel_target=kernel_target)
 
     def release_scratch(self):
         release_scratch()

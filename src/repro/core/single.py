@@ -28,9 +28,11 @@ from repro.core.params import (
     free_to_canonical,
 )
 from repro.core.priors import Priors
+from repro.envvars import env_float
 from repro.optim import (
     OptimResult,
     lbfgs_minimize,
+    lbfgs_minimize_batch,
     newton_trust_region,
     newton_trust_region_batch,
 )
@@ -60,6 +62,12 @@ class OptimizeConfig:
     #: this up front so checkpoints fingerprint the backend that actually
     #: ran.
     backend: str | None = None
+    #: Fused-kernel execution target (``"numpy"``/``"array_api"``/
+    #: ``"numba"``); ``None`` follows ``REPRO_KERNEL_TARGET``, then the
+    #: NumPy reference.  Resolved and pinned by the driver alongside the
+    #: backend (non-reference targets are tolerance-parity, so the target
+    #: that ran is part of a checkpoint's fingerprint).
+    kernel_target: str | None = None
 
 
 @dataclass
@@ -129,7 +137,8 @@ def optimize_source(
             def fgh(free):
                 out = elbo(ctx, free, order=2,
                            variance_correction=config.variance_correction,
-                           backend=config.backend)
+                           backend=config.backend,
+                           kernel_target=config.kernel_target)
                 return (-float(out.val), -out.gradient(FREE.size),
                         -out.hessian(FREE.size))
 
@@ -145,7 +154,8 @@ def optimize_source(
             def fg(free):
                 out = elbo(ctx, free, order=1,
                            variance_correction=config.variance_correction,
-                           backend=config.backend)
+                           backend=config.backend,
+                           kernel_target=config.kernel_target)
                 return -float(out.val), -out.gradient(FREE.size)
 
             ctx.counters.add("lbfgs_solves", 1.0)
@@ -168,24 +178,28 @@ def optimize_sources_batch(
     ctxs: list[SourceContext],
     inits: list,
     config: OptimizeConfig | None = None,
-    repack_threshold: float = 0.5,
+    repack_threshold: float | None = None,
 ) -> list[SourceResult]:
     """Optimize many independent sources with lockstep batched evaluations.
 
     The batched counterpart of :func:`optimize_source`: each source runs
-    its own Newton trust-region solve (independent iterates, radii, and
+    its own solve (independent iterates, radii/line searches, and
     convergence), but every round's objective evaluations are served by one
     :func:`repro.core.elbo.elbo_batch` call, so a backend with a batched
     kernel sweeps all still-active sources' pixels at once — the paper's
-    AVX-512 batching of evaluations across light sources.
+    AVX-512 batching of evaluations across light sources.  Both methods
+    have lockstep drivers: ``"newton"`` (the paper's trust region, order-2
+    evaluations) and ``"lbfgs"`` (the baseline, order-1 evaluations via
+    :func:`repro.optim.lbfgs_minimize_batch`).
 
     **Bit-for-bit contract.**  Results are *identical* to calling
     :func:`optimize_source` per source — same iterates, same diagnostics,
-    same counter totals — because the lockstep driver replicates the scalar
-    solver's state machine exactly and every backend's batched evaluation
-    is required to be bit-for-bit equal to its scalar one.  Batching is an
-    execution strategy, never an approximation; the Cyclades executor
-    relies on this to keep batched and scalar catalogs identical.
+    same counter totals — because each lockstep driver replicates the
+    scalar solver's state machine exactly and every backend's batched
+    evaluation is required to be bit-for-bit equal to its scalar one.
+    Batching is an execution strategy, never an approximation; the
+    Cyclades executor relies on this to keep batched and scalar catalogs
+    identical.
 
     **Masking and repacking.**  Converged sources drop out of the active
     set.  A dropped lane is initially only *masked*: the compiled batch
@@ -194,9 +208,11 @@ def optimize_sources_batch(
     ``elbo_batch_lanes`` counters.  Once the active set falls below
     ``repack_threshold`` of the compiled lanes, the batch is repacked:
     the workspace recompiles for the survivors and the waste is reclaimed.
-
-    ``config.method == "lbfgs"`` (the baseline) has no lockstep driver and
-    falls back to per-source solves.
+    ``None`` (the default) reads the registered
+    ``REPRO_REPACK_THRESHOLD`` environment variable, falling back to 0.5.
+    The threshold is result-invariant occupancy tuning — any value yields
+    the same catalog, only different wasted-lane counts — which is why it
+    is an env knob and not part of a checkpoint's fingerprint.
     """
     if config is None:
         config = OptimizeConfig()
@@ -206,11 +222,11 @@ def optimize_sources_batch(
         raise ValueError(
             "got %d initializations for %d contexts" % (len(inits), len(ctxs))
         )
-    if config.method == "lbfgs":
-        return [optimize_source(ctx, init, config)
-                for ctx, init in zip(ctxs, inits)]
-    if config.method != "newton":
+    if config.method not in ("newton", "lbfgs"):
         raise ValueError("unknown method %r" % (config.method,))
+    if repack_threshold is None:
+        env = env_float("REPRO_REPACK_THRESHOLD")
+        repack_threshold = 0.5 if env is None else env
 
     params = [
         initial_params(init, ctx.priors)
@@ -222,6 +238,7 @@ def optimize_sources_batch(
         for p, ctx in zip(params, ctxs)
     ]
     last_free = list(free0s)
+    order = 2 if config.method == "newton" else 1
     # The compiled workspace covers the lanes in ``lanes``; it shrinks to
     # the active set whenever occupancy drops below the repack threshold.
     state = {
@@ -229,7 +246,7 @@ def optimize_sources_batch(
         "compiled": compile_elbo_batch(ctxs, backend=config.backend),
     }
 
-    def fgh_batch(idx: list, xs: list) -> list:
+    def eval_batch(idx: list, xs: list) -> list:
         for k, i in enumerate(idx):
             last_free[i] = np.asarray(xs[k], dtype=np.float64)
         lanes = state["lanes"]
@@ -242,38 +259,57 @@ def optimize_sources_batch(
         outs = elbo_batch(
             [ctxs[i] for i in lanes],
             [last_free[i] for i in lanes],
-            order=2,
+            order=order,
             variance_correction=config.variance_correction,
             backend=config.backend,
             compiled=state["compiled"],
             active=[i in members for i in lanes],
+            kernel_target=config.kernel_target,
         )
         by_lane = dict(zip(lanes, outs))
-        return [
-            (-float(out.val), -out.gradient(FREE.size),
-             -out.hessian(FREE.size))
-            for out in (by_lane[i] for i in idx)
-        ]
+        return [by_lane[i] for i in idx]
 
+    solves_counter = config.method + "_solves"
+    iters_counter = config.method + "_iterations"
     for ctx in ctxs:
-        ctx.counters.add("newton_solves", 1.0)
+        ctx.counters.add(solves_counter, 1.0)
     # Mirror optimize_source: an evaluation that raises mid-solve gets no
     # downstream scratch release, so drop the pool here instead of
     # stranding buffers on a thread that may never evaluate again.
     try:
-        results = newton_trust_region_batch(
-            fgh_batch, free0s,
-            grad_tol=config.grad_tol,
-            max_iter=config.max_iter,
-            initial_radius=config.initial_radius,
-        )
+        if config.method == "newton":
+            def fgh_batch(idx: list, xs: list) -> list:
+                return [
+                    (-float(out.val), -out.gradient(FREE.size),
+                     -out.hessian(FREE.size))
+                    for out in eval_batch(idx, xs)
+                ]
+
+            results = newton_trust_region_batch(
+                fgh_batch, free0s,
+                grad_tol=config.grad_tol,
+                max_iter=config.max_iter,
+                initial_radius=config.initial_radius,
+            )
+        else:
+            def fg_batch(idx: list, xs: list) -> list:
+                return [
+                    (-float(out.val), -out.gradient(FREE.size))
+                    for out in eval_batch(idx, xs)
+                ]
+
+            results = lbfgs_minimize_batch(
+                fg_batch, free0s,
+                grad_tol=config.grad_tol,
+                max_iter=config.max_iter,
+            )
     except BaseException:
         release_scratch()
         raise
 
     out = []
     for ctx, res in zip(ctxs, results):
-        ctx.counters.add("newton_iterations", float(res.n_iterations))
+        ctx.counters.add(iters_counter, float(res.n_iterations))
         canonical = free_to_canonical(res.x, ctx.u_center)
         out.append(SourceResult(
             params=SourceParams.from_canonical(canonical),

@@ -80,7 +80,8 @@ from dataclasses import dataclass, field, replace
 import numpy as np
 
 from repro.core.catalog import Catalog
-from repro.core.elbo import resolve_backend_name
+from repro.core.elbo import get_backend, resolve_backend_name
+from repro.core.kernel import resolve_kernel_target_name
 from repro.core.priors import Priors, default_priors
 from repro.driver.checkpoint import (
     STAGES,
@@ -205,6 +206,16 @@ class DriverConfig:
     #: enforces rather than assumes, which is why the knob is fingerprinted
     #: like a result-affecting one.
     elbo_batch_size: int | None = None
+    #: Kernel execution target for the fused backend's stacked sweeps:
+    #: ``"numpy"`` (the bit-for-bit reference and default), ``"array_api"``,
+    #: or ``"numba"`` (see :mod:`repro.core.kernel_targets`).  ``None``
+    #: defers to ``parallel.joint.single.kernel_target``, then the
+    #: ``REPRO_KERNEL_TARGET`` environment variable, then the default.
+    #: Resolved and pinned once up front like ``elbo_backend`` and
+    #: checkpoint-fingerprinted: non-default targets promise tolerance
+    #: parity only (their reductions re-associate), so a resumed run must
+    #: never silently switch targets mid-stream.
+    kernel_target: str | None = None
     #: Run the whole pipeline under the shadow-transport race detector
     #: (:mod:`repro.analysis.race`): every one-sided catalog access and
     #: every Cyclades patch write is tagged with its (actor, logical epoch)
@@ -277,7 +288,11 @@ def _pin_elbo_backend(config: DriverConfig) -> DriverConfig:
     the pickled config instead of re-reading their own environment.  The
     lockstep batch size is resolved the same way
     (:func:`_resolve_elbo_batch_size`) and pinned into
-    ``parallel.elbo_batch_size``.
+    ``parallel.elbo_batch_size``, and the kernel execution target
+    (``config.kernel_target``, then ``single.kernel_target``, then
+    ``REPRO_KERNEL_TARGET``/default) is validated *by name* — without
+    importing the target's module, so pinning never requires the optional
+    dependency — and pinned into ``single.kernel_target``.
     """
     joint = config.parallel.joint
     backend = resolve_backend_name(
@@ -286,14 +301,32 @@ def _pin_elbo_backend(config: DriverConfig) -> DriverConfig:
         else joint.single.backend
     )
     batch_size = _resolve_elbo_batch_size(config)
+    explicit_target = (
+        config.kernel_target
+        if config.kernel_target is not None
+        else joint.single.kernel_target
+    )
+    if explicit_target is None and not getattr(
+        get_backend(backend), "supports_kernel_targets", False
+    ):
+        # The REPRO_KERNEL_TARGET default only applies to backends with an
+        # execution-target concept; pinning it onto the Taylor oracle would
+        # turn an environment default into a hard config error there.  An
+        # *explicit* target with such a backend stays pinned and is
+        # rejected loudly at evaluation time.
+        target = None
+    else:
+        target = resolve_kernel_target_name(explicit_target)
     return replace(
         config,
         elbo_backend=backend,
         elbo_batch_size=batch_size,
+        kernel_target=target,
         parallel=replace(
             config.parallel,
             elbo_batch_size=batch_size,
-            joint=replace(joint, single=replace(joint.single, backend=backend)),
+            joint=replace(joint, single=replace(
+                joint.single, backend=backend, kernel_target=target)),
         ),
     )
 
@@ -593,6 +626,11 @@ def _fingerprint(store: _FieldStore, config: DriverConfig) -> dict:
         # parallel.elbo_batch_size — so a resumed run's evaluation layout
         # is recorded next to its backend.
         "elbo_batch_size": config.elbo_batch_size,
+        # Also recorded inside parallel.joint.single.kernel_target.
+        # Result-affecting across non-default targets (they promise
+        # tolerance parity only — reductions re-associate), so resume
+        # refuses across targets.
+        "kernel_target": config.kernel_target,
     }
 
 
@@ -605,6 +643,10 @@ def _parallel_fingerprint(parallel: ParallelRegionConfig) -> dict:
     d.pop("race_detect", None)
     d.pop("verify_schedule", None)
     d.pop("numeric_check", None)
+    # Batch coalescing is an execution strategy (bit-for-bit invariant,
+    # tested): resuming with it toggled is as legitimate as resuming with
+    # a different executor.
+    d.pop("coalesce_batches", None)
     return d
 
 

@@ -21,6 +21,7 @@ __all__ = [
     "ENV_REGISTRY",
     "EnvVar",
     "env_flag",
+    "env_float",
     "env_int",
     "env_raw",
     "registry_markdown",
@@ -36,7 +37,7 @@ class EnvVar:
     """One registered environment variable."""
 
     name: str
-    #: "flag" (truthy strings enable), "int", or "str".
+    #: "flag" (truthy strings enable), "int", "float", or "str".
     kind: str
     #: Rendered in the generated table; the *effective* default when unset.
     default: str
@@ -78,6 +79,25 @@ _VARS = (
         "in `DriverReport.numeric_reports`.",
     ),
     EnvVar(
+        "REPRO_KERNEL_TARGET", "str", "numpy",
+        "Fused-kernel execution target when no config pins one: `numpy` "
+        "(the bit-for-bit reference), `array_api` (namespace-generic "
+        "stacked sweeps), or `numba` (JIT loops; requires numba).",
+    ),
+    EnvVar(
+        "REPRO_SWEEP_BUDGET", "int", "unset (cache-size autotune)",
+        "Override the per-sweep element budget that caps how many lanes a "
+        "stacked kernel sweep covers; result-invariant cache blocking "
+        "(lanes are independent), so it is not checkpoint-fingerprinted.",
+    ),
+    EnvVar(
+        "REPRO_REPACK_THRESHOLD", "float", "0.5",
+        "Lockstep batch repack threshold when the caller does not pass "
+        "one: recompile the batch once the active fraction drops below "
+        "this; result-invariant occupancy tuning, so it is not "
+        "checkpoint-fingerprinted.",
+    ),
+    EnvVar(
         "REPRO_BENCH_SMOKE", "flag", "off",
         "Benchmark smoke mode: exercise every benchmark code path on CI "
         "hardware without trusting timings or rewriting committed JSON.",
@@ -116,6 +136,14 @@ def env_int(name: str) -> int | None:
     if not raw:
         return None
     return int(raw)
+
+
+def env_float(name: str) -> float | None:
+    """A registered float variable, or None when unset/empty."""
+    raw = env_raw(name)
+    if not raw:
+        return None
+    return float(raw)
 
 
 def registry_markdown() -> str:

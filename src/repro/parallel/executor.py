@@ -25,7 +25,7 @@ from repro.core.joint import (
 )
 from repro.core.priors import Priors
 from repro.parallel.conflict import build_conflict_graph
-from repro.parallel.cyclades import cyclades_batches
+from repro.parallel.cyclades import CycladesBatch, cyclades_batches
 from repro.perf.counters import Counters
 from repro.survey.image import Image
 
@@ -75,6 +75,14 @@ class ParallelRegionConfig:
     #: strategy — tested, not assumed); the driver plumbs this from
     #: ``DriverConfig.elbo_batch_size`` / ``REPRO_ELBO_BATCH``.
     elbo_batch_size: int | None = None
+    #: Merge consecutive Cyclades batches whose conflicting pairs are
+    #: co-threaded (:func:`_coalesce_batches`) before cutting lockstep
+    #: runs, so evaluation batches can span multiple rounds of a pass
+    #: ("cross-assignment batching").  Only consulted when
+    #: ``elbo_batch_size`` > 1; results are bit-for-bit identical either
+    #: way — the toggle exists so benchmarks and tests can measure the
+    #: occupancy gain in isolation.
+    coalesce_batches: bool = True
     #: Record every scheduled source's patch-pixel write extents into a
     #: shadow race detector (:mod:`repro.analysis.race`) and return any
     #: same-batch cross-thread overlaps in ``RegionResult.race_reports``.
@@ -140,6 +148,9 @@ def optimize_region_parallel(
             batches = cyclades_batches(
                 graph, config.n_threads, config.batch_size, rng=rng
             )
+            if config.coalesce_batches and config.elbo_batch_size is not None \
+                    and config.elbo_batch_size > 1:
+                batches = _coalesce_batches(batches, graph, config.n_threads)
             if config.verify_schedule:
                 _verify_pass(_patch_boxes, batches)
             for batch_idx, batch in enumerate(batches):
@@ -222,29 +233,117 @@ def _shadow_batch_writes(detector, boxes: list[list], batch,
 
 
 def _batchable_runs(assignment: list[int], graph, limit: int) -> list[list[int]]:
-    """Cut a thread assignment into in-order chunks of pairwise
-    *non-conflicting* sources, each at most ``limit`` long.
+    """Cut a thread assignment into chunks of pairwise *non-conflicting*
+    sources, each at most ``limit`` long, by greedy list scheduling.
 
     An assignment is a union of conflict-graph connected components:
     sources from different components never overlap, but sources *within*
     a component can — that is exactly why Cyclades serializes them on one
-    thread.  A chunk is flushed as soon as the next source conflicts with
-    any member (or the size limit is hit), so every chunk is
-    pixel-disjoint and, processed in order, the chunked schedule is
-    serially equivalent to — and bit-for-bit matches — the one-by-one loop.
+    thread.  Each round scans the not-yet-scheduled sources in order and
+    admits a source into the current chunk unless it conflicts with a
+    chunk member, conflicts with an earlier source already deferred to a
+    later round, or the chunk is full; everything else waits for the next
+    round.
+
+    Two sources may be *reordered* by this (a non-conflicting source jumps
+    ahead of a deferred conflicting run) only when no conflict path orders
+    them: they touch disjoint pixels and neither reads anything the other
+    writes, so the executed schedule is serially equivalent to — and
+    bit-for-bit matches — the one-by-one loop.  Conflicting pairs are
+    never reordered: a source that conflicts with *anything* deferred is
+    deferred too (the rest-scan below), preserving their relative order.
+    Compared to the old flush-on-first-conflict cut, this packs the
+    independent remainder of an assignment around each serialized
+    conflict run instead of fragmenting on it — with cross-batch
+    coalescing (:func:`_coalesce_batches`) it is what keeps lockstep
+    lanes full on clustered catalogs.
     """
     runs: list[list[int]] = []
-    current: list[int] = []
-    for s in assignment:
-        if len(current) >= limit or any(
-            graph.conflicts(s, other) for other in current
-        ):
-            runs.append(current)
-            current = []
-        current.append(s)
-    if current:
-        runs.append(current)
+    remaining = list(assignment)
+    while remaining:
+        chunk: list[int] = []
+        rest: list[int] = []
+        for s in remaining:
+            if len(chunk) < limit and not any(
+                graph.conflicts(s, other) for other in chunk
+            ) and not any(graph.conflicts(s, other) for other in rest):
+                chunk.append(s)
+            else:
+                rest.append(s)
+        runs.append(chunk)
+        remaining = rest
     return runs
+
+
+def _coalesce_batches(batches: list, graph, n_threads: int) -> list:
+    """Merge consecutive Cyclades batches whose conflicts are co-threaded.
+
+    A Cyclades batch barrier exists to order *conflicting* sources that
+    landed in different rounds.  When every conflicting pair between a
+    batch and the batches of the group accumulated so far sits on the
+    same thread, the barrier is redundant: thread assignments execute in
+    order, so intra-thread concatenation preserves exactly the orderings
+    the barrier enforced, and every cross-thread pair in the merged batch
+    is conflict-free (each round's own invariant plus the co-threading
+    check).  The merged schedule is therefore serially equivalent to the
+    barriered one — and bit-for-bit identical, since non-conflicting
+    sources touch disjoint pixels.
+
+    The payoff is lockstep occupancy: :func:`_batchable_runs` can only
+    pack lanes within one thread assignment, and small Cyclades rounds
+    (the sampling batch size bounds them) leave lanes empty at every
+    barrier.  Coalescing hands it one long assignment per thread spanning
+    several rounds — this is what "cross-assignment batching" means — and
+    is gated on the lockstep path being active (``elbo_batch_size > 1``),
+    since without stacked evaluation the barriers cost nothing.
+
+    The static schedule verifier and the shadow race detector run *after*
+    coalescing, so they prove/watch the schedule that actually executes.
+    """
+    if len(batches) < 2:
+        return list(batches)
+
+    def thread_of(batch) -> dict:
+        return {
+            s: t
+            for t, assignment in enumerate(batch.thread_assignments)
+            for s in assignment
+        }
+
+    out: list = []
+    group = [batches[0]]
+    group_threads = thread_of(batches[0])
+
+    def flush() -> None:
+        if len(group) == 1:
+            out.append(group[0])
+            return
+        merged = [
+            [s for b in group for s in b.thread_assignments[t]]
+            for t in range(n_threads)
+        ]
+        out.append(CycladesBatch(
+            thread_assignments=merged,
+            components=[c for b in group for c in b.components],
+        ))
+
+    for batch in batches[1:]:
+        threads = thread_of(batch)
+        compatible = all(
+            t == other_t
+            for s, t in threads.items()
+            for other, other_t in group_threads.items()
+            if graph.conflicts(s, other)
+        )
+        if compatible:
+            group.append(batch)
+            group_threads.update(threads)
+        else:
+            flush()
+            group = [batch]
+            group_threads = threads
+    flush()
+    return out
 
 
 def _run_assignment(opt: RegionOptimizer, assignment: list[int],

@@ -21,7 +21,9 @@ __all__ = [
     "LogitBox",
     "softmax_fixed_last",
     "softmax_fixed_last_d012",
+    "softmax_fixed_last_d012_stacked",
     "softmax_fixed_last_inverse",
+    "softmax_fixed_last_stacked",
     "softmax_fixed_last_taylor",
 ]
 
@@ -136,6 +138,45 @@ def softmax_fixed_last_d012(
     hess = (kappa[:, None, None]
             * (u[:, :, None] * u[:, None, :]
                - kj[None, :, None] * v[None, :, :]))
+    return kappa, jac, hess
+
+
+def softmax_fixed_last_stacked(free: np.ndarray) -> np.ndarray:
+    """Lane-stacked :func:`softmax_fixed_last`: ``(G, n-1)`` free logits to
+    ``(G, n)`` simplex rows.  Every per-lane operation is the elementwise
+    image of the scalar one (the max shift and the normalizing sum reduce
+    over the non-lane axis), so each row is bit-for-bit the scalar result —
+    the contract the batched KL kernel relies on."""
+    # Contiguity matters for bitwise parity, not just speed: NumPy's
+    # pairwise-summation grouping for the normalizing sum is only the
+    # scalar path's grouping when each row is reduced through the
+    # contiguous inner loop (a strided row falls back to sequential
+    # accumulation, changing the last bits for n >= 8).
+    free = np.ascontiguousarray(free, dtype=float)
+    logits = np.concatenate([free, np.zeros((free.shape[0], 1))], axis=1)
+    logits = logits - logits.max(axis=1, keepdims=True)
+    e = np.exp(logits)
+    return e / e.sum(axis=1, keepdims=True)
+
+
+def softmax_fixed_last_d012_stacked(
+    free: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Lane-stacked :func:`softmax_fixed_last_d012`: ``(G, n-1)`` free
+    logits to ``(kappa (G, n), jac (G, n, n-1), hess (G, n, n-1, n-1))``,
+    each lane bit-for-bit the scalar triple (same closed forms, with a
+    leading lane axis on every broadcast)."""
+    kappa = softmax_fixed_last_stacked(free)
+    n = kappa.shape[1]
+    kj = kappa[:, :-1]
+    delta = np.zeros((n, n - 1))
+    delta[:n - 1, :] = np.eye(n - 1)
+    u = delta[None] - kj[:, None, :]
+    jac = kappa[:, :, None] * u
+    v = np.eye(n - 1)[None] - kj[:, None, :]
+    hess = (kappa[:, :, None, None]
+            * (u[:, :, :, None] * u[:, :, None, :]
+               - kj[:, None, :, None] * v[:, None, :, :]))
     return kappa, jac, hess
 
 

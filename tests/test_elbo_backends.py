@@ -176,10 +176,13 @@ class TestScratchReleasedOnFailure:
             self, monkeypatch, make_random_context, star_entry, method):
         from repro.core import kernel
 
+        # Pinned to the numpy execution target: the scratch pool and the
+        # patched-in failure are that target's own machinery, so the test
+        # must not follow a REPRO_KERNEL_TARGET override.
+        config = OptimizeConfig(max_iter=2, method=method, backend="fused",
+                                kernel_target="numpy")
         ctx, _ = make_random_context("star", seed=6)
-        optimize_source(ctx, star_entry,
-                        OptimizeConfig(max_iter=2, method=method,
-                                       backend="fused"))
+        optimize_source(ctx, star_entry, config)
         baseline_pool = getattr(kernel._TLS, "pool", None)
         assert baseline_pool  # successful solves leave buffers pooled...
 
@@ -188,9 +191,7 @@ class TestScratchReleasedOnFailure:
 
         monkeypatch.setattr(kernel, "_patch_pixel_term", boom)
         with pytest.raises(RuntimeError):
-            optimize_source(ctx, star_entry,
-                            OptimizeConfig(max_iter=2, method=method,
-                                           backend="fused"))
+            optimize_source(ctx, star_entry, config)
         pool = getattr(kernel._TLS, "pool", None)
         assert not pool  # ...but a raising solve restores the baseline
 

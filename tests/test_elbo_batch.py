@@ -129,12 +129,46 @@ class TestBatchedEvaluationParity:
         assert snap["elbo_batch_lanes_active"] == 3.0
         assert batch_occupancy(snap) == pytest.approx(0.6)
 
+    def test_batch_occupancy_zero_batches(self):
+        # A run where no batched evaluation ever happened wasted no lanes:
+        # occupancy is defined as 1.0, not a division by zero.
+        assert batch_occupancy({}) == 1.0
+        assert batch_occupancy({"elbo_batch_lanes": 0.0}) == 1.0
+        assert batch_occupancy({"elbo_batch_lanes": 0.0,
+                                "elbo_batch_lanes_active": 0.0}) == 1.0
+        # Negative lane counts cannot occur (counters only add), but the
+        # guard is <= 0, not == 0: still no division blow-up.
+        assert batch_occupancy({"elbo_batch_lanes": -1.0}) == 1.0
+
     def test_input_validation(self, make_random_context):
         ctxs, frees = _batch(make_random_context, UNIFORM[:2])
         with pytest.raises(ValueError):
             elbo_batch(ctxs, frees[:1], backend="fused")
         with pytest.raises(ValueError):
             elbo_batch(ctxs, frees, active=[True], backend="fused")
+
+    def test_sweep_budget_never_changes_results(self, monkeypatch,
+                                                make_random_context):
+        """Cache blocking is an execution knob: forcing one-lane chunks,
+        the autotuned cap, and effectively-unchunked sweeps must all
+        produce bit-identical evaluations (chunking only slices the lane
+        axis; per-lane reduction trees never see the chunk boundary)."""
+        outs = {}
+        for budget in ("1", None, "1000000000"):
+            if budget is None:
+                monkeypatch.delenv("REPRO_SWEEP_BUDGET", raising=False)
+            else:
+                monkeypatch.setenv("REPRO_SWEEP_BUDGET", budget)
+            ctxs, frees = _batch(make_random_context, UNIFORM)
+            outs[budget] = elbo_batch(ctxs, frees, order=2, backend="fused")
+        ref = outs[None]
+        for budget in ("1", "1000000000"):
+            for out, want in zip(outs[budget], ref):
+                assert float(out.val) == float(want.val)
+                np.testing.assert_array_equal(out.gradient(FREE.size),
+                                              want.gradient(FREE.size))
+                np.testing.assert_array_equal(out.hessian(FREE.size),
+                                              want.hessian(FREE.size))
 
     def test_empty_batch(self):
         assert elbo_batch([], [], backend="fused") == []
@@ -183,6 +217,41 @@ class TestLockstepOptimizer:
             for a, b in zip(frees[0.0], frees[threshold]):
                 np.testing.assert_array_equal(a, b)
 
+    def test_repack_threshold_env_default(self, monkeypatch,
+                                          make_random_context):
+        """REPRO_REPACK_THRESHOLD backs the default when the caller does
+        not pass one — and, like the explicit argument, never changes
+        results (repacking is workspace bookkeeping, not arithmetic)."""
+        config = OptimizeConfig(max_iter=20, grad_tol=1e-4, backend="fused")
+        frees = {}
+        for env in (None, "0.0", "1.0"):
+            if env is None:
+                monkeypatch.delenv("REPRO_REPACK_THRESHOLD", raising=False)
+            else:
+                monkeypatch.setenv("REPRO_REPACK_THRESHOLD", env)
+            ctxs, entries = _cases(make_random_context, UNIFORM)
+            results = optimize_sources_batch(ctxs, entries, config)
+            frees[env] = [r.free for r in results]
+        for env in ("0.0", "1.0"):
+            for a, b in zip(frees[None], frees[env]):
+                np.testing.assert_array_equal(a, b)
+
+    def test_explicit_repack_threshold_beats_env(self, monkeypatch,
+                                                 make_random_context):
+        # The argument wins over the environment (same precedence rule as
+        # every other registered knob); smoke it by pinning a nonsense env
+        # value that would repack constantly and asserting results hold.
+        monkeypatch.setenv("REPRO_REPACK_THRESHOLD", "1.0")
+        config = OptimizeConfig(max_iter=10, grad_tol=1e-4, backend="fused")
+        ctxs, entries = _cases(make_random_context, UNIFORM)
+        explicit = optimize_sources_batch(ctxs, entries, config,
+                                          repack_threshold=0.0)
+        monkeypatch.delenv("REPRO_REPACK_THRESHOLD")
+        ctxs2, entries2 = _cases(make_random_context, UNIFORM)
+        plain = optimize_sources_batch(ctxs2, entries2, config)
+        for a, b in zip(explicit, plain):
+            np.testing.assert_array_equal(a.free, b.free)
+
     def test_counters_match_scalar_path(self, make_random_context):
         config = OptimizeConfig(max_iter=10, grad_tol=1e-4, backend="fused")
         ref, bat, bat_ctxs = self._solve_both(
@@ -213,13 +282,29 @@ class TestLockstepOptimizer:
         assert all(r.optim.n_evaluations == 1 for r in results)
         assert ctxs[0].counters.snapshot()["elbo_batch_calls"] == 1.0
 
-    def test_lbfgs_falls_back_to_per_source(self, make_random_context):
-        config = OptimizeConfig(max_iter=5, method="lbfgs", backend="fused")
-        ctxs, entries = _cases(make_random_context, UNIFORM[:2])
+    def test_lbfgs_runs_lockstep_and_matches_scalar(self,
+                                                    make_random_context):
+        """The L-BFGS baseline batches too (it used to fall back to the
+        per-source loop): gradient-only lockstep rounds, bit-for-bit equal
+        to the scalar solver lane by lane."""
+        config = OptimizeConfig(max_iter=25, grad_tol=1e-4, method="lbfgs",
+                                backend="fused")
+        ctxs, entries = _cases(make_random_context, UNIFORM)
         results = optimize_sources_batch(ctxs, entries, config)
-        assert len(results) == 2
-        assert ctxs[0].counters.get("lbfgs_solves") == 1.0
-        assert "elbo_batch_calls" not in ctxs[0].counters.snapshot()
+        # The batched path really ran, through the lbfgs counters.
+        snap = ctxs[0].counters.snapshot()
+        assert snap["elbo_batch_calls"] > 0
+        assert snap["lbfgs_solves"] == 1.0
+        assert "newton_solves" not in snap
+
+        ref_ctxs, ref_entries = _cases(make_random_context, UNIFORM)
+        for res, (ctx, e) in zip(results, zip(ref_ctxs, ref_entries)):
+            ref = optimize_source(ctx, e, config)
+            np.testing.assert_array_equal(res.free, ref.free)
+            assert res.elbo == ref.elbo
+            assert res.optim.n_iterations == ref.optim.n_iterations
+            assert res.optim.n_evaluations == ref.optim.n_evaluations
+            assert res.optim.message == ref.optim.message
 
     def test_raising_evaluation_releases_scratch_pool(self, monkeypatch,
                                                       make_random_context):
@@ -228,7 +313,11 @@ class TestLockstepOptimizer:
         to baseline rather than strand stacked buffers."""
         from repro.core import kernel
 
-        config = OptimizeConfig(max_iter=3, grad_tol=1e-4, backend="fused")
+        # Pinned to the numpy execution target: the scratch pool and the
+        # patched-in failure are that target's own machinery, so the test
+        # must not follow a REPRO_KERNEL_TARGET override.
+        config = OptimizeConfig(max_iter=3, grad_tol=1e-4, backend="fused",
+                                kernel_target="numpy")
         ctxs, entries = _cases(make_random_context, UNIFORM)
         optimize_sources_batch(ctxs, entries, config)
         assert getattr(kernel._TLS, "pool", None)  # buffers pooled
@@ -287,15 +376,113 @@ class TestBatchableRuns:
         graph = build_conflict_graph(pos, radii=5.0)
         assert graph.conflicts(0, 1)
         runs = _batchable_runs([0, 1, 2, 3], graph, limit=4)
-        assert runs == [[0], [1, 2, 3]]
-        # Order is preserved exactly — chunking is a schedule, not a sort.
-        assert [s for run in runs for s in run] == [0, 1, 2, 3]
+        # Greedy list scheduling: the independent tail (2, 3) packs into
+        # source 0's chunk instead of fragmenting on the 0-1 conflict;
+        # 1 waits for the next round because it conflicts with 0.
+        assert runs == [[0, 2, 3], [1]]
+        # Conflicting pairs keep their relative order — chunking reorders
+        # only independent sources, so the schedule stays serially
+        # equivalent to the one-by-one loop.
+        flat_pos = {s: i for i, run in enumerate(runs) for s in run}
+        assert flat_pos[0] < flat_pos[1]
+
+    def test_conflict_chain_preserves_order(self):
+        # 0-1 and 1-2 conflict (chain); 3 is independent.  1 must not jump
+        # past 0, and 2 must not jump past 1 even though 2 does not
+        # conflict with 0 directly: deferral is transitive through the
+        # rest-scan, so the serialized component executes in order.
+        pos = np.array([[0.0, 0.0], [8.0, 0.0], [16.0, 0.0], [80.0, 0.0]])
+        graph = build_conflict_graph(pos, radii=5.0)
+        runs = _batchable_runs([0, 1, 2, 3], graph, limit=4)
+        assert runs == [[0, 3], [1], [2]]
 
     def test_size_limit_respected(self):
         pos = np.array([[40.0 * i, 0.0] for i in range(7)])
         graph = build_conflict_graph(pos, radii=5.0)
         runs = _batchable_runs(list(range(7)), graph, limit=3)
         assert runs == [[0, 1, 2], [3, 4, 5], [6]]
+
+
+class TestCoalesceBatches:
+    def _graph(self):
+        # 0-1 conflict; everything else is pairwise independent.
+        pos = np.array([[0.0, 0.0], [8.0, 0.0], [40.0, 0.0], [80.0, 0.0],
+                        [120.0, 0.0], [160.0, 0.0]])
+        return build_conflict_graph(pos, radii=5.0)
+
+    def test_merges_conflict_free_rounds(self):
+        from repro.parallel.cyclades import CycladesBatch
+        from repro.parallel.executor import _coalesce_batches
+
+        graph = self._graph()
+        batches = [
+            CycladesBatch(thread_assignments=[[2], [3]],
+                          components=[[2], [3]]),
+            CycladesBatch(thread_assignments=[[4], [5]],
+                          components=[[4], [5]]),
+        ]
+        out = _coalesce_batches(batches, graph, n_threads=2)
+        assert len(out) == 1
+        assert out[0].thread_assignments == [[2, 4], [3, 5]]
+        assert out[0].components == [[2], [3], [4], [5]]
+
+    def test_merges_co_threaded_conflicts(self):
+        from repro.parallel.cyclades import CycladesBatch
+        from repro.parallel.executor import _coalesce_batches
+
+        graph = self._graph()
+        # 0 and 1 conflict but land on the same thread in consecutive
+        # rounds: the barrier between them is redundant (intra-thread
+        # order already serializes them) and the rounds merge.
+        batches = [
+            CycladesBatch(thread_assignments=[[0], [2]],
+                          components=[[0], [2]]),
+            CycladesBatch(thread_assignments=[[1], [3]],
+                          components=[[1], [3]]),
+        ]
+        out = _coalesce_batches(batches, graph, n_threads=2)
+        assert len(out) == 1
+        assert out[0].thread_assignments == [[0, 1], [2, 3]]
+
+    def test_keeps_barrier_for_cross_thread_conflicts(self):
+        from repro.parallel.cyclades import CycladesBatch
+        from repro.parallel.executor import _coalesce_batches
+
+        graph = self._graph()
+        # 0 and 1 conflict and sit on *different* threads across the two
+        # rounds: merging would race them, so the barrier must survive.
+        batches = [
+            CycladesBatch(thread_assignments=[[0], [2]],
+                          components=[[0], [2]]),
+            CycladesBatch(thread_assignments=[[3], [1]],
+                          components=[[3], [1]]),
+        ]
+        out = _coalesce_batches(batches, graph, n_threads=2)
+        assert len(out) == 2
+        assert out[0].thread_assignments == [[0], [2]]
+        assert out[1].thread_assignments == [[3], [1]]
+
+    def test_conflict_with_any_group_member_blocks_merge(self):
+        from repro.parallel.cyclades import CycladesBatch
+        from repro.parallel.executor import _coalesce_batches
+
+        graph = self._graph()
+        # Round 3's source 1 conflicts with round 1's source 0 on another
+        # thread.  The merge check must look at the whole accumulated
+        # group, not just the previous round — otherwise 1 would slip in
+        # two rounds after 0 and race it.
+        batches = [
+            CycladesBatch(thread_assignments=[[0], [2]],
+                          components=[[0], [2]]),
+            CycladesBatch(thread_assignments=[[3], [4]],
+                          components=[[3], [4]]),
+            CycladesBatch(thread_assignments=[[5], [1]],
+                          components=[[5], [1]]),
+        ]
+        out = _coalesce_batches(batches, graph, n_threads=2)
+        assert len(out) == 2
+        assert out[0].thread_assignments == [[0, 3], [2, 4]]
+        assert out[1].thread_assignments == [[5], [1]]
 
 
 class TestExecutorBatching:
@@ -324,6 +511,56 @@ class TestExecutorBatching:
             assert a.is_galaxy == b.is_galaxy
             np.testing.assert_array_equal(a.colors, b.colors)
         assert ref.elbo_total == out.elbo_total
+
+    def test_cross_assignment_coalescing_bit_for_bit_and_fuller(self):
+        """Cross-assignment batching: with batch coalescing on, lockstep
+        evaluation batches span multiple Cyclades rounds — measurably more
+        lanes per call on a clustered scene — while the catalog stays
+        bit-for-bit identical to the uncoalesced (and scalar) schedule."""
+        from repro.perf import Counters
+
+        # Well-separated sources: the conflict graph shatters, so every
+        # Cyclades round is mergeable and the only thing capping lockstep
+        # width is the round boundary itself — exactly what coalescing
+        # removes.  (Clustered scenes merge less; the unit tests above
+        # cover the conflict-blocked cases.)
+        images, entries = _region_scene(n=12, spacing=30.0)
+        priors = default_priors()
+        joint = JointConfig(
+            n_passes=1, single=OptimizeConfig(max_iter=6, grad_tol=2e-3,
+                                              backend="fused"),
+        )
+
+        def run(coalesce):
+            counters = Counters()
+            result = optimize_region_parallel(
+                images, entries, priors,
+                ParallelRegionConfig(
+                    n_threads=2, n_passes=1, joint=joint,
+                    # A tiny sampling batch forces many small Cyclades
+                    # rounds — the regime where per-round chunking starves
+                    # the lockstep width.
+                    batch_size=3, elbo_batch_size=16,
+                    coalesce_batches=coalesce, seed=0),
+                counters=counters,
+            )
+            return result, counters.snapshot()
+
+        split, split_snap = run(False)
+        merged, merged_snap = run(True)
+        for a, b in zip(split.catalog, merged.catalog):
+            np.testing.assert_array_equal(a.position, b.position)
+            assert a.flux_r == b.flux_r
+            np.testing.assert_array_equal(a.colors, b.colors)
+        assert split.elbo_total == merged.elbo_total
+
+        def lanes_per_call(snap):
+            return snap["elbo_batch_lanes"] / snap["elbo_batch_calls"]
+
+        # Coalescing exists to fill lanes: strictly fewer batch calls,
+        # strictly more lanes per call, on this scene.
+        assert merged_snap["elbo_batch_calls"] < split_snap["elbo_batch_calls"]
+        assert lanes_per_call(merged_snap) > lanes_per_call(split_snap)
 
 
 # ---------------------------------------------------------------------------

@@ -10,6 +10,7 @@ from repro.envvars import (
     ENV_REGISTRY,
     EnvVar,
     env_flag,
+    env_float,
     env_int,
     env_raw,
     registry_markdown,
@@ -24,7 +25,7 @@ class TestRegistry:
         for name, var in ENV_REGISTRY.items():
             assert name.startswith("REPRO_")
             assert var.name == name
-            assert var.kind in ("flag", "int", "str")
+            assert var.kind in ("flag", "int", "float", "str")
             assert var.doc  # the contract line is mandatory
 
     def test_known_knobs_registered(self):
@@ -33,6 +34,8 @@ class TestRegistry:
             "REPRO_ELBO_BATCH", "REPRO_RACE_DETECT",
             "REPRO_VERIFY_SCHEDULE", "REPRO_NUMERIC_CHECK",
             "REPRO_BENCH_SMOKE", "REPRO_PRINT_GOLDEN",
+            "REPRO_KERNEL_TARGET", "REPRO_SWEEP_BUDGET",
+            "REPRO_REPACK_THRESHOLD",
         }
         assert expected <= set(ENV_REGISTRY)
 
@@ -79,6 +82,16 @@ class TestTypedReads:
         assert env_int("REPRO_ELBO_BATCH") is None
         monkeypatch.setenv("REPRO_ELBO_BATCH", "")
         assert env_int("REPRO_ELBO_BATCH") is None
+
+    def test_float_parses(self, monkeypatch):
+        monkeypatch.setenv("REPRO_REPACK_THRESHOLD", "0.25")
+        assert env_float("REPRO_REPACK_THRESHOLD") == 0.25
+
+    def test_float_unset_or_empty_is_none(self, monkeypatch):
+        monkeypatch.delenv("REPRO_REPACK_THRESHOLD", raising=False)
+        assert env_float("REPRO_REPACK_THRESHOLD") is None
+        monkeypatch.setenv("REPRO_REPACK_THRESHOLD", "")
+        assert env_float("REPRO_REPACK_THRESHOLD") is None
 
 
 class TestGeneratedDocs:
