@@ -23,6 +23,15 @@ of being rediscovered one regression at a time:
     Runs pre-execution from the driver (``REPRO_VERIFY_SCHEDULE=1``) and as
     a standalone audit.
 
+``provenance``
+    The knob-provenance contract (:mod:`repro.analysis.provenance`, the
+    KNOB3xx rules): every config dataclass field and registered ``REPRO_*``
+    variable carries a declared provenance class
+    (:mod:`repro.knobs`), statically cross-checked against the actual
+    checkpoint fingerprint schema and against where each knob's value
+    flows — and dynamically pinned by the neutrality fuzzer in
+    ``tests/test_provenance.py``.
+
 ``race``
     A shadow-transport race detector (:mod:`repro.analysis.race`): an
     opt-in wrapper (``REPRO_RACE_DETECT=1``) that tags every one-sided
@@ -51,6 +60,12 @@ from repro.analysis.numeric import (
     numeric_checking,
     numeric_source,
 )
+from repro.analysis.provenance import (
+    Knob,
+    analyze_provenance,
+    knob_inventory,
+    render_inventory,
+)
 from repro.analysis.race import (
     AccessLog,
     RaceDetector,
@@ -73,6 +88,10 @@ __all__ = [
     "LintViolation",
     "lint_paths",
     "lint_source",
+    "Knob",
+    "analyze_provenance",
+    "knob_inventory",
+    "render_inventory",
     "PatchBox",
     "ScheduleError",
     "ScheduleViolation",

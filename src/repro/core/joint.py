@@ -36,6 +36,7 @@ from repro.core.single import (
     optimize_sources_batch,
     to_catalog_entry,
 )
+from repro.knobs import knob
 from repro.perf.counters import Counters, GLOBAL_COUNTERS
 from repro.profiles.galaxy import GalaxyShape, galaxy_density
 from repro.survey.image import Image
@@ -52,11 +53,17 @@ __all__ = [
 
 @dataclass
 class JointConfig:
-    """Knobs for region-level block coordinate ascent."""
+    """Knobs for region-level block coordinate ascent.
 
-    n_passes: int = 2
-    single: OptimizeConfig = field(default_factory=OptimizeConfig)
-    patch_radius: float | None = None
+    All fields are ``fingerprinted`` (:func:`repro.knobs.knob`): the whole
+    config rides into the checkpoint fingerprint through the ``joint`` key
+    of ``_parallel_fingerprint``.
+    """
+
+    n_passes: int = knob(2, provenance="fingerprinted")
+    single: OptimizeConfig = knob(default_factory=OptimizeConfig,
+                                  provenance="fingerprinted")
+    patch_radius: float | None = knob(None, provenance="fingerprinted")
 
 
 @dataclass

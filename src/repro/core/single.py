@@ -29,6 +29,7 @@ from repro.core.params import (
 )
 from repro.core.priors import Priors
 from repro.envvars import env_float
+from repro.knobs import knob
 from repro.optim import (
     OptimResult,
     lbfgs_minimize,
@@ -48,26 +49,32 @@ __all__ = [
 
 @dataclass
 class OptimizeConfig:
-    """Knobs for single-source optimization."""
+    """Knobs for single-source optimization.
 
-    max_iter: int = 50
-    grad_tol: float = 1e-4
-    initial_radius: float = 1.0
-    method: str = "newton"   # "newton" (paper) or "lbfgs" (baseline)
-    variance_correction: bool = True
+    All fields are ``fingerprinted`` (:func:`repro.knobs.knob`): the whole
+    config rides into the checkpoint fingerprint through
+    ``_parallel_fingerprint``'s ``joint.single`` sub-dict.
+    """
+
+    max_iter: int = knob(50, provenance="fingerprinted")
+    grad_tol: float = knob(1e-4, provenance="fingerprinted")
+    initial_radius: float = knob(1.0, provenance="fingerprinted")
+    #: "newton" (paper) or "lbfgs" (baseline)
+    method: str = knob("newton", provenance="fingerprinted")
+    variance_correction: bool = knob(True, provenance="fingerprinted")
     #: ELBO evaluation backend: ``"fused"`` (compile-once analytic kernel,
     #: the production default) or ``"taylor"`` (the reference oracle);
     #: ``None`` follows the ``REPRO_ELBO_BACKEND`` environment variable,
     #: then :data:`repro.core.elbo.DEFAULT_BACKEND`.  The driver resolves
     #: this up front so checkpoints fingerprint the backend that actually
     #: ran.
-    backend: str | None = None
+    backend: str | None = knob(None, provenance="fingerprinted")
     #: Fused-kernel execution target (``"numpy"``/``"array_api"``/
     #: ``"numba"``); ``None`` follows ``REPRO_KERNEL_TARGET``, then the
     #: NumPy reference.  Resolved and pinned by the driver alongside the
     #: backend (non-reference targets are tolerance-parity, so the target
     #: that ran is part of a checkpoint's fingerprint).
-    kernel_target: str | None = None
+    kernel_target: str | None = knob(None, provenance="fingerprinted")
 
 
 @dataclass

@@ -75,7 +75,7 @@ import tempfile
 import threading
 import time
 import traceback
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 import numpy as np
 
@@ -92,6 +92,7 @@ from repro.driver.checkpoint import (
 from repro.driver.merge import dedup_catalog, merge_catalogs
 from repro.driver.shards import ShardedCatalog
 from repro.envvars import env_flag, env_int, env_raw
+from repro.knobs import knob
 from repro.parallel import ParallelRegionConfig, optimize_region_parallel
 from repro.partition import Region, Task, generate_tasks
 from repro.perf.counters import Counters
@@ -145,47 +146,56 @@ class DriverConfig:
     ``n_nodes`` node-workers pull task batches from the Dtree; each task
     internally runs ``parallel.n_threads`` Cyclades threads — the driver's
     analogue of the paper's processes-per-node x threads-per-process layout.
+
+    Every field carries an explicit provenance declaration
+    (:func:`repro.knobs.knob`): ``fingerprinted`` knobs are part of
+    :func:`_fingerprint`, the rest are machine-checked *not* to be (the
+    KNOB3xx rules of ``python -m repro.analysis``) and fuzzer-pinned to be
+    result-invariant (``tests/test_provenance.py``).
     """
 
     #: Node-workers pulling from the Dtree (the "nodes" of level two).
-    n_nodes: int = 2
+    n_nodes: int = knob(2, provenance="scheduling")
     #: Node-worker executor: ``"thread"`` or ``"process"``; ``None`` reads
     #: :data:`EXECUTOR_ENV_VAR`, defaulting to ``"thread"``.  Results are
     #: identical either way; only the memory/parallelism model changes.
-    executor: str | None = None
+    executor: str | None = knob(None, provenance="scheduling")
     #: Start method for process node-workers ("spawn" works everywhere and
     #: proves nothing leaks through fork; "fork" starts faster on Linux).
-    mp_start_method: str = "spawn"
+    mp_start_method: str = knob("spawn", provenance="scheduling")
     #: Target bright-pixel weight per region (task granularity).
-    target_weight: float = 40.0
+    target_weight: float = knob(40.0, provenance="fingerprinted")
     #: Run the shifted second-stage partition (paper Section IV-A).
-    two_stage: bool = True
+    two_stage: bool = knob(True, provenance="fingerprinted")
     #: Dedup radius (pixels) for cross-field seed merging and final merge.
-    dedup_radius: float = 2.0
+    dedup_radius: float = knob(2.0, provenance="fingerprinted")
     #: Extra margin (pixels) when matching image footprints to task regions,
     #: so patches of border sources still find their pixels.
-    image_margin: float = 16.0
+    image_margin: float = knob(16.0, provenance="fingerprinted")
     #: Catalog sources within this many pixels outside a task's region are
     #: rendered into its model images as a frozen halo — without it, a
     #: source near a region border slides toward its unmodeled neighbor's
     #: flux and the fit corrupts.  The margin box is closed on both sides.
-    halo_margin: float = 16.0
+    halo_margin: float = knob(16.0, provenance="fingerprinted")
     #: Re-read the halo from the live working catalog at each optimization
     #: pass instead of the stage-start snapshot, so boundary sources see
     #: their neighbors' freshest parameters.  Costs reproducibility:
     #: results then depend on task completion order, so kill/resume no
     #: longer reproduces a run bit-for-bit (default keeps snapshot
     #: semantics).
-    halo_refresh: bool = False
+    halo_refresh: bool = knob(False, provenance="fingerprinted")
     #: Task ids granted per Dtree request.
-    max_batch: int = 2
+    max_batch: int = knob(2, provenance="scheduling")
     #: Tasks peeked ahead per Dtree request to drive field prefetching.
-    prefetch_lookahead: int = 4
+    prefetch_lookahead: int = knob(4, provenance="scheduling")
     #: Loaded on-disk fields kept per worker (LRU).
-    field_cache_capacity: int = 16
-    photo: PhotoConfig = field(default_factory=PhotoConfig)
-    parallel: ParallelRegionConfig = field(default_factory=ParallelRegionConfig)
-    dtree: DtreeConfig = field(default_factory=DtreeConfig)
+    field_cache_capacity: int = knob(16, provenance="scheduling")
+    photo: PhotoConfig = knob(default_factory=PhotoConfig,
+                              provenance="fingerprinted")
+    parallel: ParallelRegionConfig = knob(
+        default_factory=ParallelRegionConfig, provenance="fingerprinted")
+    dtree: DtreeConfig = knob(default_factory=DtreeConfig,
+                              provenance="scheduling")
     #: ELBO evaluation backend for every source optimization in the run:
     #: ``"fused"`` (compile-once analytic kernel, the production default)
     #: or ``"taylor"`` (the reference oracle).  ``None`` defers to
@@ -194,7 +204,7 @@ class DriverConfig:
     #: resolves this once up front and pins the result into the per-task
     #: optimizer config, so process workers and resumed runs can never pick
     #: a different backend than the checkpoint fingerprint recorded.
-    elbo_backend: str | None = None
+    elbo_backend: str | None = knob(None, provenance="fingerprinted")
     #: Sources per lockstep ELBO evaluation batch inside each Cyclades
     #: thread assignment (see ``ParallelRegionConfig.elbo_batch_size``).
     #: ``None`` defers to ``parallel.elbo_batch_size``, then the
@@ -205,7 +215,7 @@ class DriverConfig:
     #: identical whatever the batch size — an invariant the test suite
     #: enforces rather than assumes, which is why the knob is fingerprinted
     #: like a result-affecting one.
-    elbo_batch_size: int | None = None
+    elbo_batch_size: int | None = knob(None, provenance="fingerprinted")
     #: Kernel execution target for the fused backend's stacked sweeps:
     #: ``"numpy"`` (the bit-for-bit reference and default), ``"array_api"``,
     #: or ``"numba"`` (see :mod:`repro.core.kernel_targets`).  ``None``
@@ -215,7 +225,7 @@ class DriverConfig:
     #: checkpoint-fingerprinted: non-default targets promise tolerance
     #: parity only (their reductions re-associate), so a resumed run must
     #: never silently switch targets mid-stream.
-    kernel_target: str | None = None
+    kernel_target: str | None = knob(None, provenance="fingerprinted")
     #: Run the whole pipeline under the shadow-transport race detector
     #: (:mod:`repro.analysis.race`): every one-sided catalog access and
     #: every Cyclades patch write is tagged with its (actor, logical epoch)
@@ -223,12 +233,12 @@ class DriverConfig:
     #: Findings land in ``DriverReport.race_reports``.  ``None`` reads
     #: :data:`RACE_DETECT_ENV_VAR`.  Observational only: results are
     #: bit-identical with it on or off, so it is not fingerprinted.
-    race_detect: bool | None = None
+    race_detect: bool | None = knob(None, provenance="observational")
     #: Statically verify every Cyclades pass's batches *before executing
     #: them* with the independent checker (:mod:`repro.analysis.schedule`),
     #: raising on any cross-thread patch overlap or split component.
     #: ``None`` reads :data:`VERIFY_SCHEDULE_ENV_VAR`.  Observational only.
-    verify_schedule: bool | None = None
+    verify_schedule: bool | None = knob(None, provenance="observational")
     #: Run the whole pipeline under the runtime float sanitizer
     #: (:mod:`repro.analysis.numeric`): every ELBO evaluation and
     #: trust-region step is checked for non-finite values, overflow,
@@ -237,14 +247,14 @@ class DriverConfig:
     #: ``DriverReport.numeric_reports``.  ``None`` reads
     #: :data:`NUMERIC_CHECK_ENV_VAR`.  Observational only: results are
     #: bit-identical with it on or off, so it is not fingerprinted.
-    numeric_check: bool | None = None
+    numeric_check: bool | None = knob(None, provenance="observational")
     #: JSON checkpoint file; ``None`` disables checkpointing.  The working
     #: catalog checkpoints as ``n_nodes`` per-rank shard files.
-    checkpoint_path: str | None = None
+    checkpoint_path: str | None = knob(None, provenance="scheduling")
     #: Stop (return) right after this stage completes and checkpoints —
     #: simulates a killed run for resume testing, and supports staged
     #: operation (e.g. seed on one machine, optimize on another).
-    stop_after: str | None = None
+    stop_after: str | None = knob(None, provenance="scheduling")
 
 
 def _resolve_executor(config: DriverConfig) -> str:

@@ -1,12 +1,20 @@
 """The central registry of ``REPRO_*`` environment variables.
 
 Every knob the reproduction reads from the environment is declared here —
-name, type, default, and the one-line contract a run can rely on — and every
-read goes through this module (:func:`env_raw` / :func:`env_flag` /
-:func:`env_int`).  The DET109 lint rule rejects any other ``os.environ``
-access to a ``REPRO_*`` name, so a grep of this file *is* the complete
-inventory, and the table in ``docs/determinism.md`` is generated from it
-(:func:`registry_markdown`; a test keeps the two in sync).
+name, type, default, provenance class, and the one-line contract a run can
+rely on — and every read goes through this module (:func:`env_raw` /
+:func:`env_flag` / :func:`env_int`).  The DET109 lint rule rejects any other
+``os.environ`` access to a ``REPRO_*`` name, so a grep of this file *is* the
+complete inventory, and the table in ``docs/determinism.md`` is generated
+from it (:func:`registry_markdown`; a test keeps the two in sync).
+
+Each entry declares its provenance class (see :mod:`repro.knobs`):
+``fingerprinted`` variables resolve into a checkpoint-fingerprinted config
+field; the rest are statically checked (KNOB3xx, ``python -m
+repro.analysis``) and fuzzer-pinned to be result-neutral.  When a variable
+is just the environment face of a config field, ``resolves_to`` names that
+field (``"ClassName.field"``) and the KNOB301 rule holds the two
+declarations in lockstep.
 
 Reading a name that is not registered raises ``KeyError`` — an unregistered
 variable is a contract violation, not a feature.
@@ -43,6 +51,13 @@ class EnvVar:
     default: str
     #: One-line contract, used verbatim in the generated docs table.
     doc: str
+    #: Provenance class (:data:`repro.knobs.PROVENANCE_CLASSES`):
+    #: "fingerprinted", "neutral", "observational", or "scheduling".
+    provenance: str
+    #: The config field this variable is the environment face of
+    #: ("ClassName.field"), when there is one; KNOB301 cross-checks its
+    #: declared provenance against that field's.
+    resolves_to: str | None = None
 
 
 _VARS = (
@@ -50,45 +65,57 @@ _VARS = (
         "REPRO_ELBO_BACKEND", "str", "fused",
         "ELBO backend when no config pins one: `fused` (production closed "
         "forms) or `taylor` (the correctness oracle).",
+        provenance="fingerprinted", resolves_to="OptimizeConfig.backend",
     ),
     EnvVar(
         "REPRO_DRIVER_EXECUTOR", "str", "thread",
         "Node-worker executor when `DriverConfig.executor` is unset: "
         "`thread` or `process`.",
+        provenance="scheduling", resolves_to="DriverConfig.executor",
     ),
     EnvVar(
         "REPRO_ELBO_BATCH", "int", "unset (scalar path)",
         "Lockstep evaluation batch size when no config sets one; forces "
         "every source optimization through the batched path.",
+        provenance="fingerprinted",
+        resolves_to="DriverConfig.elbo_batch_size",
     ),
     EnvVar(
         "REPRO_RACE_DETECT", "flag", "off",
         "Shadow-transport race detection when `DriverConfig.race_detect` "
         "is unset; findings surface in `DriverReport.race_reports`.",
+        provenance="observational", resolves_to="DriverConfig.race_detect",
     ),
     EnvVar(
         "REPRO_VERIFY_SCHEDULE", "flag", "off",
         "Pre-execution static verification of every Cyclades schedule when "
         "`DriverConfig.verify_schedule` is unset (`ScheduleError` on "
         "violation).",
+        provenance="observational",
+        resolves_to="DriverConfig.verify_schedule",
     ),
     EnvVar(
         "REPRO_NUMERIC_CHECK", "flag", "off",
         "Runtime float sanitizer over ELBO evaluations and trust-region "
         "steps when `DriverConfig.numeric_check` is unset; findings surface "
         "in `DriverReport.numeric_reports`.",
+        provenance="observational",
+        resolves_to="DriverConfig.numeric_check",
     ),
     EnvVar(
         "REPRO_KERNEL_TARGET", "str", "numpy",
         "Fused-kernel execution target when no config pins one: `numpy` "
         "(the bit-for-bit reference), `array_api` (namespace-generic "
         "stacked sweeps), or `numba` (JIT loops; requires numba).",
+        provenance="fingerprinted",
+        resolves_to="OptimizeConfig.kernel_target",
     ),
     EnvVar(
         "REPRO_SWEEP_BUDGET", "int", "unset (cache-size autotune)",
         "Override the per-sweep element budget that caps how many lanes a "
         "stacked kernel sweep covers; result-invariant cache blocking "
         "(lanes are independent), so it is not checkpoint-fingerprinted.",
+        provenance="neutral",
     ),
     EnvVar(
         "REPRO_REPACK_THRESHOLD", "float", "0.5",
@@ -96,17 +123,20 @@ _VARS = (
         "one: recompile the batch once the active fraction drops below "
         "this; result-invariant occupancy tuning, so it is not "
         "checkpoint-fingerprinted.",
+        provenance="neutral",
     ),
     EnvVar(
         "REPRO_BENCH_SMOKE", "flag", "off",
         "Benchmark smoke mode: exercise every benchmark code path on CI "
         "hardware without trusting timings or rewriting committed JSON.",
+        provenance="observational",
     ),
     EnvVar(
         "REPRO_PRINT_GOLDEN", "flag", "off",
         "Make the golden-pipeline test print the catalog content hash it "
         "computed (used once to regenerate the pin after an intentional "
         "numeric change).",
+        provenance="observational",
     ),
 )
 
@@ -135,7 +165,13 @@ def env_int(name: str) -> int | None:
     raw = env_raw(name)
     if not raw:
         return None
-    return int(raw)
+    try:
+        return int(raw)
+    except ValueError:
+        raise ValueError(
+            "environment variable %s must be an integer, got %r"
+            % (name, raw)
+        ) from None
 
 
 def env_float(name: str) -> float | None:
@@ -143,18 +179,24 @@ def env_float(name: str) -> float | None:
     raw = env_raw(name)
     if not raw:
         return None
-    return float(raw)
+    try:
+        return float(raw)
+    except ValueError:
+        raise ValueError(
+            "environment variable %s must be a float, got %r" % (name, raw)
+        ) from None
 
 
 def registry_markdown() -> str:
     """The docs table, one row per registered variable (generated, so the
     documentation cannot drift from the registry)."""
     lines = [
-        "| Variable | Type | Default | Meaning |",
-        "|----------|------|---------|---------|",
+        "| Variable | Type | Default | Provenance | Meaning |",
+        "|----------|------|---------|------------|---------|",
     ]
     for v in ENV_REGISTRY.values():
         lines.append(
-            "| `%s` | %s | %s | %s |" % (v.name, v.kind, v.default, v.doc)
+            "| `%s` | %s | %s | %s | %s |"
+            % (v.name, v.kind, v.default, v.provenance, v.doc)
         )
     return "\n".join(lines)

@@ -10,7 +10,7 @@ coordinate ascent order — which is tested, not assumed.
 from __future__ import annotations
 
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -24,6 +24,7 @@ from repro.core.joint import (
     patch_radius_for,
 )
 from repro.core.priors import Priors
+from repro.knobs import knob
 from repro.parallel.conflict import build_conflict_graph
 from repro.parallel.cyclades import CycladesBatch, cyclades_batches
 from repro.perf.counters import Counters
@@ -56,15 +57,22 @@ def conflict_radii(
 
 @dataclass
 class ParallelRegionConfig:
-    """Knobs for Cyclades-parallel region optimization."""
+    """Knobs for Cyclades-parallel region optimization.
 
-    n_threads: int = 4
-    n_passes: int = 2
-    joint: JointConfig = field(default_factory=JointConfig)
+    Every field declares its provenance class (:func:`repro.knobs.knob`);
+    the ``fingerprinted`` ones are exactly the keys
+    ``driver/pipeline.py::_parallel_fingerprint`` keeps, and the KNOB3xx
+    pass (``python -m repro.analysis``) holds the two in lockstep.
+    """
+
+    n_threads: int = knob(4, provenance="fingerprinted")
+    n_passes: int = knob(2, provenance="fingerprinted")
+    joint: JointConfig = knob(default_factory=JointConfig,
+                              provenance="fingerprinted")
     #: Cyclades sampling batch size (sources drawn per conflict-free round);
     #: ``None`` uses the ``max(2 * n_threads, 8)`` rule.
-    batch_size: int | None = None
-    seed: int = 0
+    batch_size: int | None = knob(None, provenance="fingerprinted")
+    seed: int = knob(0, provenance="fingerprinted")
     #: Sources per lockstep ELBO evaluation batch: each thread's
     #: conflict-free assignment is cut into chunks of this size and each
     #: chunk is optimized through
@@ -74,7 +82,7 @@ class ParallelRegionConfig:
     #: are bit-for-bit identical either way (batching is an execution
     #: strategy — tested, not assumed); the driver plumbs this from
     #: ``DriverConfig.elbo_batch_size`` / ``REPRO_ELBO_BATCH``.
-    elbo_batch_size: int | None = None
+    elbo_batch_size: int | None = knob(None, provenance="fingerprinted")
     #: Merge consecutive Cyclades batches whose conflicting pairs are
     #: co-threaded (:func:`_coalesce_batches`) before cutting lockstep
     #: runs, so evaluation batches can span multiple rounds of a pass
@@ -82,21 +90,21 @@ class ParallelRegionConfig:
     #: ``elbo_batch_size`` > 1; results are bit-for-bit identical either
     #: way — the toggle exists so benchmarks and tests can measure the
     #: occupancy gain in isolation.
-    coalesce_batches: bool = True
+    coalesce_batches: bool = knob(True, provenance="neutral")
     #: Record every scheduled source's patch-pixel write extents into a
     #: shadow race detector (:mod:`repro.analysis.race`) and return any
     #: same-batch cross-thread overlaps in ``RegionResult.race_reports``.
     #: Observational only — results are bit-identical either way; the
     #: driver plumbs this from ``DriverConfig.race_detect`` /
     #: ``REPRO_RACE_DETECT``.
-    race_detect: bool = False
+    race_detect: bool = knob(False, provenance="observational")
     #: Prove each pass's batches safe *before executing them* with the
     #: independent static verifier (:mod:`repro.analysis.schedule`),
     #: raising :class:`repro.analysis.schedule.ScheduleError` on any
     #: cross-thread pixel overlap or split component.  Observational only;
     #: plumbed from ``DriverConfig.verify_schedule`` /
     #: ``REPRO_VERIFY_SCHEDULE``.
-    verify_schedule: bool = False
+    verify_schedule: bool = knob(False, provenance="observational")
     #: Install the runtime float sanitizer
     #: (:mod:`repro.analysis.numeric`) on every worker thread: ELBO
     #: evaluations and trust-region steps are checked for non-finite
@@ -105,7 +113,7 @@ class ParallelRegionConfig:
     #: ``RegionResult.numeric_reports``.  Observational only — results
     #: are bit-identical either way; the driver plumbs this from
     #: ``DriverConfig.numeric_check`` / ``REPRO_NUMERIC_CHECK``.
-    numeric_check: bool = False
+    numeric_check: bool = knob(False, provenance="observational")
 
 
 def optimize_region_parallel(
@@ -170,7 +178,7 @@ def optimize_region_parallel(
 
     with numeric_checking(sanitizer, ("region-total", 0)):
         elbo_total = opt.total_elbo()
-    return RegionResult(
+    return RegionResult(  # det: ignore[KNOB302] -- observational findings ride the result container; they never feed evaluation
         catalog=opt.catalog(),
         results=list(opt.results),
         elbo_total=elbo_total,

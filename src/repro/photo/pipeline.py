@@ -16,6 +16,7 @@ import numpy as np
 from repro.constants import NUM_BANDS, NUM_COLORS, REFERENCE_BAND
 from repro.core.catalog import Catalog, CatalogEntry
 from repro.core.fluxes import colors_from_fluxes
+from repro.knobs import knob
 from repro.photo.classify import classify_star_galaxy
 from repro.photo.detect import detect_sources
 from repro.photo.photometry import aperture_flux, psf_flux
@@ -27,13 +28,18 @@ __all__ = ["PhotoConfig", "run_photo"]
 
 @dataclass
 class PhotoConfig:
-    """Hand-tuned thresholds of the heuristic pipeline."""
+    """Hand-tuned thresholds of the heuristic pipeline.
 
-    threshold_sigma: float = 4.0
-    min_separation: float = 3.0
-    concentration_threshold: float = 1.25
-    aperture_radius: float = 6.0
-    measure_radius: float = 12.0
+    All fields are ``fingerprinted`` (:func:`repro.knobs.knob`): the whole
+    config lands in the checkpoint fingerprint through the ``photo`` key
+    of ``driver/pipeline.py::_fingerprint``.
+    """
+
+    threshold_sigma: float = knob(4.0, provenance="fingerprinted")
+    min_separation: float = knob(3.0, provenance="fingerprinted")
+    concentration_threshold: float = knob(1.25, provenance="fingerprinted")
+    aperture_radius: float = knob(6.0, provenance="fingerprinted")
+    measure_radius: float = knob(12.0, provenance="fingerprinted")
 
 
 def run_photo(field_images: list[Image], config: PhotoConfig | None = None) -> Catalog:

@@ -20,19 +20,26 @@ import threading
 from collections import deque
 from dataclasses import dataclass
 
+from repro.knobs import knob
+
 __all__ = ["DtreeConfig", "Dtree"]
 
 
 @dataclass
 class DtreeConfig:
-    """Tuning knobs of the scheduler."""
+    """Tuning knobs of the scheduler.
 
-    fanout: int = 8
+    All fields are ``scheduling`` knobs (:func:`repro.knobs.knob`): they
+    shape who computes what and when, never what is computed — results are
+    completion-order independent, so none enter the checkpoint fingerprint.
+    """
+
+    fanout: int = knob(8, provenance="scheduling")
     #: Fraction of all work distributed as the static first allotment.
-    initial_fraction: float = 0.25
+    initial_fraction: float = knob(0.25, provenance="scheduling")
     #: A node grants a child this fraction of its remaining pool per request.
-    drain_fraction: float = 0.5
-    min_batch: int = 1
+    drain_fraction: float = knob(0.5, provenance="scheduling")
+    min_batch: int = knob(1, provenance="scheduling")
 
 
 class _Node:

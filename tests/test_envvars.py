@@ -1,6 +1,8 @@
 """Tests for the central ``REPRO_*`` environment-variable registry
-(:mod:`repro.envvars`): typed reads, the unregistered-name contract, and
-the generated docs table staying in sync with ``docs/determinism.md``."""
+(:mod:`repro.envvars`): typed reads with attributed parse errors, the
+unregistered-name contract, mandatory provenance declarations, and the
+generated docs table staying in sync with ``docs/determinism.md`` and
+``docs/performance.md``."""
 
 import os
 
@@ -18,6 +20,8 @@ from repro.envvars import (
 
 DOCS = os.path.join(os.path.dirname(__file__), os.pardir, "docs",
                     "determinism.md")
+PERF_DOCS = os.path.join(os.path.dirname(__file__), os.pardir, "docs",
+                         "performance.md")
 
 
 class TestRegistry:
@@ -48,6 +52,20 @@ class TestRegistry:
         assert isinstance(var, EnvVar)
         with pytest.raises(AttributeError):
             var.kind = "str"
+
+    def test_every_entry_declares_provenance(self):
+        for name, var in ENV_REGISTRY.items():
+            assert var.provenance in (
+                "fingerprinted", "neutral", "observational", "scheduling"
+            ), name
+
+    def test_fingerprinted_entries_resolve_to_a_config_field(self):
+        """A fingerprinted env var must name the config field it feeds —
+        that is how the KNOB3xx pass ties it to the checkpoint schema."""
+        for name, var in ENV_REGISTRY.items():
+            if var.provenance == "fingerprinted":
+                assert var.resolves_to, name
+                assert "." in var.resolves_to, name
 
 
 class TestTypedReads:
@@ -93,6 +111,22 @@ class TestTypedReads:
         monkeypatch.setenv("REPRO_REPACK_THRESHOLD", "")
         assert env_float("REPRO_REPACK_THRESHOLD") is None
 
+    def test_int_parse_error_names_variable_and_value(self, monkeypatch):
+        """A typo'd value must fail with the variable name and the raw
+        string, not a bare ``invalid literal for int()``."""
+        monkeypatch.setenv("REPRO_ELBO_BATCH", "eight")
+        with pytest.raises(ValueError) as exc:
+            env_int("REPRO_ELBO_BATCH")
+        assert "REPRO_ELBO_BATCH" in str(exc.value)
+        assert "'eight'" in str(exc.value)
+
+    def test_float_parse_error_names_variable_and_value(self, monkeypatch):
+        monkeypatch.setenv("REPRO_REPACK_THRESHOLD", "half")
+        with pytest.raises(ValueError) as exc:
+            env_float("REPRO_REPACK_THRESHOLD")
+        assert "REPRO_REPACK_THRESHOLD" in str(exc.value)
+        assert "'half'" in str(exc.value)
+
 
 class TestGeneratedDocs:
     def test_markdown_covers_every_variable(self):
@@ -101,13 +135,19 @@ class TestGeneratedDocs:
             assert "`%s`" % name in table
         assert table.splitlines()[0].startswith("| Variable |")
 
-    def test_docs_table_in_sync(self):
-        """The table in docs/determinism.md is generated from the registry;
-        regenerate it (repro.envvars.registry_markdown()) when a variable
-        is added or its contract line changes."""
-        with open(DOCS) as f:
+    def test_markdown_has_provenance_column(self):
+        header = registry_markdown().splitlines()[0]
+        assert "Provenance" in header
+
+    @pytest.mark.parametrize("path", [DOCS, PERF_DOCS],
+                             ids=["determinism.md", "performance.md"])
+    def test_docs_table_in_sync(self, path):
+        """Both docs embed the generated registry table byte-for-byte;
+        regenerate them (repro.envvars.registry_markdown()) when a
+        variable is added or its contract line changes."""
+        with open(path) as f:
             docs = f.read()
         assert registry_markdown() in docs, (
-            "docs/determinism.md env-var table is stale; regenerate with "
-            "repro.envvars.registry_markdown()"
+            "%s env-var table is stale; regenerate with "
+            "repro.envvars.registry_markdown()" % os.path.basename(path)
         )
