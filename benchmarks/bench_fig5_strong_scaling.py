@@ -1,37 +1,198 @@
-"""Figure 5: strong scaling over 557,056 tasks at 2048/4096/8192 nodes.
+"""Figure 5: strong scaling — the problem size held fixed.
 
-Paper claims: image loading and task processing scale nearly perfectly;
-"other" stays constant and small; load imbalance grows in relative
-importance; 65% efficiency from 2k to 4k nodes and 50% from 2k to 8k.
+Two halves share the committed ``BENCH_scaling.json``:
+
+**Measured** (``fig5_strong_scaling.measured``): the real three-level
+driver on one fixed synthetic survey, process node-workers over the TCP
+socket transport at 1/2/4/8 nodes.  This box is a single shared machine,
+so wall time cannot halve with each doubling; the asserted properties are
+correctness ones — n_nodes is a declared-neutral knob, so every node
+count must publish the *bit-identical* catalog, every node-worker must
+really participate, and the one-sided traffic must cross the socket
+server.
+
+**Paper model** (``fig5_strong_scaling.simulated``): the analytic Cray
+XC40 model over the paper's 557,056 tasks at 2048/4096/8192 nodes,
+asserting the paper's shape claims — near-perfect task-processing
+scaling, constant small "other", imbalance growing in relative
+importance, ~65%/~50% efficiency at 4k/8k nodes.
+
+**Smoke mode** (``REPRO_BENCH_SMOKE=1``): a seconds-long wiring check that
+runs a tiny survey at 1/2 nodes and does not rewrite the committed JSON.
 """
 
+import json
+import os
+
 import numpy as np
+import pytest
 
 from repro.cluster import strong_scaling
 from repro.cluster.simulate import scaling_efficiency
+from repro.core.joint import JointConfig
+from repro.core.single import OptimizeConfig
+from repro.driver import DriverConfig, run_pipeline
+from repro.envvars import env_flag
+from repro.parallel import ParallelRegionConfig
+from repro.survey import SyntheticSkyConfig, generate_survey_fields
 
 from conftest import print_header
 
-NODE_COUNTS = [2048, 4096, 8192]
+BENCH_JSON = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_scaling.json",
+)
+
+SMOKE = env_flag("REPRO_BENCH_SMOKE")
+
+SIM_NODE_COUNTS = [2048, 4096, 8192]
+MEASURED_NODE_COUNTS = [1, 2] if SMOKE else [1, 2, 4, 8]
 
 
-def run_strong():
-    return strong_scaling(NODE_COUNTS, n_tasks=557_056)
+def _merge_into_json(section: str, payload) -> None:
+    """Merge one section into the committed benchmark JSON, preserving the
+    other sections (fig 4 and fig 5 share the file)."""
+    record = {}
+    if os.path.exists(BENCH_JSON):
+        with open(BENCH_JSON) as fh:
+            record = json.load(fh)
+    record[section] = payload
+    with open(BENCH_JSON, "w") as fh:
+        json.dump(record, fh, indent=2, sort_keys=True)
+        fh.write("\n")
 
 
-def test_fig5_strong_scaling(benchmark):
-    results = benchmark.pedantic(run_strong, rounds=1, iterations=1)
+def _survey():
+    rng = np.random.default_rng(5)
+    sky = SyntheticSkyConfig(
+        source_density=90.0, min_separation=8.0, flux_floor=20.0
+    )
+    return generate_survey_fields(
+        2 if SMOKE else 8,
+        field_shape_hw=(24, 24) if SMOKE else (32, 32),
+        overlap=8.0, config=sky, rng=rng, bands=(2,),
+    )
+
+
+def _config(n_nodes):
+    return DriverConfig(
+        n_nodes=n_nodes,
+        executor="process",
+        pgas_transport="socket",
+        target_weight=30.0,
+        parallel=ParallelRegionConfig(
+            n_threads=1,
+            n_passes=1,
+            joint=JointConfig(
+                n_passes=1,
+                single=OptimizeConfig(max_iter=8, grad_tol=2e-3),
+            ),
+        ),
+    )
+
+
+def _catalog_rows(catalog):
+    return [(tuple(float(v) for v in e.position), float(e.flux_r),
+             bool(e.is_galaxy)) for e in catalog]
+
+
+def test_fig5_strong_scaling_measured(benchmark):
+    """Fixed survey, real driver, socket transport, 1/2/4/8 node-workers."""
+    _, fields = _survey()
+
+    def run():
+        return {n: run_pipeline(fields, _config(n))
+                for n in MEASURED_NODE_COUNTS}
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    t0 = results[MEASURED_NODE_COUNTS[0]].report.wall_seconds
+    curve = []
+    for n, res in results.items():
+        r = res.report
+        workers = {rec["worker"] for rec in r.worker_comm}
+        curve.append({
+            "n_nodes": n,
+            "n_tasks": r.n_tasks,
+            "wall_seconds": r.wall_seconds,
+            "task_seconds": r.task_seconds,
+            "sources_per_second": r.sources_per_second,
+            "speedup": t0 / r.wall_seconds if r.wall_seconds else 0.0,
+            "rma_gets": r.rma_gets,
+            "rma_puts": r.rma_puts,
+            "rma_bytes": r.rma_bytes,
+            "participating_workers": len(workers),
+        })
+
+    print_header("Figure 5 — strong scaling, measured "
+                 "(real driver, socket transport, %d fields)" % len(fields))
+    print("%8s %8s %10s %12s %8s %9s" % (
+        "nodes", "tasks", "wall s", "sources/s", "speedup", "workers"))
+    for row in curve:
+        print("%8d %8d %10.2f %12.2f %8.2f %9d" % (
+            row["n_nodes"], row["n_tasks"], row["wall_seconds"],
+            row["sources_per_second"], row["speedup"],
+            row["participating_workers"]))
+
+    if not SMOKE:
+        _merge_into_json("fig5_strong_scaling_measured", {
+            "transport": "socket",
+            "executor": "process",
+            "n_fields": len(fields),
+            "curve": curve,
+        })
+    print("recorded to %s" % ("(smoke: not recorded)" if SMOKE else BENCH_JSON))
+
+    reference = _catalog_rows(results[MEASURED_NODE_COUNTS[0]].catalog)
+    assert reference  # the scene is non-trivial
+    for n, res in results.items():
+        r = res.report
+        # n_nodes is declared neutral: the published catalog must be
+        # bit-identical at every node count.
+        assert _catalog_rows(res.catalog) == reference
+        assert r.rma_gets > 0 and r.rma_puts > 0 and r.rma_bytes > 0
+        workers = {rec["worker"] for rec in r.worker_comm}
+        assert workers <= set(range(n))
+        if n >= 4:
+            assert len(workers) >= 4  # genuinely multi-node
+    # The task set is the same run to run — only its placement varies.
+    tasks = {results[n].report.n_tasks for n in MEASURED_NODE_COUNTS}
+    assert len(tasks) == 1
+
+
+def test_fig5_strong_scaling_paper_model(benchmark):
+    results = benchmark.pedantic(
+        lambda: strong_scaling(SIM_NODE_COUNTS, n_tasks=557_056),
+        rounds=1, iterations=1)
     effs = scaling_efficiency(results)
 
-    print_header("Figure 5 — strong scaling (seconds, mean per process)")
+    print_header("Figure 5 — strong scaling, paper model "
+                 "(seconds, mean per process)")
     print("%8s %11s %10s %11s %7s %8s %6s" % (
-        "nodes", "task proc", "img load", "imbalance", "other", "total", "eff"))
+        "nodes", "task proc", "img load", "imbalance", "other", "total",
+        "eff"))
+    curve = []
     for r, eff in zip(results, effs):
         c = r.components
         print("%8d %11.1f %10.1f %11.1f %7.2f %8.1f %5.0f%%" % (
             r.machine.n_nodes, c.task_processing, c.image_loading,
             c.load_imbalance, c.other, r.wall_seconds, eff * 100))
+        curve.append({
+            "n_nodes": r.machine.n_nodes,
+            "task_processing": c.task_processing,
+            "image_loading": c.image_loading,
+            "load_imbalance": c.load_imbalance,
+            "other": c.other,
+            "wall_seconds": r.wall_seconds,
+            "efficiency": eff,
+        })
     print("paper: 65%% at 4096, 50%% at 8192")
+
+    if not SMOKE:
+        _merge_into_json("fig5_strong_scaling_simulated", {
+            "n_tasks": 557_056,
+            "curve": curve,
+        })
 
     tp = [r.components.task_processing for r in results]
     other = [r.components.other for r in results]

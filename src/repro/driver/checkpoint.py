@@ -22,6 +22,17 @@ independent file, the way the paper's node-local state would checkpoint.
 The main JSON then records a manifest instead of the inline catalog; a
 missing or corrupt shard invalidates the whole checkpoint (load returns
 ``None`` and the run restarts, which is always correct, just slower).
+
+**Task-granular progress** rides the same generation-nonce scheme: while a
+stage runs, every completed Cyclades task appends one JSON line to a
+*journal* file named for the stage and the generation of the checkpoint it
+extends (:func:`task_journal_path`).  A run killed mid-stage resumes from
+the stage-granular checkpoint plus the journal: replayed tasks' rows are
+applied to the working catalog and excluded from scheduling, and the
+remaining tasks re-execute exactly as they would have (task outputs are
+deterministic functions of the stage-start snapshot, so replay order does
+not matter and a half-written last line is simply dropped).  Journals of
+superseded generations are garbage-collected together with stale shards.
 """
 
 from __future__ import annotations
@@ -39,11 +50,14 @@ from repro.core.catalog import Catalog, CatalogEntry
 __all__ = [
     "STAGES",
     "Checkpoint",
+    "append_task_record",
     "entry_to_dict",
     "entry_from_dict",
     "load_checkpoint",
+    "load_task_journal",
     "save_checkpoint",
     "shard_path",
+    "task_journal_path",
 ]
 
 #: Pipeline stages in execution order.  ``seed`` covers per-field detection
@@ -113,6 +127,12 @@ class Checkpoint:
     stage_elbo: dict[str, float] = field(default_factory=dict)
     counters: dict[str, float] = field(default_factory=dict)
     report: dict = field(default_factory=dict)
+    #: Generation nonce of the shard set this checkpoint was saved with
+    #: (``None`` before the first sharded save).  Runtime state, not
+    #: serialized: on load it is recovered from the working manifest.  Task
+    #: journals extending this checkpoint are named for it, which ties each
+    #: journal to exactly the checkpoint whose stage it continues.
+    generation: str | None = field(default=None, compare=False)
 
     def done(self, stage: str) -> bool:
         return stage in self.completed
@@ -175,20 +195,26 @@ def shard_path(path: str, rank: int, n_shards: int, generation: str) -> str:
 
 
 def _cleanup_stale_shards(path: str, keep_generation: str | None) -> None:
-    """Best-effort removal of shard files from superseded generations."""
+    """Best-effort removal of shard and task-journal files from superseded
+    generations (``keep_generation=None`` removes every generation —
+    correct once the main JSON no longer references any shard set)."""
     directory = os.path.dirname(os.path.abspath(path)) or "."
-    prefix = os.path.basename(path) + ".shard"
+    base = os.path.basename(path)
+    prefixes = (base + ".shard", base + ".tasks.")
     keep = "." + keep_generation if keep_generation is not None else None
     try:
         names = sorted(os.listdir(directory))
     except OSError:  # pragma: no cover - directory vanished
         return
     for name in names:
-        if name.startswith(prefix) and (keep is None or not name.endswith(keep)):
-            try:
-                os.unlink(os.path.join(directory, name))
-            except OSError:  # pragma: no cover - already gone
-                pass
+        if not name.startswith(prefixes):
+            continue
+        if keep is not None and name.endswith(keep):
+            continue
+        try:
+            os.unlink(os.path.join(directory, name))
+        except OSError:  # pragma: no cover - already gone
+            pass
 
 
 def save_checkpoint(path: str, ckpt: Checkpoint, shards: int = 0) -> None:
@@ -222,8 +248,57 @@ def save_checkpoint(path: str, ckpt: Checkpoint, shards: int = 0) -> None:
         }
         _atomic_json_write(path, data)
         _cleanup_stale_shards(path, generation)
+        ckpt.generation = generation
         return
     _atomic_json_write(path, data)
+    # The main JSON now references no shard set, so every shard file — and
+    # every task journal, which extends a sharded checkpoint — is stale.
+    # Without this, alternating sharded and inline saves at one path would
+    # leak one shard set per sharded save.
+    _cleanup_stale_shards(path, None)
+    ckpt.generation = None
+
+
+def task_journal_path(path: str, stage: str, generation: str | None) -> str:
+    """Filename of the task journal extending checkpoint ``path`` at
+    ``generation`` through in-progress stage ``stage``.  ``generation`` is
+    the loaded checkpoint's shard generation (``"root"`` when the run has
+    not written a sharded checkpoint yet, i.e. the journal extends the
+    un-sharded or absent checkpoint)."""
+    return "%s.tasks.%s.%s" % (path, stage, generation or "root")
+
+
+def append_task_record(journal: str, record: dict) -> None:
+    """Durably append one completed task to a journal (one JSON line,
+    flushed and fsynced — after this returns, the task survives a kill)."""
+    line = json.dumps(record, sort_keys=True)
+    with open(journal, "a") as f:
+        f.write(line + "\n")
+        f.flush()
+        os.fsync(f.fileno())
+
+
+def load_task_journal(journal: str) -> list[dict]:
+    """Read back a journal's completed-task records, in append order.
+
+    Tolerant of a truncated tail: a run killed mid-append leaves a partial
+    last line, which is dropped (that task simply re-executes — appends are
+    idempotent from the scheduler's point of view because replayed task ids
+    are excluded before re-execution, and re-execution is deterministic)."""
+    records: list[dict] = []
+    try:
+        with open(journal) as f:
+            for line in f:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    records.append(json.loads(line))
+                except json.JSONDecodeError:
+                    break  # partial tail from a mid-append crash
+    except (FileNotFoundError, OSError):
+        return []
+    return records
 
 
 def _load_shards(path: str, manifest: dict) -> Catalog | None:
@@ -274,4 +349,5 @@ def load_checkpoint(path: str, fingerprint: dict) -> Checkpoint | None:
         if working is None:
             return None
         ckpt.working_catalog = working
+        ckpt.generation = str(manifest.get("generation", "")) or None
     return ckpt

@@ -44,11 +44,30 @@ backend — a checkpoint written under one backend (including under the old
 **The sharded catalog.**  The working catalog lives in a
 :class:`~repro.driver.shards.ShardedCatalog` — light sources as 44-wide
 rows of a :class:`~repro.pgas.GlobalArray` block-partitioned across
-node-worker ranks.  Thread workers reach it through the in-process PGAS
-transport; process workers attach to POSIX shared-memory windows
-(:class:`~repro.pgas.SharedMemoryTransport`) and do real one-sided
+node-worker ranks.  The PGAS transport behind it is pluggable
+(``DriverConfig.pgas_transport`` / ``REPRO_PGAS_TRANSPORT``): thread
+workers default to the in-process transport; process workers default to
+POSIX shared-memory windows (:class:`~repro.pgas.SharedMemoryTransport`)
+and can instead run over :class:`~repro.pgas.SocketTransport` — TCP
+one-sided RMA, the multi-node layout with processes standing in for nodes
+— or mpi4py RMA where the dependency exists.  Workers do real one-sided
 ``get_row``/``put_row`` for exactly the rows a task touches, never pickling
-the catalog.  Per-worker RMA traffic lands in the driver report.
+the catalog; catalogs are bit-identical across transports.  Per-worker RMA
+traffic lands in the driver report.
+
+**Elastic workers and fault recovery.**  Process node-workers are seats in
+a persistent :class:`~repro.driver.pool.WorkerPool`, bound to a run's
+state per stage and reusable across ``run_pipeline`` calls (pass ``pool=``
+to amortize spawn cost); the pool grows and shrinks between stages and
+respawns dead seats.  A worker that dies mid-stage is survived: the
+scheduler reclaims its undispatched work (:meth:`~repro.sched.dtree.Dtree
+.reclaim`), its in-flight tasks are re-dispatched to surviving workers
+(idempotent — snapshot discipline plus per-task seeding make re-execution
+bit-identical), and the event is recorded in ``DriverReport.recoveries``.
+With ``task_checkpoint`` (and a checkpoint path), every completed task is
+also journaled durably (:mod:`repro.driver.checkpoint`), so a *killed run*
+resumes mid-stage: journaled tasks replay from disk, the rest re-execute,
+and the final catalog is bit-for-bit the uninterrupted one's.
 
 **Field prefetch.**  Fields may be given as in-memory image lists or as
 paths to ``.npz`` field files (:mod:`repro.survey.io`).  Path fields are
@@ -67,14 +86,13 @@ final catalog.  FLOP and throughput accounting accumulate in a
 from __future__ import annotations
 
 import dataclasses
-import multiprocessing
+import itertools
 import os
 import queue as queue_mod
 import shutil
 import tempfile
 import threading
 import time
-import traceback
 from dataclasses import dataclass, replace
 
 import numpy as np
@@ -86,10 +104,16 @@ from repro.core.priors import Priors, default_priors
 from repro.driver.checkpoint import (
     STAGES,
     Checkpoint,
+    append_task_record,
+    entry_from_dict,
+    entry_to_dict,
     load_checkpoint,
+    load_task_journal,
     save_checkpoint,
+    task_journal_path,
 )
 from repro.driver.merge import dedup_catalog, merge_catalogs
+from repro.driver.pool import WorkerPool
 from repro.driver.shards import ShardedCatalog
 from repro.envvars import env_flag, env_int, env_raw
 from repro.knobs import knob
@@ -97,7 +121,7 @@ from repro.parallel import ParallelRegionConfig, optimize_region_parallel
 from repro.partition import Region, Task, generate_tasks
 from repro.perf.counters import Counters
 from repro.perf.driver import DriverReport
-from repro.pgas import SharedMemoryTransport
+from repro.pgas import TRANSPORT_NAMES, make_transport
 from repro.photo import PhotoConfig, run_photo
 from repro.sched import Dtree, DtreeConfig
 from repro.survey.image import Image
@@ -136,7 +160,17 @@ VERIFY_SCHEDULE_ENV_VAR = "REPRO_VERIFY_SCHEDULE"
 #: sanitizer without touching the config.
 NUMERIC_CHECK_ENV_VAR = "REPRO_NUMERIC_CHECK"
 
+#: Environment variable consulted when ``DriverConfig.pgas_transport`` is
+#: None — lets CI force every driver run onto one PGAS transport (e.g. the
+#: socket tier-1 leg).
+PGAS_TRANSPORT_ENV_VAR = "REPRO_PGAS_TRANSPORT"
+
 _EXECUTORS = ("thread", "process")
+
+#: Unique per-stage epochs for pool-worker result attribution: a collector
+#: must never mistake a straggler message from an earlier (possibly
+#: failed) stage for one of its own.
+_STAGE_EPOCH = itertools.count(1)
 
 
 @dataclass
@@ -163,6 +197,30 @@ class DriverConfig:
     #: Start method for process node-workers ("spawn" works everywhere and
     #: proves nothing leaks through fork; "fork" starts faster on Linux).
     mp_start_method: str = knob("spawn", provenance="scheduling")
+    #: PGAS transport backing the sharded catalog, one of
+    #: :data:`repro.pgas.TRANSPORT_NAMES`.  ``None`` reads
+    #: :data:`PGAS_TRANSPORT_ENV_VAR`, then defaults by executor:
+    #: ``"local"`` for thread workers, ``"shared_memory"`` for process
+    #: workers.  ``"socket"`` serves the windows over TCP so workers can
+    #: span real machines; ``"mpi"`` needs mpi4py.  Pure plumbing:
+    #: catalogs are bit-identical across transports.
+    pgas_transport: str | None = knob(None, provenance="scheduling")
+    #: Journal per-task durable progress while a stage runs (needs
+    #: ``checkpoint_path``): each completed Cyclades task appends its
+    #: result rows to an fsynced journal, and a killed run resumes
+    #: *mid-stage* — journaled tasks replay, the rest re-execute, and the
+    #: final catalog is bit-for-bit the uninterrupted one's.
+    task_checkpoint: bool = knob(True, provenance="scheduling")
+    #: Fault injection (tests): the process node-worker executing this
+    #: task id hard-exits right before reporting it — after the catalog
+    #: write, the worst window — exactly once per run, so the retry on a
+    #: surviving worker completes.  Ignored by the thread executor
+    #: (killing a thread would kill the run).
+    fault_kill_task: int | None = knob(None, provenance="scheduling")
+    #: Fault injection (tests): abort the stage (simulated hard crash of
+    #: the whole run) once this many tasks completed in it — the setup
+    #: half of every resume-from-mid-stage test.
+    fault_abort_after: int | None = knob(None, provenance="scheduling")
     #: Target bright-pixel weight per region (task granularity).
     target_weight: float = knob(40.0, provenance="fingerprinted")
     #: Run the shifted second-stage partition (paper Section IV-A).
@@ -266,6 +324,29 @@ def _resolve_executor(config: DriverConfig) -> str:
             "executor must be one of %r, got %r" % (_EXECUTORS, mode)
         )
     return mode
+
+
+def _resolve_pgas_transport(config: DriverConfig, executor: str) -> str:
+    """The PGAS transport name a run will use: config wins, then the
+    environment, then an executor-appropriate default.  The in-process
+    transport cannot back process workers (nothing would be shared), so
+    that combination is rejected loudly rather than silently upgraded."""
+    name = config.pgas_transport
+    if name is None:
+        name = env_raw(PGAS_TRANSPORT_ENV_VAR) or None
+    if name is None:
+        return "shared_memory" if executor == "process" else "local"
+    if name not in TRANSPORT_NAMES:
+        raise ValueError(
+            "pgas_transport must be one of %r, got %r"
+            % (TRANSPORT_NAMES, name)
+        )
+    if executor == "process" and name == "local":
+        raise ValueError(
+            "the in-process 'local' transport cannot back process "
+            "node-workers; use shared_memory, socket, or mpi"
+        )
+    return name
 
 
 def _resolve_elbo_batch_size(config: DriverConfig) -> int | None:
@@ -737,6 +818,10 @@ class _StageRunnerBase:
         self.config: DriverConfig = config
         self.counters: Counters = counters
         self.outcomes: list[TaskOutcome] = []
+        #: Task-granular checkpoint journal for the stage being run; set by
+        #: the driver before each ``run`` when task checkpointing is on.
+        self.journal_path: str | None = None
+        self._completed_in_stage = 0
         # Baseline at runner creation (i.e. after seeding): the report's
         # prefetch hit/miss numbers cover the optimization stages only, so
         # the thread executor (parent store) and the process executor
@@ -809,6 +894,78 @@ class _StageRunnerBase:
         report.prefetch_misses += int(delta.get("prefetch_misses", 0))
         report.prefetch_seconds += float(delta.get("prefetch_seconds", 0.0))
 
+    def _apply_replay(self, tasks: list[Task], replay, report: DriverReport,
+                      stage_elbo: list) -> set:
+        """Apply journaled task results to the working catalog and account
+        for them; returns the replayed task ids.
+
+        MUST run *after* the stage-start snapshot was taken: remaining
+        tasks read their halos from the snapshot, which has to hold
+        pre-stage values for bit parity with an uninterrupted run.
+        Records that do not match a task of this stage (stale journal,
+        corrupt tail) are ignored — those tasks simply re-execute.
+        """
+        if not replay:
+            return set()
+        by_id = {t.task_id: t for t in tasks}
+        replayed: set[int] = set()
+        for rec in replay:
+            tid = rec.get("task_id")
+            task = by_id.get(tid)
+            if task is None or tid in replayed:
+                continue
+            indices = [int(i) for i in rec.get("indices", [])]
+            rows = rec.get("rows", [])
+            if indices != [int(i) for i in task.source_indices] \
+                    or len(rows) != len(indices):
+                continue
+            self.working.put_entries(
+                indices, [entry_from_dict(r) for r in rows])
+            replayed.add(tid)
+            elbo = float(rec.get("elbo", 0.0))
+            stage_elbo[0] += elbo
+            report.n_source_updates += (
+                task.n_sources * self.config.parallel.n_passes
+            )
+            self.outcomes.append(TaskOutcome(
+                task_id=tid, stage=task.stage, worker=-1,
+                n_sources=task.n_sources, elbo=elbo, seconds=0.0,
+            ))
+        if replayed:
+            report.recoveries.append({
+                "kind": "task_replay",
+                "stage": int(tasks[0].stage),
+                "n_tasks": len(replayed),
+            })
+        return replayed
+
+    def _journal_task(self, task: Task, elbo: float) -> None:
+        """Durably record one completed task: its result rows are read
+        back from the working catalog (safe — only this task writes them)
+        so both executors share one journaling path."""
+        if self.journal_path is None:
+            return
+        rows = self.working.get_entries(task.source_indices)
+        append_task_record(self.journal_path, {
+            "task_id": int(task.task_id),
+            "stage": int(task.stage),
+            "n_sources": int(task.n_sources),
+            "elbo": float(elbo),
+            "indices": [int(i) for i in task.source_indices],
+            "rows": [entry_to_dict(e) for e in rows],
+        })
+
+    def _count_completed(self) -> None:
+        """Fault injection: simulate a hard crash of the run once
+        ``fault_abort_after`` tasks completed in this stage."""
+        self._completed_in_stage += 1
+        abort_after = self.config.fault_abort_after
+        if abort_after is not None and self._completed_in_stage >= abort_after:
+            raise RuntimeError(
+                "fault injection: simulated crash after %d completed tasks"
+                % self._completed_in_stage
+            )
+
     def close(self) -> None:  # pragma: no cover - overridden where needed
         pass
 
@@ -825,19 +982,32 @@ class _ThreadStageRunner(_StageRunnerBase):
         super().__init__(store, working, priors, config, counters)
         self._lock = threading.Lock()
 
-    def run(self, tasks: list[Task], report: DriverReport) -> float:
-        """Run every task in ``tasks``; returns the stage's total ELBO."""
+    def run(self, tasks: list[Task], report: DriverReport,
+            replay=None) -> float:
+        """Run every task in ``tasks``; returns the stage's total ELBO.
+        ``replay`` holds journaled records of tasks a killed run already
+        completed — applied instead of re-executed."""
         if not tasks:
             return 0.0
         config = self.config
+        self._completed_in_stage = 0
         # Tasks read entries and halos from the stage-start snapshot, never
         # from live results of concurrent tasks: results must not depend on
         # task completion order (and a resumed run must reproduce them).
+        # The snapshot is taken *before* replayed rows land in the working
+        # catalog: a re-executed task whose halo contains a replayed source
+        # must see its pre-stage value, exactly as the original run did.
         base = ShardedCatalog(self.working.n_rows, self.working.n_ranks)
         base.copy_rows_from(self.working)
         positions = base.positions()
-        dtree = Dtree(config.n_nodes, len(tasks), config.dtree)
         stage_elbo = [0.0]
+        replayed = self._apply_replay(tasks, replay, report, stage_elbo)
+        report.n_tasks += len(tasks)
+        run_tasks = [t for t in tasks if t.task_id not in replayed]
+        if not run_tasks:
+            return stage_elbo[0]
+        tasks = run_tasks
+        dtree = Dtree(config.n_nodes, len(tasks), config.dtree)
         sched_s = [0.0] * config.n_nodes
         task_s = [0.0] * config.n_nodes
         errors: list[BaseException] = []
@@ -860,10 +1030,20 @@ class _ThreadStageRunner(_StageRunnerBase):
                     sched_s[w] += time.perf_counter() - t0
                     if not batch:
                         break
+                    hinted_version = dtree.version
                     self.store.hint_fields(
                         self._lookahead_hint(dtree, w, batch, tasks)
                     )
-                    for tid in batch:
+                    for pos, tid in enumerate(batch):
+                        if dtree.version != hinted_version:
+                            # The schedule moved under us since the hint
+                            # (a sibling's grant drained pools we peeked):
+                            # re-peek at dispatch so the prefetcher tracks
+                            # the fields this worker will actually need,
+                            # not the ones it would have before stealing.
+                            hinted_version = dtree.version
+                            self.store.hint_fields(self._lookahead_hint(
+                                dtree, w, batch[pos:], tasks))
                         t1 = time.perf_counter()
                         task = tasks[tid]
                         halo_idx = _halo_indices(
@@ -903,6 +1083,8 @@ class _ThreadStageRunner(_StageRunnerBase):
                                 elbo=result.elbo_total,
                                 seconds=seconds,
                             ))
+                            self._journal_task(task, result.elbo_total)
+                            self._count_completed()
                 with self._lock:
                     comm = _comm_totals(base_rec, work_rec)
                     report.add_worker_comm(w, **comm)
@@ -926,170 +1108,221 @@ class _ThreadStageRunner(_StageRunnerBase):
         report.task_seconds += sum(task_s)
         report.messages += dtree.stats["messages"]
         report.hops += dtree.stats["hops"]
-        report.n_tasks += len(tasks)
         self._apply_prefetch_stats(report, self.store.prefetch_stats())
         self._sync_race_reports(report)
         self._sync_numeric_reports(report)
         return stage_elbo[0]
 
 
-def _process_worker_main(
-    worker_id: int,
-    fields: list,
-    metadata: list,
-    priors: Priors,
-    config: DriverConfig,
-    base: ShardedCatalog,
-    working: ShardedCatalog,
-    task_q,
-    result_q,
-) -> None:
-    """Body of one process node-worker.
+class _WorkerState:
+    """Execution state a pool seat binds for one stage of one run.
 
-    Receives ``(task, halo_indices, field_hint)`` work items, reads the
-    rows it needs one-sidedly from the shared-memory catalog, optimizes,
-    puts results back, and reports the outcome plus counter/comm/prefetch
-    deltas.  A ``None`` item shuts the worker down.
+    Built inside the worker process from a ``("bind", ...)`` message
+    (:mod:`repro.driver.pool`): the field store, the one-sided views onto
+    the snapshot and working catalogs (whose pickled transports attached
+    this process to the parent's windows — shared-memory segments or
+    socket clients), and the shadow/recording instrumentation.  ``epoch``
+    tags every result message so the parent's collector can discard
+    stragglers from an earlier bind.
     """
-    store = None
-    try:
-        store = _FieldStore(fields, config.field_cache_capacity,
-                            metadata=metadata)
-        access_log = base_shadow = work_shadow = None
+
+    def __init__(self, epoch: int, worker_id: int, fields: list,
+                 metadata: list, priors: Priors, config: DriverConfig,
+                 base: ShardedCatalog, working: ShardedCatalog,
+                 fault_dir: str | None = None):
+        self.epoch = epoch
+        self.worker_id = worker_id
+        self.priors = priors
+        self.config = config
+        self.fault_dir = fault_dir
+        self._catalogs = (base, working)
+        self.store = _FieldStore(fields, config.field_cache_capacity,
+                                 metadata=metadata)
+        self.access_log = self.base_shadow = self.work_shadow = None
         if config.race_detect:
             # Workers cannot see the parent's detector: record into a
             # local log, ship the (picklable) accesses with each result,
             # and let the parent's detector cross-check between workers.
             from repro.analysis.race import AccessLog
 
-            access_log = AccessLog()
-            base_view, base_rec, base_shadow = base.shadow_view(
-                worker_id, access_log, "cat-base")
-            work_view, work_rec, work_shadow = working.shadow_view(
-                worker_id, access_log, "cat-work")
+            self.access_log = AccessLog()
+            self.base_view, self.base_rec, self.base_shadow = \
+                base.shadow_view(worker_id, self.access_log, "cat-base")
+            self.work_view, self.work_rec, self.work_shadow = \
+                working.shadow_view(worker_id, self.access_log, "cat-work")
         else:
-            base_view, base_rec = base.recording_view(worker_id)
-            work_view, work_rec = working.recording_view(worker_id)
-        prev_comm: dict = {}
-        prev_prefetch: dict = {}
-        while True:
-            item = task_q.get()
-            if item is None:
-                return
-            task, halo_idx, hint = item
-            store.hint_fields(hint)
-            counters = Counters()
-            if base_shadow is not None:
-                actor = ("task", task.task_id)
-                epoch = ("stage", task.stage)
-                base_shadow.set_task(actor, epoch)
-                work_shadow.set_task(actor, epoch)
-            t0 = time.perf_counter()
-            result = _execute_task(
-                task, halo_idx, base_view, work_view, store,
-                priors, config, counters,
-            )
-            seconds = time.perf_counter() - t0
-            comm = _comm_totals(base_rec, work_rec)
-            prefetch = store.prefetch_stats()
-            result_q.put((
-                "done", worker_id, task.task_id, task.stage,
-                result is not None, task.n_sources,
-                result.elbo_total if result is not None else 0.0,
-                seconds, counters.snapshot(),
-                _dict_delta(comm, prev_comm),
-                _dict_delta(prefetch, prev_prefetch),
-                list(result.race_reports) if result is not None else [],
-                access_log.drain() if access_log is not None else [],
-                list(result.numeric_reports) if result is not None else [],
-            ))
-            prev_comm, prev_prefetch = comm, prefetch
-    except BaseException:  # noqa: BLE001 - forwarded to the parent
-        result_q.put(("error", worker_id, traceback.format_exc()))
-    finally:
-        # Join the prefetcher thread and drop its cache before the worker
-        # process exits (daemon threads die abruptly otherwise, and an
-        # error path should not strand a mid-flight field load).
-        if store is not None:
-            store.close()
+            self.base_view, self.base_rec = base.recording_view(worker_id)
+            self.work_view, self.work_rec = working.recording_view(worker_id)
+        self.prev_comm: dict = {}
+        self.prev_prefetch: dict = {}
+
+    def _maybe_die(self, task: Task) -> None:
+        """Fault injection: hard-exit before reporting ``fault_kill_task``,
+        at most once per run (the O_EXCL marker is the consumed token, so
+        the retry on a surviving worker completes)."""
+        config = self.config
+        if (config.fault_kill_task is None
+                or task.task_id != config.fault_kill_task
+                or self.fault_dir is None):
+            return
+        marker = os.path.join(self.fault_dir,
+                              "killed.%d" % int(task.task_id))
+        try:
+            fd = os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return  # token consumed: this is the retry — survive
+        os.close(fd)
+        os._exit(17)
+
+    def execute(self, task: Task, halo_idx: list[int], hint: list[int],
+                result_q) -> None:
+        config = self.config
+        self.store.hint_fields(hint)
+        counters = Counters()
+        if self.base_shadow is not None:
+            actor = ("task", task.task_id)
+            epoch = ("stage", task.stage)
+            self.base_shadow.set_task(actor, epoch)
+            self.work_shadow.set_task(actor, epoch)
+        t0 = time.perf_counter()
+        result = _execute_task(
+            task, halo_idx, self.base_view, self.work_view, self.store,
+            self.priors, config, counters,
+        )
+        seconds = time.perf_counter() - t0
+        self._maybe_die(task)
+        comm = _comm_totals(self.base_rec, self.work_rec)
+        prefetch = self.store.prefetch_stats()
+        result_q.put((
+            "done", self.epoch, self.worker_id, task.task_id, task.stage,
+            result is not None, task.n_sources,
+            result.elbo_total if result is not None else 0.0,
+            seconds, counters.snapshot(),
+            _dict_delta(comm, self.prev_comm),
+            _dict_delta(prefetch, self.prev_prefetch),
+            list(result.race_reports) if result is not None else [],
+            self.access_log.drain() if self.access_log is not None else [],
+            list(result.numeric_reports) if result is not None else [],
+        ))
+        self.prev_comm, self.prev_prefetch = comm, prefetch
+
+    def close(self) -> None:
+        # Join the prefetcher thread and drop its cache (daemon threads
+        # die abruptly otherwise, and an error path should not strand a
+        # mid-flight field load), then detach the catalog windows so a
+        # released seat stops pinning segments the parent will unlink.
+        self.store.close()
+        for catalog in self._catalogs:
+            transport = catalog.array.transport
+            if hasattr(transport, "close"):
+                transport.close()
 
 
 class _ProcessStageRunner(_StageRunnerBase):
-    """Node-workers as spawn-safe processes over shared-memory PGAS windows.
+    """Node-workers as pool seats over pluggable PGAS windows.
 
-    The parent keeps the Dtree and pumps batches to per-worker queues (one
-    pump thread per worker, so the request/complete cadence matches the
-    thread executor); workers access the catalog one-sidedly through
-    :class:`SharedMemoryTransport` and never see more of it than their
-    tasks touch.  Workers persist across stages — the parent refreshes the
-    stage-start snapshot between stages.
+    The parent keeps the Dtree and pumps batches to the pool's per-seat
+    queues (one pump thread per seat, so the request/complete cadence
+    matches the thread executor); workers access the catalog one-sidedly
+    through the configured transport (shared-memory windows or socket RMA)
+    and never see more of it than their tasks touch.  Seats come from an
+    elastic :class:`~repro.driver.pool.WorkerPool` — either a private one
+    or a caller-shared one reused across :func:`run_pipeline` calls — and
+    are re-bound to this run's state at every stage.  A seat whose process
+    dies mid-stage is recovered: its undispatched leaf pool is reclaimed
+    into the Dtree, its in-flight tasks are re-dispatched to survivors,
+    and the event is recorded in ``DriverReport.recoveries``.
     """
 
     def __init__(self, store, working, priors, config, counters,
-                 fields_spec: list):
+                 fields_spec: list, pool: WorkerPool | None = None,
+                 transport_name: str = "shared_memory"):
         super().__init__(store, working, priors, config, counters)
-        self._spill_dir: str | None = None
-        self.procs: list = []
+        self._scratch_dir: str | None = None
         self._closed = False
-        ctx = multiprocessing.get_context(config.mp_start_method)
+        self.pool = pool if pool is not None else \
+            WorkerPool(config.mp_start_method)
+        self._private_pool = pool is None
+        self.transport_name = transport_name
         # The snapshot is only written between stages (no tasks in flight),
         # so it needs no rank locking even in halo_refresh mode.
         self.base = ShardedCatalog(
             working.n_rows, working.n_ranks,
-            transport=SharedMemoryTransport(),
+            transport=make_transport(transport_name),
         )
         try:
+            # Scratch space for this runner: spilled field files and the
+            # fault-injection kill markers (consumed-once tokens).
+            self._scratch_dir = tempfile.mkdtemp(prefix="repro-driver-")
             # Workers must never hold the whole survey: spill in-memory
             # fields to temp field files once and ship paths, so each
             # worker's prefetcher loads only the fields its tasks touch
             # (on-disk fields ship as the paths they already are).
             if any(not isinstance(f, str) for f in fields_spec):
-                self._spill_dir = tempfile.mkdtemp(prefix="repro-fields-")
                 spilled = []
                 for i, spec in enumerate(fields_spec):
                     if isinstance(spec, str):
                         spilled.append(spec)
                     else:
                         path = os.path.join(
-                            self._spill_dir, "field%d.npz" % i
+                            self._scratch_dir, "field%d.npz" % i
                         )
                         save_field(path, spec)
                         spilled.append(path)
                 fields_spec = spilled
-            self.result_q = ctx.Queue()
-            self.task_qs = [ctx.Queue() for _ in range(config.n_nodes)]
-            for w in range(config.n_nodes):
-                p = ctx.Process(
-                    target=_process_worker_main,
-                    args=(w, fields_spec, store.metadata(), priors, config,
-                          self.base, working, self.task_qs[w],
-                          self.result_q),
-                    daemon=True,
-                )
-                p.start()
-                self.procs.append(p)
+            self._fields_spec = fields_spec
+            self.pool.ensure(config.n_nodes)
         except BaseException:
-            # Partial construction must not leak shm segments, spilled
-            # files, or blocked worker processes.
+            # Partial construction must not leak segments, spilled files,
+            # or blocked worker processes.
             self.close()
             raise
 
-    def run(self, tasks: list[Task], report: DriverReport) -> float:
+    def run(self, tasks: list[Task], report: DriverReport,
+            replay=None) -> float:
         if not tasks:
             return 0.0
         config = self.config
+        self._completed_in_stage = 0
+        # Stage-start snapshot, taken *before* replayed rows land in the
+        # working catalog (see _ThreadStageRunner.run for why).
         self.base.copy_rows_from(self.working)
         positions = self.base.positions()
-        dtree = Dtree(config.n_nodes, len(tasks), config.dtree)
-        n = config.n_nodes
+        stage_elbo = [0.0]
+        replayed = self._apply_replay(tasks, replay, report, stage_elbo)
+        report.n_tasks += len(tasks)
+        run_tasks = [t for t in tasks if t.task_id not in replayed]
+        if not run_tasks:
+            return stage_elbo[0]
+        tasks = run_tasks
+        task_by_id = {t.task_id: t for t in tasks}
+
+        # Elastic sizing: never bind more seats than there are tasks, and
+        # respawn/grow the pool to exactly what this stage needs.
+        n = max(1, min(config.n_nodes, len(tasks)))
+        self.pool.ensure(n)
+        epoch = next(_STAGE_EPOCH)
+        metadata = self.store.metadata()
+        for w in range(n):
+            self.pool.send(w, (
+                "bind", epoch, w, self._fields_spec, metadata, self.priors,
+                config, self.base, self.working, self._scratch_dir,
+            ))
+
+        dtree = Dtree(n, len(tasks), config.dtree)
         pending = [0] * n
         conds = [threading.Condition() for _ in range(n)]
-        stage_elbo = [0.0]
+        #: Per-seat map of task_id -> (task, halo_idx, hint) shipped but
+        #: not yet reported done — what a dead seat's recovery re-dispatches.
+        inflight: list[dict] = [{} for _ in range(n)]
+        dead = [False] * n
+        done_tids: set[int] = set()
+        deaths = [0]
+        active_pumps = [n]
         sched_s = [0.0] * n
         task_s = [0.0] * n
         errors: list[BaseException] = []
         failed = threading.Event()
-        drained = threading.Event()
 
         def fail(exc: BaseException) -> None:
             errors.append(exc)
@@ -1099,30 +1332,137 @@ class _ProcessStageRunner(_StageRunnerBase):
                     pending[w] = 0
                     conds[w].notify_all()
 
+        def dispatch(s: int, task: Task, halo_idx, hint) -> None:
+            with conds[s]:
+                pending[s] += 1
+                inflight[s][task.task_id] = (task, halo_idx, hint)
+            self.pool.send(s, ("task", task, halo_idx, hint))
+
+        def survivors_or_respawn(exclude: int | None = None) -> list[int]:
+            """Live, usable seats — respawning dead ones (and re-binding
+            them to this stage's state) when none survive, so a run on one
+            node-worker can outlive that worker's death."""
+            alive = [s for s in range(n)
+                     if s != exclude and not dead[s] and self.pool.alive(s)]
+            if alive:
+                return alive
+            for s in self.pool.ensure(n):
+                dead[s] = False
+                self.pool.send(s, (
+                    "bind", epoch, s, self._fields_spec, metadata,
+                    self.priors, config, self.base, self.working,
+                    self._scratch_dir,
+                ))
+            return [s for s in range(n)
+                    if not dead[s] and self.pool.alive(s)]
+
+        def recover(w: int) -> None:
+            """Seat ``w``'s process died: reclaim its undispatched work
+            and re-dispatch its in-flight tasks to surviving seats (safe —
+            a task that half-ran before the crash never reported done, so
+            re-executing it against the immutable stage snapshot writes
+            the same rows it would have)."""
+            deaths[0] += 1
+            if deaths[0] > max(2 * n, 4):
+                fail(RuntimeError(
+                    "process node-workers keep dying (%d deaths this "
+                    "stage); giving up" % deaths[0]
+                ))
+                return
+            dead[w] = True
+            with conds[w]:
+                items = list(inflight[w].items())
+                inflight[w].clear()
+                pending[w] = 0
+                conds[w].notify_all()
+            dtree.reclaim(w)
+            report.recoveries.append({
+                "kind": "worker_death",
+                "stage": int(tasks[0].stage),
+                "worker": int(w),
+                "retried": sorted(tid for tid, _ in items),
+            })
+            survivors = survivors_or_respawn(exclude=w)
+            if not survivors:
+                fail(RuntimeError(
+                    "process node-worker %d died and no node-workers "
+                    "survive to take over its %d in-flight tasks"
+                    % (w, len(items))
+                ))
+                return
+            for i, (tid, item) in enumerate(items):
+                dispatch(survivors[i % len(survivors)], *item)
+
+        def drain_stranded() -> None:
+            """Every pump exited and nothing is in flight, yet tasks
+            remain: work reclaimed from a dead seat landed at the Dtree
+            root *after* the surviving pumps saw an empty tree and
+            returned.  Dispatch it directly, round-robin."""
+            survivors = survivors_or_respawn()
+            if not survivors:
+                fail(RuntimeError(
+                    "all process node-workers died with %d tasks "
+                    "unfinished" % (len(tasks) - len(done_tids))
+                ))
+                return
+            i = 0
+            while True:
+                batch = dtree.request(survivors[0],
+                                      max_batch=config.max_batch)
+                if not batch:
+                    return
+                hint = self._lookahead_hint(
+                    dtree, survivors[0], batch, tasks)
+                for tid in batch:
+                    task = tasks[tid]
+                    halo_idx = _halo_indices(
+                        positions, set(task.source_indices),
+                        task.region, config.halo_margin,
+                    )
+                    dispatch(survivors[i % len(survivors)],
+                             task, halo_idx, hint)
+                    i += 1
+
         def collect() -> None:
-            while not (drained.is_set() and sum(pending) == 0):
+            total = len(tasks)
+            while len(done_tids) < total and not failed.is_set():
                 try:
-                    msg = self.result_q.get(timeout=0.2)
+                    msg = self.pool.result_q.get(timeout=0.2)
                 except queue_mod.Empty:
-                    if failed.is_set():
-                        return
                     for w in range(n):
-                        if pending[w] > 0 and not self.procs[w].is_alive():
-                            fail(RuntimeError(
-                                "process node-worker %d died with %d tasks "
-                                "in flight" % (w, pending[w])
-                            ))
-                            return
+                        if (not dead[w] and pending[w] > 0
+                                and not self.pool.alive(w)):
+                            recover(w)
+                    if (not failed.is_set() and active_pumps[0] == 0
+                            and sum(pending) == 0):
+                        drain_stranded()
                     continue
                 if msg[0] == "error":
-                    _, w, tb = msg
-                    fail(RuntimeError(
-                        "process node-worker %d failed:\n%s" % (w, tb)
-                    ))
-                    return
-                (_, w, task_id, stage, executed, n_sources, elbo,
-                 seconds, counter_delta, comm_delta, prefetch_delta,
+                    _, w, msg_epoch, tb = msg
+                    if msg_epoch == epoch:
+                        fail(RuntimeError(
+                            "process node-worker %d failed:\n%s" % (w, tb)
+                        ))
+                        return
+                    continue  # pragma: no cover - stale straggler
+                (_, msg_epoch, w, task_id, stage, executed, n_sources,
+                 elbo, seconds, counter_delta, comm_delta, prefetch_delta,
                  region_races, accesses, region_numeric) = msg
+                if msg_epoch != epoch:
+                    # Straggler from an earlier bind (e.g. a stage that
+                    # failed with results unconsumed): not this stage's.
+                    continue
+                first = task_id not in done_tids
+                done_tids.add(task_id)
+                with conds[w]:
+                    inflight[w].pop(task_id, None)
+                    pending[w] = max(0, pending[w] - 1)
+                    conds[w].notify_all()
+                if not first:
+                    # A re-dispatched task whose first execution reported
+                    # after all: identical result (deterministic against
+                    # the same snapshot), already accounted — drop it.
+                    continue
                 if self.race_detector is not None:
                     self.race_detector.absorb(region_races)
                     self.race_detector.ingest(accesses)
@@ -1147,37 +1487,55 @@ class _ProcessStageRunner(_StageRunnerBase):
                         task_id=task_id, stage=stage, worker=w,
                         n_sources=n_sources, elbo=elbo, seconds=seconds,
                     ))
-                with conds[w]:
-                    pending[w] -= 1
-                    conds[w].notify_all()
+                    try:
+                        self._journal_task(task_by_id[task_id], elbo)
+                        self._count_completed()
+                    except BaseException as exc:  # noqa: BLE001
+                        fail(exc)
+                        return
 
         def pump(w: int) -> None:
             try:
-                while not failed.is_set():
+                while not failed.is_set() and not dead[w]:
                     t0 = time.perf_counter()
                     batch = dtree.request(w, max_batch=config.max_batch)
                     sched_s[w] += time.perf_counter() - t0
                     if not batch:
                         return
+                    hinted_version = dtree.version
                     hint = self._lookahead_hint(dtree, w, batch, tasks)
-                    for tid in batch:
+                    for pos, tid in enumerate(batch):
+                        if failed.is_set() or dead[w]:
+                            return
+                        if dtree.version != hinted_version:
+                            # The schedule moved under us since the hint
+                            # (a sibling's grant drained pools we peeked):
+                            # re-peek at dispatch so the shipped hint
+                            # tracks the fields this worker will actually
+                            # need, not the pre-stealing guess.
+                            hinted_version = dtree.version
+                            hint = self._lookahead_hint(
+                                dtree, w, batch[pos:], tasks)
                         task = tasks[tid]
                         halo_idx = _halo_indices(
                             positions, set(task.source_indices),
                             task.region, config.halo_margin,
                         )
-                        with conds[w]:
-                            pending[w] += 1
-                        self.task_qs[w].put((task, halo_idx, hint))
+                        dispatch(w, task, halo_idx, hint)
                     # Match the thread executor's cadence: request the next
                     # batch only after this one completed, so the Dtree's
                     # dynamic load balancing still sees completion times.
                     with conds[w]:
-                        while pending[w] > 0 and not failed.is_set():
+                        while (pending[w] > 0 and not failed.is_set()
+                               and not dead[w]):
                             conds[w].wait(timeout=0.5)
             except BaseException as exc:  # noqa: BLE001
                 fail(exc)
+            finally:
+                with self._pump_lock:
+                    active_pumps[0] -= 1
 
+        self._pump_lock = threading.Lock()
         collector = threading.Thread(target=collect, daemon=True)
         pumps = [
             threading.Thread(target=pump, args=(w,), daemon=True)
@@ -1189,7 +1547,6 @@ class _ProcessStageRunner(_StageRunnerBase):
             t.start()
         for t in pumps:
             t.join()
-        drained.set()
         collector.join()
         if errors:
             raise errors[0]
@@ -1198,7 +1555,6 @@ class _ProcessStageRunner(_StageRunnerBase):
         report.task_seconds += sum(task_s)
         report.messages += dtree.stats["messages"]
         report.hops += dtree.stats["hops"]
-        report.n_tasks += len(tasks)
         self._sync_race_reports(report)
         self._sync_numeric_reports(report)
         return stage_elbo[0]
@@ -1207,31 +1563,28 @@ class _ProcessStageRunner(_StageRunnerBase):
         if self._closed:
             return
         self._closed = True
-        for q in getattr(self, "task_qs", []):
-            try:
-                q.put(None)
-            except (OSError, ValueError):  # pragma: no cover - queue gone
-                pass
-        for p in self.procs:
-            p.join(timeout=30.0)
-            if p.is_alive():  # pragma: no cover - hung worker
-                p.terminate()
-                p.join(timeout=5.0)
-        queues = list(getattr(self, "task_qs", []))
-        if getattr(self, "result_q", None) is not None:
-            queues.append(self.result_q)
-        for q in queues:
-            q.close()
-        self.base.array.transport.unlink()
-        if self._spill_dir is not None:
-            shutil.rmtree(self._spill_dir, ignore_errors=True)
+        pool = getattr(self, "pool", None)
+        if pool is not None:
+            if self._private_pool:
+                pool.close()
+            else:
+                # Hand the shared pool back with its seats unbound so they
+                # stop pinning the catalog windows we unlink below.
+                pool.release()
+        transport = self.base.array.transport
+        if hasattr(transport, "unlink"):
+            transport.unlink()
+        if self._scratch_dir is not None:
+            shutil.rmtree(self._scratch_dir, ignore_errors=True)
 
 
 def _make_stage_runner(executor: str, store, working, priors, config,
-                       counters, fields_spec):
+                       counters, fields_spec, pool=None,
+                       transport_name: str = "local"):
     if executor == "process":
         return _ProcessStageRunner(
-            store, working, priors, config, counters, fields_spec
+            store, working, priors, config, counters, fields_spec,
+            pool=pool, transport_name=transport_name,
         )
     return _ThreadStageRunner(store, working, priors, config, counters)
 
@@ -1244,6 +1597,7 @@ def run_pipeline(
     fields: list,
     config: DriverConfig | None = None,
     priors: Priors | None = None,
+    pool: WorkerPool | None = None,
 ) -> DriverResult:
     """Run the complete three-level pipeline over a survey's fields.
 
@@ -1257,9 +1611,17 @@ def run_pipeline(
     config:
         Driver knobs; when ``config.checkpoint_path`` is set, progress is
         saved after every stage and an existing compatible checkpoint is
-        resumed from.
+        resumed from (including mid-stage, from the task-granular journal,
+        when ``config.task_checkpoint`` is on).
     priors:
         Model priors (defaults to :func:`repro.core.default_priors`).
+    pool:
+        A caller-owned :class:`~repro.driver.pool.WorkerPool` to run
+        process node-workers on.  Seats persist across calls, so a second
+        run on a warm pool spawns zero new processes; the caller keeps
+        ownership and must eventually ``close()`` it.  Ignored by the
+        thread executor.  When omitted, the process executor uses a
+        private pool torn down with the run.
     """
     if config is None:
         config = DriverConfig()
@@ -1270,6 +1632,7 @@ def run_pipeline(
     if priors is None:
         priors = default_priors()
     executor = _resolve_executor(config)
+    transport_name = _resolve_pgas_transport(config, executor)
     if config.stop_after is not None and config.stop_after not in STAGES:
         raise ValueError(
             "stop_after must be one of %r, got %r"
@@ -1341,9 +1704,10 @@ def run_pipeline(
         for t in tasks:
             by_stage[t.stage].append(t)
 
-        # The working catalog, sharded across node-worker ranks.  Process
-        # workers need shared-memory windows; thread workers use the
-        # in-process transport.
+        # The working catalog, sharded across node-worker ranks over the
+        # resolved PGAS transport (process workers attach to its windows
+        # one-sidedly; the thread executor's "local" name means in-process
+        # numpy views, i.e. no transport object at all).
         start_entries = (list(ckpt.working_catalog)
                          if ckpt.working_catalog else list(seed))
         # halo_refresh makes workers read rows other workers are writing;
@@ -1352,21 +1716,39 @@ def run_pipeline(
         working = ShardedCatalog.from_entries(
             start_entries, n_ranks=config.n_nodes,
             transport=(
-                SharedMemoryTransport(locking=config.halo_refresh)
-                if executor == "process" else None
+                None if transport_name == "local"
+                else make_transport(transport_name,
+                                    locking=config.halo_refresh)
             ),
         )
 
         # -- Stages "stage0"/"stage1": Dtree-scheduled joint optimization -------
+        task_checkpoint = (bool(config.task_checkpoint)
+                           and config.checkpoint_path is not None)
         stage_names = ["stage0"] + (["stage1"] if config.two_stage else [])
         for stage_idx, stage_name in enumerate(stage_names):
             if not ckpt.done(stage_name):
                 if runner is None:
                     runner = _make_stage_runner(
                         executor, store, working, priors, config, counters,
-                        fields,
+                        fields, pool=pool, transport_name=transport_name,
                     )
-                elbo = runner.run(by_stage[stage_idx], report)
+                replay = None
+                if task_checkpoint:
+                    # The journal is valid only against the checkpoint
+                    # generation it was written under (the same nonce
+                    # scheme that guards shard files): a journal from a
+                    # different generation names a different stage start
+                    # and must not be replayed.
+                    journal = task_journal_path(
+                        config.checkpoint_path, stage_name, ckpt.generation)
+                    replay = load_task_journal(journal)
+                    runner.journal_path = journal
+                try:
+                    elbo = runner.run(by_stage[stage_idx], report,
+                                      replay=replay)
+                finally:
+                    runner.journal_path = None
                 ckpt.stage_elbo[stage_name] = elbo
                 ckpt.working_catalog = working.to_catalog()
                 ckpt.mark_done(stage_name)
@@ -1391,6 +1773,6 @@ def run_pipeline(
             runner.close()
         if 'working' in locals():
             transport = working.array.transport
-            if isinstance(transport, SharedMemoryTransport):
+            if hasattr(transport, "unlink"):
                 transport.unlink()
         store.close()

@@ -74,6 +74,14 @@ _VARS = (
         provenance="scheduling", resolves_to="DriverConfig.executor",
     ),
     EnvVar(
+        "REPRO_PGAS_TRANSPORT", "str", "local (thread) / shared_memory (process)",
+        "PGAS transport backing the sharded catalog when "
+        "`DriverConfig.pgas_transport` is unset: `local`, `shared_memory`, "
+        "`socket` (TCP one-sided RMA; workers can span machines), or `mpi` "
+        "(requires mpi4py).  Catalogs are bit-identical across transports.",
+        provenance="scheduling", resolves_to="DriverConfig.pgas_transport",
+    ),
+    EnvVar(
         "REPRO_ELBO_BATCH", "int", "unset (scalar path)",
         "Lockstep evaluation batch size when no config sets one; forces "
         "every source optimization through the batched path.",

@@ -62,6 +62,14 @@ class DriverReport:
         only when the run enabled ``numeric_check``, and empty on a
         numerically healthy model even then.  Each entry pinpoints
         (kind, stage, term, source, lane, actor) of one float pathology.
+    recoveries:
+        Fault-recovery events of the run, one dict per event:
+        ``{"kind": "worker_death", "stage": ..., "worker": ...,
+        "retried": [...]}`` when a dead node-worker's in-flight tasks were
+        re-dispatched to survivors, and ``{"kind": "task_replay",
+        "stage": ..., "n_tasks": ...}`` when a resumed run replayed
+        journaled tasks from a task-granular checkpoint instead of
+        re-executing them.  Empty on an undisturbed run.
     """
 
     wall_seconds: float = 0.0
@@ -80,6 +88,7 @@ class DriverReport:
     prefetch_seconds: float = 0.0
     race_reports: list = field(default_factory=list)
     numeric_reports: list = field(default_factory=list)
+    recoveries: list = field(default_factory=list)
 
     @property
     def sources_per_second(self) -> float:
@@ -158,6 +167,7 @@ class DriverReport:
             "prefetch_seconds": self.prefetch_seconds,
             "race_reports": [dict(r) for r in self.race_reports],
             "numeric_reports": [dict(r) for r in self.numeric_reports],
+            "recoveries": [dict(r) for r in self.recoveries],
         }
 
     @classmethod
@@ -166,7 +176,8 @@ class DriverReport:
         for k, v in d.items():
             if k == "stage_elbo":
                 v = dict(v)
-            elif k in ("worker_comm", "race_reports", "numeric_reports"):
+            elif k in ("worker_comm", "race_reports", "numeric_reports",
+                       "recoveries"):
                 v = [dict(w) for w in v]
             setattr(out, k, v)
         return out
@@ -215,6 +226,20 @@ class DriverReport:
                     % (r.get("kind"), r.get("window"), r.get("epoch"),
                        r.get("actor_a"), r.get("actor_b"), r.get("extent"))
                 )
+        if self.recoveries:
+            lines.append("recoveries            %8d" % len(self.recoveries))
+            for r in self.recoveries:
+                if r.get("kind") == "worker_death":
+                    lines.append(
+                        "  worker %s died in %s; retried tasks %s"
+                        % (r.get("worker"), r.get("stage"),
+                           r.get("retried"))
+                    )
+                else:
+                    lines.append(
+                        "  %s in %s: %s tasks"
+                        % (r.get("kind"), r.get("stage"), r.get("n_tasks"))
+                    )
         if self.numeric_reports:
             lines.append("NUMERIC FINDINGS      %8d"
                          % len(self.numeric_reports))

@@ -9,23 +9,37 @@ operations" (paper, Section IV-C).
 This package reproduces that interface: a :class:`GlobalArray` partitioned
 across ranks with one-sided ``get``/``put`` element operations, over
 pluggable transports — an in-process transport for threaded runs, a
-POSIX shared-memory transport for process node-workers, and a
-cost-recording transport that feeds the cluster simulator's communication
-model.
+POSIX shared-memory transport for process node-workers on one box, a TCP
+socket transport whose workers can span real machines, an optional
+mpi4py-backed transport (the paper's actual substrate, gated on the dep),
+and a cost-recording transport that feeds the cluster simulator's
+communication model.  :func:`make_transport` resolves registry names
+(``REPRO_PGAS_TRANSPORT``); :func:`transport_available` probes without
+instantiating.
 """
 
 from repro.pgas.transport import (
+    TRANSPORT_NAMES,
     LocalTransport,
+    MPITransport,
     RecordingTransport,
     RMAStats,
     SharedMemoryTransport,
+    SocketTransport,
+    make_transport,
+    transport_available,
 )
 from repro.pgas.global_array import GlobalArray
 
 __all__ = [
     "GlobalArray",
     "LocalTransport",
-    "RecordingTransport",
+    "MPITransport",
     "RMAStats",
+    "RecordingTransport",
     "SharedMemoryTransport",
+    "SocketTransport",
+    "TRANSPORT_NAMES",
+    "make_transport",
+    "transport_available",
 ]

@@ -5,15 +5,28 @@ Aries fabric.  Here a transport is anything that can read/write a byte range
 of a remote rank's window.  :class:`LocalTransport` backs every rank with
 in-process memory; :class:`SharedMemoryTransport` backs every rank with a
 POSIX shared-memory segment, so *process* node-workers do true one-sided
-access to the partitioned catalog without pickling it through queues; and
+access to the partitioned catalog without pickling it through queues;
+:class:`SocketTransport` serves the windows over TCP, so node-workers can
+span real machines (multi-process-as-multi-node in the tests);
+:class:`MPITransport` rides mpi4py one-sided RMA where that optional
+dependency exists (probed like the ``numba`` kernel target: resolvable by
+name everywhere, loudly unavailable without the dep); and
 :class:`RecordingTransport` wraps another transport and accumulates the
 operation counts / byte volumes / latency model that the cluster simulator
 charges for "other" time.
+
+Transports are resolvable by registry name (:data:`TRANSPORT_NAMES`,
+:func:`make_transport`) — the names ``DriverConfig.pgas_transport`` /
+``REPRO_PGAS_TRANSPORT`` accept.
 """
 
 from __future__ import annotations
 
+import importlib.util
+import itertools
 import os
+import socket
+import struct
 import tempfile
 import threading
 from contextlib import contextmanager
@@ -25,8 +38,13 @@ import numpy as np
 __all__ = [
     "LocalTransport",
     "SharedMemoryTransport",
+    "SocketTransport",
+    "MPITransport",
     "RecordingTransport",
     "RMAStats",
+    "TRANSPORT_NAMES",
+    "make_transport",
+    "transport_available",
 ]
 
 
@@ -88,7 +106,9 @@ class SharedMemoryTransport:
     locks (shared for gets, exclusive for puts) for access patterns that
     *do* read rows other processes may be writing, e.g. the driver's
     ``halo_refresh`` mode — without it a concurrent reader could see a
-    torn row.
+    torn row.  ``accumulate`` takes the exclusive per-rank lock in *every*
+    mode: it is a read-modify-write, so two processes accumulating into
+    the same rank without it would lose updates.
 
     The owner must call :meth:`unlink` when done (segments outlive
     processes otherwise); non-owners only ever :meth:`close`.
@@ -117,11 +137,13 @@ class SharedMemoryTransport:
         self._segments[rank] = (shm.name, n_elements)
         self._attached[rank] = shm
         self._views[rank] = view
-        if self._locking:
-            fd, path = tempfile.mkstemp(prefix="pgas-win%d-" % rank,
-                                        suffix=".lock")
-            os.close(fd)
-            self._lockfiles[rank] = path
+        # Lock files exist regardless of ``locking``: plain gets/puts only
+        # take them in locking mode, but ``accumulate`` is a read-modify-
+        # write and *always* needs cross-process mutual exclusion.
+        fd, path = tempfile.mkstemp(prefix="pgas-win%d-" % rank,
+                                    suffix=".lock")
+        os.close(fd)
+        self._lockfiles[rank] = path
 
     def _view(self, rank: int) -> np.ndarray:
         view = self._views.get(rank)
@@ -139,8 +161,8 @@ class SharedMemoryTransport:
         return view
 
     @contextmanager
-    def _rank_lock(self, rank: int, exclusive: bool):
-        if not self._locking:
+    def _rank_lock(self, rank: int, exclusive: bool, force: bool = False):
+        if not (self._locking or force):
             yield
             return
         import fcntl
@@ -170,13 +192,18 @@ class SharedMemoryTransport:
             view[start:start + len(values)] = values
 
     def accumulate(self, rank: int, start: int, values: np.ndarray) -> None:
+        """Atomic element-wise ``+=`` on a window range.
+
+        Unlike ``get``/``put`` — where the ``locking`` flag is an opt-in for
+        access patterns that overlap — accumulate is *inherently* a
+        read-modify-write, so the per-rank file lock is taken
+        unconditionally.  A mere in-process ``threading.Lock`` (the old
+        lockless fallback) cannot serialize two worker *processes*
+        accumulating into the same rank; one of the updates would be lost.
+        """
         values = np.asarray(values, dtype=float)
         view = self._view(rank)
-        if self._locking:
-            with self._rank_lock(rank, exclusive=True):
-                view[start:start + len(values)] += values
-            return
-        with self._lock:  # read-modify-write; serialize within this process
+        with self._rank_lock(rank, exclusive=True, force=True):
             view[start:start + len(values)] += values
 
     # -- lifecycle -------------------------------------------------------------
@@ -318,3 +345,521 @@ class RecordingTransport:
             self.stats.n_accumulate += 1
             self.stats.bytes_put += values.size * 8
         self.inner.accumulate(rank, start, values)
+
+
+# ---------------------------------------------------------------------------
+# Socket transport: one-sided RMA over TCP
+
+
+#: Request frame header: op, rank, start, count, seq — followed by
+#: ``count * 8`` float64 payload bytes for put/accumulate, or ``count``
+#: raw token bytes for hello.
+_REQ = struct.Struct("!BIQQQ")
+#: Reply frame header: status (0 ok / 1 error), seq, count — followed by
+#: ``count * 8`` float64 bytes (get) or ``count`` UTF-8 bytes (error).
+_REP = struct.Struct("!BQQ")
+
+_OP_GET, _OP_PUT, _OP_ACCUMULATE, _OP_HELLO = 1, 2, 3, 4
+_OP_NAMES = {_OP_GET: "get", _OP_PUT: "put", _OP_ACCUMULATE: "accumulate"}
+
+#: Distinguishes client identities minted by this process (combined with
+#: the pid to form the retransmit-dedup token).
+_client_counter = itertools.count()
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes | None:
+    """Read exactly ``n`` bytes, or ``None`` on a clean peer close."""
+    buf = bytearray()
+    while len(buf) < n:
+        chunk = sock.recv(n - len(buf))
+        if not chunk:
+            return None
+        buf.extend(chunk)
+    return bytes(buf)
+
+
+class _SocketServer:
+    """The owning side of a :class:`SocketTransport`: holds the windows and
+    serves framed get/put/accumulate requests on a background thread.
+
+    Every window operation runs under a per-rank lock, so puts never tear
+    concurrent gets and accumulate is an atomic read-modify-write — the
+    server is the serialization point the shared-memory transport needs
+    file locks for.
+
+    **Exactly-once accumulate under retransmission.**  Clients number their
+    requests (per-client monotonic ``seq``) and identify themselves with a
+    token (``hello``).  The server remembers, per token, the last applied
+    sequence number and its reply; a retransmitted request (same token,
+    ``seq`` not newer) is answered from that memory *without re-applying* —
+    so a client may retransmit after a lost message or a reconnect and a
+    non-idempotent accumulate is still applied exactly once.
+    """
+
+    def __init__(self, host: str):
+        self._windows: dict[int, np.ndarray] = {}
+        self._rank_locks: dict[int, threading.Lock] = {}
+        #: token -> (last applied seq, reply bytes sent for it)
+        self._replay: dict[bytes, tuple[int, bytes]] = {}
+        self._replay_lock = threading.Lock()
+        self._conns: set[socket.socket] = set()
+        self._conns_lock = threading.Lock()
+        self._closed = threading.Event()
+        self._listener = socket.create_server((host, 0))
+        self.address: tuple[str, int] = self._listener.getsockname()[:2]
+        self._threads: list[threading.Thread] = []
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, daemon=True)
+        self._accept_thread.start()
+
+    # -- direct window access (the owning process bypasses the socket) -----
+
+    def allocate(self, rank: int, n_elements: int) -> None:
+        self._windows[rank] = np.zeros(max(n_elements, 1))
+        self._rank_locks[rank] = threading.Lock()
+
+    def get(self, rank: int, start: int, count: int) -> np.ndarray:
+        with self._rank_locks[rank]:
+            return self._windows[rank][start:start + count].copy()
+
+    def put(self, rank: int, start: int, values: np.ndarray) -> None:
+        with self._rank_locks[rank]:
+            self._windows[rank][start:start + len(values)] = values
+
+    def accumulate(self, rank: int, start: int, values: np.ndarray) -> None:
+        with self._rank_locks[rank]:
+            self._windows[rank][start:start + len(values)] += values
+
+    # -- the wire ----------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while not self._closed.is_set():
+            try:
+                conn, _ = self._listener.accept()
+            except OSError:  # listener closed: shutting down
+                return
+            with self._conns_lock:
+                if self._closed.is_set():
+                    try:
+                        conn.close()
+                    except OSError:  # pragma: no cover
+                        pass
+                    return
+                self._conns.add(conn)
+            t = threading.Thread(target=self._serve, args=(conn,),
+                                 daemon=True)
+            t.start()
+            self._threads.append(t)
+
+    def _serve(self, conn: socket.socket) -> None:
+        token = b""
+        try:
+            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            while True:
+                header = _recv_exact(conn, _REQ.size)
+                if header is None:
+                    return
+                op, rank, start, count, seq = _REQ.unpack(header)
+                payload = b""
+                if op in (_OP_PUT, _OP_ACCUMULATE):
+                    payload = _recv_exact(conn, count * 8)
+                elif op == _OP_HELLO:
+                    payload = _recv_exact(conn, count)
+                if payload is None:
+                    return
+                if op == _OP_HELLO:
+                    token = payload
+                    conn.sendall(_REP.pack(0, seq, 0))
+                    continue
+                if token:
+                    with self._replay_lock:
+                        applied = self._replay.get(token)
+                    if applied is not None and seq <= applied[0]:
+                        # Retransmit of an already-applied request: answer
+                        # from memory, never re-apply.  A stale older seq
+                        # gets a bare ack the client discards by number.
+                        conn.sendall(applied[1] if seq == applied[0]
+                                     else _REP.pack(0, seq, 0))
+                        continue
+                reply = self._apply(op, rank, start, count, payload, seq)
+                if token:
+                    with self._replay_lock:
+                        self._replay[token] = (seq, reply)
+                conn.sendall(reply)
+        except OSError:  # connection dropped; client reconnects or gives up
+            pass
+        finally:
+            with self._conns_lock:
+                self._conns.discard(conn)
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover
+                pass
+
+    def _apply(self, op: int, rank: int, start: int, count: int,
+               payload: bytes, seq: int) -> bytes:
+        try:
+            if op == _OP_GET:
+                data = self.get(rank, start, count)
+                return _REP.pack(0, seq, len(data)) + data.tobytes()
+            values = np.frombuffer(payload, dtype=np.float64)
+            if op == _OP_PUT:
+                self.put(rank, start, values)
+            elif op == _OP_ACCUMULATE:
+                self.accumulate(rank, start, values)
+            else:
+                raise ValueError("unknown socket RMA op %d" % op)
+            return _REP.pack(0, seq, 0)
+        except Exception as exc:  # noqa: BLE001 - shipped to the client
+            msg = ("%s: %s" % (type(exc).__name__, exc)).encode(
+                "utf-8", "replace")
+            return _REP.pack(1, seq, len(msg)) + msg
+
+    def close(self) -> None:
+        """Stop serving: close the listener and every live connection, then
+        join the handler threads.  Idempotent."""
+        self._closed.set()
+        try:
+            # A bare close() does not reliably wake a thread blocked in
+            # accept() on Linux; shutdown() does (accept raises EINVAL).
+            self._listener.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self._listener.close()
+        except OSError:  # pragma: no cover
+            pass
+        with self._conns_lock:
+            conns = list(self._conns)
+        for conn in conns:
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover
+                pass
+        self._accept_thread.join(timeout=5.0)
+        for t in self._threads:
+            t.join(timeout=5.0)
+        self._threads = []
+
+
+class SocketTransport:
+    """TCP transport: the windows live in the owning process, served by a
+    background thread; any process (on any machine reachable over TCP) that
+    unpickles the transport does one-sided get/put/accumulate against them
+    through framed binary requests.
+
+    This is the multi-node transport: where
+    :class:`SharedMemoryTransport` needs a shared kernel,
+    :class:`SocketTransport` needs only a route to the owner — Dtree
+    node-workers can span real machines.  Pickling carries the server
+    address and the window sizes; the receiving process connects lazily on
+    first access (the moral of exchanging RMA window handles at
+    ``MPI_Win_create`` time, like the shared-memory transport's segment
+    names).
+
+    Semantics are strictly stronger than hardware RMA: the server applies
+    every operation under a per-rank lock, so gets never see torn puts and
+    accumulate is an atomic read-modify-write in every mode.  Lost or
+    duplicated messages are survived by the protocol: requests carry a
+    per-client sequence number, the client retransmits (reconnecting if
+    need be) when a reply does not arrive in ``timeout`` seconds, and the
+    server deduplicates retransmissions so even accumulate applies exactly
+    once (see :class:`_SocketServer`).
+
+    The owner must call :meth:`unlink` when done (the server thread and
+    its port outlive abandoned transports otherwise); non-owners only ever
+    :meth:`close`.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", timeout: float = 30.0,
+                 max_retries: int = 3):
+        self._segments: dict[int, int] = {}  # rank -> element count
+        self._timeout = float(timeout)
+        self._max_retries = int(max_retries)
+        self._owner = True
+        self._server: _SocketServer | None = _SocketServer(host)
+        self.address = self._server.address
+        self._init_client_state()
+
+    def _init_client_state(self) -> None:
+        self._sock: socket.socket | None = None
+        self._seq = 0
+        self._token = b""
+        self._lock = threading.Lock()
+        #: Test-only fault injection: a callable given each outgoing
+        #: request frame, returning ``"drop"`` (swallow it — the reply
+        #: timeout and retransmission recover) or ``"duplicate"`` (send it
+        #: twice — the server's dedup applies it once) or ``None``.
+        self.fault_hook = None
+
+    # -- the transport interface ------------------------------------------
+
+    def allocate(self, rank: int, n_elements: int) -> None:
+        if self._server is None:
+            raise RuntimeError("only the owning process allocates windows")
+        if rank in self._segments:
+            raise ValueError("rank %d already allocated" % rank)
+        self._server.allocate(rank, n_elements)
+        self._segments[rank] = n_elements
+
+    def get(self, rank: int, start: int, count: int) -> np.ndarray:
+        if self._server is not None:
+            return self._server.get(rank, start, count)
+        body = self._request(_OP_GET, rank, start, count)
+        return np.frombuffer(body, dtype=np.float64).copy()
+
+    def put(self, rank: int, start: int, values: np.ndarray) -> None:
+        values = np.asarray(values, dtype=float)
+        if self._server is not None:
+            self._server.put(rank, start, values)
+            return
+        self._request(_OP_PUT, rank, start, len(values), values.tobytes())
+
+    def accumulate(self, rank: int, start: int, values: np.ndarray) -> None:
+        values = np.asarray(values, dtype=float)
+        if self._server is not None:
+            self._server.accumulate(rank, start, values)
+            return
+        self._request(_OP_ACCUMULATE, rank, start, len(values),
+                      values.tobytes())
+
+    # -- client plumbing ---------------------------------------------------
+
+    def _connect(self) -> socket.socket:
+        sock = socket.create_connection(self.address,
+                                        timeout=self._timeout)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        sock.settimeout(self._timeout)
+        if not self._token:
+            self._token = ("%d.%d" % (
+                os.getpid(), next(_client_counter))).encode()
+        try:
+            sock.sendall(_REQ.pack(_OP_HELLO, 0, 0, len(self._token), 0)
+                         + self._token)
+            header = _recv_exact(sock, _REP.size)
+            if header is None:
+                raise OSError("socket transport: server closed during hello")
+        except BaseException:
+            sock.close()
+            raise
+        return sock
+
+    def _drop_connection(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:  # pragma: no cover
+                pass
+            self._sock = None
+
+    def _send(self, frame: bytes) -> None:
+        action = self.fault_hook(frame) if self.fault_hook else None
+        if action == "drop":
+            return  # simulated message loss; the reply timeout recovers
+        self._sock.sendall(frame)
+        if action == "duplicate":
+            self._sock.sendall(frame)  # the server's dedup applies it once
+
+    def _request(self, op: int, rank: int, start: int, count: int,
+                 payload: bytes = b"") -> bytes:
+        with self._lock:
+            self._seq += 1
+            seq = self._seq
+            frame = _REQ.pack(op, rank, start, count, seq) + payload
+            last_error: Exception | None = None
+            for _attempt in range(self._max_retries + 1):
+                try:
+                    if self._sock is None:
+                        self._sock = self._connect()
+                    self._send(frame)
+                    while True:
+                        header = _recv_exact(self._sock, _REP.size)
+                        if header is None:
+                            raise OSError(
+                                "socket transport: server closed connection")
+                        status, rseq, rcount = _REP.unpack(header)
+                        body = b""
+                        if rcount:
+                            n = rcount * 8 if status == 0 else rcount
+                            body = _recv_exact(self._sock, n)
+                            if body is None:
+                                raise OSError("socket transport: truncated "
+                                              "reply")
+                        if rseq < seq:
+                            continue  # stale reply to a retransmitted frame
+                        if status != 0:
+                            raise RuntimeError(
+                                "socket RMA %s(rank=%d, start=%d) failed "
+                                "on the server: %s"
+                                % (_OP_NAMES.get(op, op), rank, start,
+                                   body.decode("utf-8", "replace")))
+                        return body
+                except OSError as exc:
+                    last_error = exc
+                    self._drop_connection()
+            raise RuntimeError(
+                "socket transport: no reply for %s(rank=%d) from %s:%d "
+                "after %d attempts (last error: %s)"
+                % (_OP_NAMES.get(op, op), rank, self.address[0],
+                   self.address[1], self._max_retries + 1, last_error))
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def __getstate__(self) -> dict:
+        return {
+            "address": tuple(self.address),
+            "segments": dict(self._segments),
+            "timeout": self._timeout,
+            "max_retries": self._max_retries,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.address = tuple(state["address"])
+        self._segments = {int(k): int(v)
+                          for k, v in state["segments"].items()}
+        self._timeout = float(state.get("timeout", 30.0))
+        self._max_retries = int(state.get("max_retries", 3))
+        self._owner = False
+        self._server = None
+        self._init_client_state()
+
+    def close(self) -> None:
+        """Drop this process's connection (the server survives).
+        Idempotent; a later access reconnects transparently."""
+        self._drop_connection()
+
+    def unlink(self) -> None:
+        """Shut the server down (owner only; safe to call more than once)."""
+        if not self._owner:
+            raise RuntimeError("only the owning process unlinks windows")
+        self.close()
+        if self._server is not None:
+            self._server.close()
+
+
+# ---------------------------------------------------------------------------
+# MPI transport: optional, gated on mpi4py
+
+
+class MPITransport:
+    """mpi4py-backed one-sided RMA — the paper's actual transport.
+
+    Optional-dependency pattern of the ``numba`` kernel target: the name
+    ``"mpi"`` is always resolvable (:func:`make_transport`), but
+    instantiation without mpi4py raises loudly with the remedy, and
+    :func:`transport_available` lets callers (CI probes, the driver's
+    config validation) test availability without trying.  Windows are
+    created collectively over ``COMM_WORLD``; get/put/accumulate use
+    passive-target ``Win.Lock``/``Unlock`` epochs, with accumulate mapped
+    to ``MPI.SUM`` — atomic per element, matching the other transports'
+    always-locked accumulate semantics.
+    """
+
+    def __init__(self):
+        try:
+            from mpi4py import MPI
+        except ImportError as exc:
+            raise RuntimeError(
+                "pgas transport 'mpi' requires the optional dependency "
+                "mpi4py, which is not installed; the 'socket' transport "
+                "spans machines without it"
+            ) from exc
+        self._MPI = MPI  # pragma: no cover - needs mpi4py
+        self._comm = MPI.COMM_WORLD  # pragma: no cover - needs mpi4py
+        self._windows = {}  # pragma: no cover - needs mpi4py
+
+    def allocate(self, rank, n_elements):  # pragma: no cover - needs mpi4py
+        MPI = self._MPI
+        size = max(n_elements, 1) * 8 if self._comm.rank == rank else 0
+        self._windows[rank] = MPI.Win.Allocate(size, 8, comm=self._comm)
+
+    def get(self, rank, start, count):  # pragma: no cover - needs mpi4py
+        MPI = self._MPI
+        win = self._windows[rank]
+        out = np.empty(count)
+        win.Lock(rank, MPI.LOCK_SHARED)
+        try:
+            win.Get([out, MPI.DOUBLE], rank,
+                    target=[start, count, MPI.DOUBLE])
+        finally:
+            win.Unlock(rank)
+        return out
+
+    def put(self, rank, start, values):  # pragma: no cover - needs mpi4py
+        MPI = self._MPI
+        values = np.ascontiguousarray(values, dtype=float)
+        win = self._windows[rank]
+        win.Lock(rank, MPI.LOCK_EXCLUSIVE)
+        try:
+            win.Put([values, MPI.DOUBLE], rank,
+                    target=[start, len(values), MPI.DOUBLE])
+        finally:
+            win.Unlock(rank)
+
+    def accumulate(self, rank, start, values):  # pragma: no cover - needs mpi4py
+        MPI = self._MPI
+        values = np.ascontiguousarray(values, dtype=float)
+        win = self._windows[rank]
+        win.Lock(rank, MPI.LOCK_EXCLUSIVE)
+        try:
+            win.Accumulate([values, MPI.DOUBLE], rank,
+                           target=[start, len(values), MPI.DOUBLE],
+                           op=MPI.SUM)
+        finally:
+            win.Unlock(rank)
+
+    def close(self):  # pragma: no cover - needs mpi4py
+        pass
+
+    def unlink(self):  # pragma: no cover - needs mpi4py
+        for win in self._windows.values():
+            win.Free()
+        self._windows = {}
+
+
+# ---------------------------------------------------------------------------
+# The transport registry
+
+
+#: Registry names ``DriverConfig.pgas_transport`` / ``REPRO_PGAS_TRANSPORT``
+#: accept, in preference order for documentation: in-process, one-box
+#: shared memory, cross-machine TCP, and (optional) MPI RMA.
+TRANSPORT_NAMES = ("local", "shared_memory", "socket", "mpi")
+
+
+def make_transport(name: str, *, locking: bool = False):
+    """Instantiate a transport by registry name.
+
+    ``locking`` maps onto the shared-memory transport's per-rank file
+    locks; the other transports are unconditionally safe for overlapping
+    access (in-process or server-side locks), so it is accepted and
+    ignored there.  An unknown name raises ``ValueError`` listing the
+    registry; a known-but-unavailable transport (``mpi`` without mpi4py)
+    raises ``RuntimeError`` naming the missing dependency.
+    """
+    if name not in TRANSPORT_NAMES:
+        raise ValueError(
+            "unknown pgas transport %r; known transports: %s"
+            % (name, ", ".join(TRANSPORT_NAMES)))
+    if name == "local":
+        return LocalTransport()
+    if name == "shared_memory":
+        return SharedMemoryTransport(locking=locking)
+    if name == "socket":
+        return SocketTransport()
+    return MPITransport()
+
+
+def transport_available(name: str) -> tuple[bool, str]:
+    """Whether :func:`make_transport` would succeed for ``name``, and the
+    reason when it would not — the availability probe (CI's pattern for
+    the numba kernel target)."""
+    if name not in TRANSPORT_NAMES:
+        return False, "unknown transport %r" % (name,)
+    if name == "mpi" and importlib.util.find_spec("mpi4py") is None:
+        return False, "mpi4py is not installed"
+    return True, ""

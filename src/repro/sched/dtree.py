@@ -128,6 +128,7 @@ class Dtree:
         self._stats_lock = threading.Lock()
         self.messages = 0
         self.hops = 0
+        self._version = 0
 
     # -- scheduling ---------------------------------------------------------------
 
@@ -186,7 +187,38 @@ class Dtree:
         out: list[int] = []
         for lo, hi in ranges:
             out.extend(range(lo, hi))
+        if out:
+            # Every pool mutation happens inside some worker's request (or
+            # a reclaim), so bumping here is enough for peek invalidation.
+            with self._stats_lock:
+                self._version += 1
         return out
+
+    def reclaim(self, worker_id: int) -> int:
+        """Return a dead worker's undispatched leaf pool to the root.
+
+        Leaves only ever *receive* work (grants refill downward from
+        parents), so ranges banked at a dead worker's leaf would otherwise
+        strand: no surviving worker's request path visits a sibling leaf.
+        Re-banking them at the root makes them reachable from every leaf
+        again.  Returns the number of task ids reclaimed; already-granted
+        (in-flight) tasks are the caller's to re-dispatch.
+        """
+        if not 0 <= worker_id < self.n_workers:
+            raise IndexError("bad worker id")
+        leaf = self.leaves[worker_id]
+        with leaf.lock:
+            ranges = [(lo, hi) for lo, hi in leaf.pool]
+            leaf.pool.clear()
+        moved = sum(hi - lo for lo, hi in ranges)
+        if moved:
+            with self.root.lock:
+                self.root.bank(ranges)
+            with self._stats_lock:
+                self.messages += 1
+                self.hops += self.height
+                self._version += 1
+        return moved
 
     def peek(self, worker_id: int, n: int) -> list[int]:
         """Up to ``n`` task ids this worker is likely to be granted next,
@@ -211,6 +243,16 @@ class Dtree:
         return out
 
     # -- introspection ---------------------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        """Monotone counter bumped on every grant and reclaim.  A worker
+        that recorded the version when it peeked can tell at dispatch time
+        whether the schedule may have shifted under it (work stealing) and
+        cheaply re-peek — the staleness check the field prefetcher keys on.
+        """
+        with self._stats_lock:
+            return self._version
 
     @property
     def stats(self) -> dict:

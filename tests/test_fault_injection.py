@@ -1,0 +1,184 @@
+"""Fault-injection suite: node-workers killed mid-stage, simulated
+crashes resumed from the task-granular journal, and dropped/duplicated
+socket frames (transport-level injection lives in
+``test_socket_transport.py``) — in every case the final catalog must be
+bit-identical to an undisturbed run, and the recovery must be recorded in
+the :class:`~repro.perf.driver.DriverReport`.
+
+The fast half runs at tier-1 scale; the ``slow``-marked half re-asserts
+the same invariants against the golden catalog pin."""
+
+import dataclasses
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.joint import JointConfig
+from repro.core.single import OptimizeConfig
+from repro.driver import DriverConfig, run_pipeline
+from repro.parallel import ParallelRegionConfig
+from repro.survey import SyntheticSkyConfig, generate_survey_fields
+
+from test_golden_pipeline import (
+    GOLDEN_CATALOG_SHA256,
+    _golden_config,
+    _golden_fields,
+    catalog_content_hash,
+)
+
+
+@pytest.fixture(scope="module")
+def small_survey():
+    rng = np.random.default_rng(5)
+    sky = SyntheticSkyConfig(
+        source_density=50.0, min_separation=8.0, flux_floor=20.0
+    )
+    return generate_survey_fields(
+        2, field_shape_hw=(32, 32), overlap=8.0,
+        config=sky, rng=rng, bands=(2,),
+    )
+
+
+def _config(checkpoint_path=None, **overrides):
+    config = DriverConfig(
+        n_nodes=2,
+        target_weight=60.0,
+        parallel=ParallelRegionConfig(
+            n_threads=2,
+            n_passes=1,
+            joint=JointConfig(
+                n_passes=1,
+                single=OptimizeConfig(max_iter=8, grad_tol=2e-3),
+            ),
+        ),
+        checkpoint_path=checkpoint_path,
+    )
+    return dataclasses.replace(config, **overrides)
+
+
+def _identical_catalogs(a, b):
+    if len(a) != len(b):
+        return False
+    return all(
+        np.array_equal(x.position, y.position)
+        and x.flux_r == y.flux_r
+        and x.is_galaxy == y.is_galaxy
+        and np.array_equal(x.colors, y.colors)
+        for x, y in zip(a, b)
+    )
+
+
+def _journals(directory):
+    return sorted(f for f in os.listdir(directory) if ".tasks." in f)
+
+
+class TestWorkerDeath:
+    """A process node-worker hard-killed mid-stage (``os._exit``, no
+    cleanup) is respawned or its work re-dispatched; the catalog is
+    bit-identical and the death is on the record."""
+
+    @pytest.fixture(scope="class")
+    def reference(self, small_survey):
+        _, fields = small_survey
+        return run_pipeline(fields, _config(executor="process"))
+
+    @pytest.mark.parametrize("transport", ["shared_memory", "socket"])
+    def test_killed_worker_recovers_bit_for_bit(
+        self, small_survey, reference, transport
+    ):
+        _, fields = small_survey
+        result = run_pipeline(fields, _config(
+            executor="process", pgas_transport=transport, fault_kill_task=0,
+        ))
+        assert _identical_catalogs(reference.catalog, result.catalog)
+        deaths = [rec for rec in result.report.recoveries
+                  if rec["kind"] == "worker_death"]
+        assert deaths, "worker death left no trace in the report"
+        assert all("retried" in rec for rec in deaths)
+
+    def test_unkilled_run_records_no_recoveries(self, reference):
+        assert reference.report.recoveries == []
+
+
+class TestCrashResume:
+    """A run aborted mid-stage resumes from the task-granular journal:
+    finished tasks replay from disk, the rest re-execute, and the merged
+    catalog is bit-identical to an uninterrupted run."""
+
+    @pytest.mark.parametrize("executor", ["thread", "process"])
+    def test_resume_replays_completed_tasks(
+        self, small_survey, tmp_path, executor
+    ):
+        _, fields = small_survey
+        reference = run_pipeline(fields, _config(executor=executor))
+        path = str(tmp_path / "ckpt.json")
+        with pytest.raises(RuntimeError, match="fault injection"):
+            run_pipeline(fields, _config(
+                path, executor=executor, fault_abort_after=1,
+            ))
+        assert _journals(str(tmp_path)), "crash left no task journal"
+        resumed = run_pipeline(fields, _config(path, executor=executor))
+        assert _identical_catalogs(reference.catalog, resumed.catalog)
+        replays = [rec for rec in resumed.report.recoveries
+                   if rec["kind"] == "task_replay"]
+        assert replays and all(rec["n_tasks"] > 0 for rec in replays)
+        # The completed run superseded the journal's generation.
+        assert _journals(str(tmp_path)) == []
+
+    def test_task_checkpoint_off_leaves_no_journal(
+        self, small_survey, tmp_path
+    ):
+        _, fields = small_survey
+        path = str(tmp_path / "ckpt.json")
+        with pytest.raises(RuntimeError, match="fault injection"):
+            run_pipeline(fields, _config(
+                path, fault_abort_after=1, task_checkpoint=False,
+            ))
+        assert _journals(str(tmp_path)) == []
+        # The run still resumes — just from the last stage boundary.
+        reference = run_pipeline(fields, _config())
+        resumed = run_pipeline(fields, _config(path, task_checkpoint=False))
+        assert _identical_catalogs(reference.catalog, resumed.catalog)
+
+
+@pytest.mark.slow
+class TestGoldenUnderFaults:
+    """The golden pin survives every recovery path: the socket transport,
+    a worker killed mid-stage, and a crash resumed mid-stage all land on
+    ``GOLDEN_CATALOG_SHA256``."""
+
+    def _process_golden_config(self, **overrides):
+        return dataclasses.replace(
+            _golden_config(), executor="process", **overrides
+        )
+
+    def test_socket_process_run_matches_pin(self):
+        _, fields = _golden_fields()
+        result = run_pipeline(fields, self._process_golden_config(
+            pgas_transport="socket",
+        ))
+        assert catalog_content_hash(result.catalog) == GOLDEN_CATALOG_SHA256
+
+    def test_killed_worker_matches_pin(self):
+        _, fields = _golden_fields()
+        result = run_pipeline(fields, self._process_golden_config(
+            fault_kill_task=1,
+        ))
+        assert catalog_content_hash(result.catalog) == GOLDEN_CATALOG_SHA256
+        assert any(rec["kind"] == "worker_death"
+                   for rec in result.report.recoveries)
+
+    def test_crash_resume_matches_pin(self, tmp_path):
+        _, fields = _golden_fields()
+        path = str(tmp_path / "ckpt.json")
+        with pytest.raises(RuntimeError, match="fault injection"):
+            run_pipeline(fields, self._process_golden_config(
+                checkpoint_path=path, fault_abort_after=2,
+            ))
+        result = run_pipeline(fields, self._process_golden_config(
+            checkpoint_path=path,
+        ))
+        assert catalog_content_hash(result.catalog) == GOLDEN_CATALOG_SHA256
+        assert any(rec["kind"] == "task_replay"
+                   for rec in result.report.recoveries)

@@ -572,3 +572,150 @@ def test_property_dtree_delivery_exactly_once(
         active = still
     delivered = [t for batch in per_worker for t in batch]
     assert sorted(delivered) == list(range(n_tasks))
+
+
+class TestAccumulateAlwaysLocked:
+    """Regression for the cross-process accumulate race: accumulate is an
+    atomic read-modify-write on *every* transport, including a
+    SharedMemoryTransport constructed without ``locking=True`` — the mode
+    every snapshot-phase driver run uses."""
+
+    @pytest.mark.parametrize("locking", [False, True])
+    def test_concurrent_threaded_accumulate_sums_exactly(self, locking):
+        t = SharedMemoryTransport(locking=locking)
+        t.allocate(0, 8)
+        n_threads, reps = 4, 200
+
+        def worker(copy):
+            for _ in range(reps):
+                copy.accumulate(0, 0, np.ones(8))
+
+        try:
+            copies = [pickle.loads(pickle.dumps(t))
+                      for _ in range(n_threads)]
+            threads = [threading.Thread(target=worker, args=(c,))
+                       for c in copies]
+            for th in threads:
+                th.start()
+            for th in threads:
+                th.join()
+            for c in copies:
+                c.close()
+            np.testing.assert_array_equal(
+                t.get(0, 0, 8), float(n_threads * reps))
+        finally:
+            t.unlink()
+
+    def test_cross_process_accumulate_sums_exactly(self):
+        # The actual reported bug shape: two spawn processes accumulating
+        # into overlapping extents of a non-locking transport.
+        t = SharedMemoryTransport()
+        t.allocate(0, 4)
+        try:
+            ctx = multiprocessing.get_context("spawn")
+            procs = [
+                ctx.Process(target=_shm_child_accumulate, args=(t, 60))
+                for _ in range(2)
+            ]
+            for p in procs:
+                p.start()
+            for p in procs:
+                p.join(timeout=120)
+                assert p.exitcode == 0
+            np.testing.assert_array_equal(t.get(0, 0, 4), 120.0)
+        finally:
+            t.unlink()
+
+    def test_accumulate_accumulate_is_benign_to_the_race_detector(self):
+        """Satellite of the same fix: with accumulate serialized by every
+        transport (MPI-3's one legal unsynchronized overlap), the shadow
+        detector must not flag accumulate/accumulate overlap — while still
+        flagging put or get against an accumulate."""
+        from repro.analysis.race import RaceDetector, ShadowTransport
+
+        det = RaceDetector()
+        inner = LocalTransport()
+        inner.allocate(0, 8)
+        shadow = ShadowTransport(inner, det, "w")
+        shadow.set_task(("task", 0), ("stage", 0))
+        shadow.accumulate(0, 0, np.ones(4))
+        shadow.set_task(("task", 1), ("stage", 0))
+        shadow.accumulate(0, 2, np.ones(4))  # overlaps task 0's extent
+        assert det.n_reports == 0
+        shadow.put(0, 1, np.ones(2))  # put over an accumulate: still a race
+        assert det.n_reports == 1
+
+
+def _shm_child_accumulate(transport, reps):
+    for _ in range(reps):
+        transport.accumulate(0, 0, np.ones(4))
+    transport.close()
+
+
+class TestDtreeReclaimAndVersion:
+    """The fault-recovery hooks: ``reclaim`` returns a dead worker's
+    stranded leaf pool to the root, and ``version`` lets a worker detect
+    that the schedule moved under a stale ``peek``."""
+
+    def test_reclaim_makes_stranded_work_reachable(self):
+        sched = Dtree(4, 100, DtreeConfig(initial_fraction=1.0))
+        # The static allotment parked 25 tasks at every leaf; without a
+        # reclaim, worker 3's pool is unreachable from workers 0-2.
+        moved = sched.reclaim(3)
+        assert moved == 25
+        delivered = []
+        for w in (0, 1, 2):
+            while True:
+                b = sched.request(w, max_batch=10)
+                if not b:
+                    break
+                delivered.extend(b)
+        assert sorted(delivered) == list(range(100))
+
+    def test_reclaim_empty_leaf_is_noop(self):
+        sched = Dtree(2, 10, DtreeConfig(initial_fraction=0.0))
+        v = sched.version
+        assert sched.reclaim(0) == 0
+        assert sched.version == v  # nothing moved, nothing invalidated
+
+    def test_reclaim_single_worker(self):
+        sched = Dtree(1, 8, DtreeConfig(initial_fraction=1.0))
+        assert sched.reclaim(0) == 8
+        assert sorted(sched.request(0, max_batch=8)) == list(range(8))
+
+    def test_reclaim_bad_worker(self):
+        with pytest.raises(IndexError):
+            Dtree(2, 4).reclaim(2)
+
+    def test_version_bumps_on_grant_and_reclaim(self):
+        sched = Dtree(2, 20, DtreeConfig(initial_fraction=1.0))
+        v0 = sched.version
+        assert sched.request(0, max_batch=2)
+        v1 = sched.version
+        assert v1 > v0
+        assert sched.reclaim(1) > 0
+        assert sched.version > v1
+        # Draining everything leaves the version stable afterwards.
+        while sched.request(0, max_batch=10):
+            pass
+        v_done = sched.version
+        assert sched.request(0, max_batch=10) == []
+        assert sched.version == v_done
+
+    def test_stale_peek_detected_after_steal(self):
+        """The stale-prefetch scenario: worker 0 peeks its upcoming work,
+        then worker 1 steals through the shared parent; the version
+        mismatch is what tells worker 0 its peek (and any prefetch keyed
+        on it) is stale."""
+        # drain_fraction is tiny so requests serve exactly what is asked
+        # and bank nothing locally: both workers' upcoming work sits in
+        # the shared root, where a steal is visible to the sibling's peek.
+        sched = Dtree(2, 40, DtreeConfig(
+            initial_fraction=0.0, drain_fraction=0.05))
+        sched.request(0, max_batch=4)
+        v = sched.version
+        peeked = sched.peek(0, 8)
+        assert peeked
+        assert sched.request(1, max_batch=30)  # the steal
+        assert sched.version != v
+        assert sched.peek(0, 8) != peeked

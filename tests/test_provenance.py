@@ -357,6 +357,8 @@ FUZZ_MATRIX = {
     "REPRO_DRIVER_EXECUTOR": lambda cfg: (
         dataclasses.replace(cfg, executor=None),
         {"REPRO_DRIVER_EXECUTOR": "__EXECUTOR__"}),
+    "DriverConfig.pgas_transport": _set(pgas_transport="socket"),
+    "REPRO_PGAS_TRANSPORT": _set_env({"REPRO_PGAS_TRANSPORT": "socket"}),
     "REPRO_RACE_DETECT": _set_env({"REPRO_RACE_DETECT": "1"}),
     "REPRO_VERIFY_SCHEDULE": _set_env({"REPRO_VERIFY_SCHEDULE": "1"}),
     "REPRO_NUMERIC_CHECK": _set_env({"REPRO_NUMERIC_CHECK": "1"}),
@@ -379,6 +381,16 @@ FUZZ_SKIPS = {
     "DriverConfig.stop_after": (
         "deliberately truncates the run (staged operation), so its "
         "output is not comparable to a full run by construction"),
+    "DriverConfig.task_checkpoint": (
+        "only consulted when checkpoint_path is set; mid-stage "
+        "crash/resume equivalence is pinned by the fault-injection "
+        "tests"),
+    "DriverConfig.fault_kill_task": (
+        "deliberately kills a node-worker mid-stage; recovery "
+        "equivalence is pinned by the fault-injection tests"),
+    "DriverConfig.fault_abort_after": (
+        "deliberately aborts the run partway, so its output is not "
+        "comparable to a full run by construction"),
 }
 
 

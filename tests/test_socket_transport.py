@@ -1,0 +1,222 @@
+"""Tests for the TCP socket PGAS transport (:mod:`repro.pgas.transport`):
+wire roundtrips, exactly-once accumulate under dropped/duplicated frames,
+pickling into client copies, server error propagation, lifecycle, the
+transport registry, and the mpi4py availability probe."""
+
+import pickle
+import threading
+
+import numpy as np
+import pytest
+
+from repro.pgas import (
+    TRANSPORT_NAMES,
+    GlobalArray,
+    LocalTransport,
+    MPITransport,
+    SharedMemoryTransport,
+    SocketTransport,
+    make_transport,
+    transport_available,
+)
+
+
+@pytest.fixture
+def server():
+    t = SocketTransport()
+    t.allocate(0, 16)
+    t.allocate(1, 8)
+    yield t
+    t.unlink()
+
+
+def _client(server):
+    return pickle.loads(pickle.dumps(server))
+
+
+class TestSocketTransport:
+    def test_owner_roundtrip_is_direct(self, server):
+        server.put(0, 3, np.array([1.0, 2.0, 3.0]))
+        assert server.get(0, 3, 3).tolist() == [1.0, 2.0, 3.0]
+        server.accumulate(0, 3, np.array([0.5, 0.5, 0.5]))
+        assert server.get(0, 3, 3).tolist() == [1.5, 2.5, 3.5]
+
+    def test_client_roundtrip_over_the_wire(self, server):
+        client = _client(server)
+        try:
+            client.put(1, 0, np.arange(4.0))
+            assert client.get(1, 0, 4).tolist() == [0.0, 1.0, 2.0, 3.0]
+            client.accumulate(1, 1, np.array([10.0]))
+            # The owner sees the client's writes (one shared window).
+            assert server.get(1, 0, 4).tolist() == [0.0, 11.0, 2.0, 3.0]
+        finally:
+            client.close()
+
+    def test_two_clients_share_windows(self, server):
+        a, b = _client(server), _client(server)
+        try:
+            a.put(0, 0, np.array([7.0]))
+            assert b.get(0, 0, 1).tolist() == [7.0]
+        finally:
+            a.close()
+            b.close()
+
+    def test_concurrent_client_accumulate_sums_exactly(self, server):
+        """Overlapping accumulates from many client threads are atomic
+        read-modify-writes on the server: nothing is lost."""
+        n_threads, reps = 4, 50
+        clients = [_client(server) for _ in range(n_threads)]
+
+        def worker(c):
+            for _ in range(reps):
+                c.accumulate(0, 0, np.ones(8))
+
+        threads = [threading.Thread(target=worker, args=(c,))
+                   for c in clients]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        for c in clients:
+            c.close()
+        assert server.get(0, 0, 8).tolist() == [n_threads * reps] * 8
+
+    def test_dropped_frame_retransmitted(self, server):
+        client = _client(server)
+        client._timeout = 0.3  # fail fast in the retransmission loop
+        dropped = []
+
+        def hook(frame):
+            if not dropped:
+                dropped.append(frame)
+                return "drop"
+            return None
+
+        client.fault_hook = hook
+        try:
+            client.put(0, 0, np.array([5.0]))
+            assert dropped, "hook never fired"
+            assert server.get(0, 0, 1).tolist() == [5.0]
+        finally:
+            client.close()
+
+    def test_duplicated_accumulate_applied_exactly_once(self, server):
+        """The regression the replay cache exists for: a duplicated (or
+        retransmitted) accumulate frame must not double-apply."""
+        client = _client(server)
+        client.fault_hook = lambda frame: "duplicate"
+        try:
+            client.accumulate(0, 0, np.array([1.0, 1.0]))
+            client.accumulate(0, 0, np.array([1.0, 1.0]))
+            assert server.get(0, 0, 2).tolist() == [2.0, 2.0]
+        finally:
+            client.close()
+
+    def test_dropped_then_duplicated_accumulate_exactly_once(self, server):
+        client = _client(server)
+        client._timeout = 0.3
+        actions = iter(["drop", "duplicate"])
+        client.fault_hook = lambda frame: next(actions, None)
+        try:
+            client.accumulate(0, 4, np.array([3.0]))
+            assert server.get(0, 4, 1).tolist() == [3.0]
+        finally:
+            client.close()
+
+    def test_reconnect_after_connection_drop(self, server):
+        client = _client(server)
+        try:
+            client.put(0, 0, np.array([1.0]))
+            client.close()  # later access reconnects transparently
+            assert client.get(0, 0, 1).tolist() == [1.0]
+        finally:
+            client.close()
+
+    def test_server_error_propagates_to_client(self, server):
+        client = _client(server)
+        try:
+            with pytest.raises(RuntimeError, match="failed on the server"):
+                client.get(7, 0, 1)  # rank never allocated
+        finally:
+            client.close()
+
+    def test_client_cannot_allocate(self, server):
+        client = _client(server)
+        with pytest.raises(RuntimeError):
+            client.allocate(2, 4)
+
+    def test_double_allocate_rejected(self, server):
+        with pytest.raises(ValueError):
+            server.allocate(0, 4)
+
+    def test_nonowner_unlink_rejected(self, server):
+        client = _client(server)
+        with pytest.raises(RuntimeError):
+            client.unlink()
+
+    def test_unlink_idempotent(self):
+        t = SocketTransport()
+        t.allocate(0, 4)
+        t.unlink()
+        t.unlink()
+
+    def test_unreachable_server_raises_after_retries(self):
+        t = SocketTransport(max_retries=1)
+        t.allocate(0, 4)
+        client = _client(t)
+        client._timeout = 0.3
+        t.unlink()  # server gone before the client ever connected
+        with pytest.raises(RuntimeError, match="no reply"):
+            client.get(0, 0, 1)
+
+    def test_global_array_over_socket_transport(self):
+        t = SocketTransport()
+        try:
+            ga = GlobalArray(10, 4, 3, transport=t)
+            client_ga = pickle.loads(pickle.dumps(ga))
+            client_ga.put_row(7, np.array([1.0, 2.0, 3.0, 4.0]))
+            assert ga.get_row(7).tolist() == [1.0, 2.0, 3.0, 4.0]
+            client_ga.transport.close()
+        finally:
+            t.unlink()
+
+
+class TestTransportRegistry:
+    def test_names(self):
+        assert TRANSPORT_NAMES == ("local", "shared_memory", "socket", "mpi")
+
+    def test_make_transport_types(self):
+        assert isinstance(make_transport("local"), LocalTransport)
+        shm = make_transport("shared_memory", locking=True)
+        assert isinstance(shm, SharedMemoryTransport)
+        sk = make_transport("socket")
+        assert isinstance(sk, SocketTransport)
+        sk.unlink()
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="known transports"):
+            make_transport("infiniband")
+
+    def test_availability_probe(self):
+        import importlib.util
+
+        for name in ("local", "shared_memory", "socket"):
+            ok, reason = transport_available(name)
+            assert ok and reason == ""
+        ok, reason = transport_available("mpi")
+        have_mpi = importlib.util.find_spec("mpi4py") is not None
+        assert ok == have_mpi
+        if not have_mpi:
+            assert "mpi4py" in reason
+        assert transport_available("infiniband") == (
+            False, "unknown transport 'infiniband'")
+
+    def test_mpi_transport_unavailable_raises_with_remedy(self):
+        import importlib.util
+
+        if importlib.util.find_spec("mpi4py") is not None:
+            pytest.skip("mpi4py installed; the gate cannot fire")
+        with pytest.raises(RuntimeError, match="mpi4py"):
+            MPITransport()
+        with pytest.raises(RuntimeError, match="socket"):
+            make_transport("mpi")
